@@ -1,0 +1,26 @@
+# Convenience targets for the Tangled/Qat reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench harness examples all clean
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+harness:
+	$(PYTHON) benchmarks/harness.py
+
+examples:
+	@for f in examples/*.py; do echo "== $$f =="; $(PYTHON) $$f || exit 1; done
+
+all: test bench harness
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
+	rm -rf .pytest_cache .hypothesis *.egg-info src/*.egg-info

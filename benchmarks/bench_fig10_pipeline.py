@@ -1,0 +1,40 @@
+"""FIG10 bench: the literal paper program through each simulator."""
+
+from repro.apps import fig10_program, run_factor_program
+
+from harness import experiment_fig10, format_table
+
+
+def test_fig10_rows(benchmark, capsys):
+    rows = benchmark.pedantic(experiment_fig10, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n[FIG10] the paper's factoring program (Figure 10)")
+        print(format_table(rows))
+    for row in rows:
+        assert (row["$0"], row["$1"]) == (5, 3)
+
+
+def _run(simulator, ways=8):
+    program = fig10_program()
+
+    def go():
+        sim, regs = run_factor_program(program, ways=ways, simulator=simulator)
+        return regs
+
+    return go
+
+
+def test_bench_fig10_functional(benchmark):
+    assert benchmark(_run("functional")) == (5, 3)
+
+
+def test_bench_fig10_multicycle(benchmark):
+    assert benchmark(_run("multicycle")) == (5, 3)
+
+
+def test_bench_fig10_pipelined(benchmark):
+    assert benchmark(_run("pipelined")) == (5, 3)
+
+
+def test_bench_fig10_pipelined_16way(benchmark):
+    assert benchmark(_run("pipelined", ways=16)) == (5, 3)

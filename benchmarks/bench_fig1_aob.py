@@ -1,0 +1,57 @@
+"""FIG1 bench: AoB substrate semantics and core op throughput.
+
+Regenerates the Figure 1 probability tables and times the fundamental
+AoB representation operations that everything else is built on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.aob import AoB
+
+from harness import experiment_fig1, format_table
+
+
+def test_fig1_rows(benchmark, capsys):
+    rows = benchmark.pedantic(experiment_fig1, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n[FIG1] AoB value semantics (Figure 1)")
+        print(format_table(rows))
+    # the paper's two worked examples
+    assert rows[0]["P(0)"] == rows[0]["P(3)"] == 0.25
+    assert rows[1]["P(0)"] == 0.5 and rows[1]["P(1)"] == 0.0
+
+
+@pytest.fixture(scope="module")
+def full_scale_values():
+    rng = np.random.default_rng(1)
+    return AoB.random(16, rng), AoB.random(16, rng)
+
+
+def bench_pair(benchmark, fn):
+    benchmark(fn)
+
+
+def test_bench_aob_and(benchmark, full_scale_values):
+    a, b = full_scale_values
+    benchmark(lambda: a & b)
+
+
+def test_bench_aob_xor(benchmark, full_scale_values):
+    a, b = full_scale_values
+    benchmark(lambda: a ^ b)
+
+
+def test_bench_aob_not(benchmark, full_scale_values):
+    a, _ = full_scale_values
+    benchmark(lambda: ~a)
+
+
+def test_bench_aob_from_bits(benchmark):
+    bits = (np.arange(1 << 16) % 3 == 0).astype(np.uint8)
+    benchmark(AoB.from_bits, bits)
+
+
+def test_bench_aob_to_bool_array(benchmark, full_scale_values):
+    a, _ = full_scale_values
+    benchmark(a.to_bool_array)

@@ -1,0 +1,39 @@
+"""FIG6 bench: the single-cycle (functional) datapath model's throughput."""
+
+from repro.apps import fig10_program
+from repro.cpu import FunctionalSimulator
+
+from harness import experiment_fig6, format_table
+
+
+def test_fig6_rows(benchmark, capsys):
+    rows = benchmark.pedantic(experiment_fig6, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n[FIG6] simulator throughput on the Figure 10 workload")
+        print(format_table(rows))
+    assert all(r["instructions"] == rows[0]["instructions"] for r in rows)
+
+
+def test_bench_functional_fig10(benchmark):
+    program = fig10_program()
+
+    def run():
+        sim = FunctionalSimulator(ways=8)
+        sim.load(program)
+        sim.run()
+        return sim.machine.read_reg(0), sim.machine.read_reg(1)
+
+    assert benchmark(run) == (5, 3)
+
+
+def test_bench_functional_fig10_full_scale(benchmark):
+    """The same workload on 65,536-bit registers (author-scale Qat)."""
+    program = fig10_program()
+
+    def run():
+        sim = FunctionalSimulator(ways=16)
+        sim.load(program)
+        sim.run()
+        return sim.machine.read_reg(0), sim.machine.read_reg(1)
+
+    assert benchmark(run) == (5, 3)

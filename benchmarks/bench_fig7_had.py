@@ -1,0 +1,36 @@
+"""FIG7 bench: Hadamard pattern generation cost, software and hardware."""
+
+from repro.aob import AoB
+from repro.hw import build_had_netlist
+
+from harness import experiment_fig7, format_table
+
+
+def test_fig7_rows(benchmark, capsys):
+    rows = benchmark.pedantic(experiment_fig7, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n[FIG7] had generator hardware cost (Figure 7)")
+        print(format_table(rows))
+    # the generator's OR-input count dwarfs the constant-register bits at
+    # full scale: the section-5 recommendation
+    full = rows[-1]
+    assert full["ways"] == 16
+    assert full["or_inputs"] == 16 * (1 << 15)
+    assert full["or_inputs"] > 4 * full["constant_reg_bits"]
+
+
+def test_bench_hadamard_generation_full_scale(benchmark):
+    """Software H(k) generation for the 65,536-bit AoB."""
+    result = benchmark(AoB.hadamard, 16, 9)
+    assert result.popcount() == 1 << 15
+
+
+def test_bench_hadamard_generation_low_k(benchmark):
+    result = benchmark(AoB.hadamard, 16, 0)
+    assert result.meas(1) == 1
+
+
+def test_bench_build_had_netlist(benchmark):
+    """Constructing the Figure 7 structure at student scale (8-way)."""
+    net = benchmark.pedantic(build_had_netlist, args=(8,), rounds=3, iterations=1)
+    assert net.gate_count() > 0

@@ -1,0 +1,55 @@
+"""FIG8 bench: the next operation -- software kernel timing and the
+O(WAYS) vs O(WAYS^2) hardware-depth series."""
+
+import numpy as np
+
+from repro.aob import AoB
+from repro.hw import build_next_netlist, next_cost
+
+from harness import experiment_fig8, format_table
+
+
+def test_fig8_rows(benchmark, capsys):
+    rows = benchmark.pedantic(experiment_fig8, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n[FIG8] next logic cost, wide vs 2-input OR (Figure 8)")
+        print(format_table(rows))
+    # linear vs quadratic shape: wide-OR depth increments are constant,
+    # narrow-OR increments grow
+    wide = [r["depth_wide_or"] for r in rows]
+    narrow = [r["depth_2input_or"] for r in rows]
+    wide_inc = [b - a for a, b in zip(wide, wide[1:])]
+    narrow_inc = [b - a for a, b in zip(narrow, narrow[1:])]
+    assert len(set(wide_inc)) == 1
+    assert narrow_inc == sorted(narrow_inc) and narrow_inc[-1] > narrow_inc[0]
+
+
+def test_bench_next_kernel_dense(benchmark):
+    rng = np.random.default_rng(5)
+    a = AoB.random(16, rng, p=0.5)
+    assert benchmark(a.next, 100) > 100
+
+
+def test_bench_next_kernel_sparse_tail(benchmark):
+    bits = np.zeros(1 << 16, dtype=np.uint8)
+    bits[-1] = 1
+    a = AoB.from_bits(bits)
+    assert benchmark(a.next, 0) == (1 << 16) - 1
+
+
+def test_bench_next_netlist_evaluation(benchmark):
+    """Evaluating the built Figure 8 netlist (8-way, 1000 test lanes)."""
+    net = build_next_netlist(8, wide=True)
+    rng = np.random.default_rng(6)
+    lanes = 1000
+    inputs = {f"aob[{i}]": rng.random(lanes) < 0.3 for i in range(256)}
+    s = rng.integers(0, 256, lanes)
+    for b in range(8):
+        inputs[f"s[{b}]"] = ((s >> b) & 1).astype(bool)
+    out = benchmark(net.evaluate, inputs)
+    assert out["r"].shape == (8, lanes)
+
+
+def test_bench_next_cost_full_scale(benchmark):
+    cost = benchmark(next_cost, 16, True)
+    assert cost["depth"] < next_cost(16, False)["depth"]

@@ -1,0 +1,49 @@
+"""FIG9 bench: the word-level factoring algorithm across sizes and
+substrates."""
+
+import pytest
+
+from repro.apps import factor_channels, factor_word_level, figure9_demo
+
+from harness import experiment_fig9, format_table
+
+
+def test_fig9_rows(benchmark, capsys):
+    rows = benchmark.pedantic(experiment_fig9, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n[FIG9] word-level factoring (Figure 9)")
+        print(format_table(rows))
+    assert rows[0]["factors"] == "3x5"
+    assert rows[1]["factors"] == "13x17"
+    assert rows[-1]["backend"] == "pattern"
+
+
+def test_bench_figure9_exact_paper_run(benchmark):
+    """The literal Figure 9 program: factor 15, 8-way entanglement."""
+    assert benchmark(figure9_demo) == [0, 1, 3, 5, 15]
+
+
+def test_bench_factor_221(benchmark):
+    result = benchmark(factor_word_level, 221, 5, 5)
+    assert result.nontrivial == [13, 17]
+
+
+def test_bench_factor_12bit_dense(benchmark):
+    pairs = benchmark(factor_channels, 59 * 61, 6, 6)
+    assert (59, 61) in pairs
+
+
+def test_bench_factor_16way_full_scale(benchmark):
+    """251 * 241 needs the full 16-way hardware entanglement."""
+    pairs = benchmark.pedantic(
+        factor_channels, args=(251 * 241, 8, 8), rounds=2, iterations=1
+    )
+    assert (241, 251) in pairs
+
+
+def test_bench_factor_pattern_backend(benchmark):
+    """The same 8-way problem on the compressed substrate."""
+    result = benchmark(
+        factor_word_level, 15, 4, 4, backend="pattern", chunk_ways=6
+    )
+    assert result.nontrivial == [3, 5]

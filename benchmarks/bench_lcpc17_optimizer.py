@@ -1,0 +1,37 @@
+"""LC17 bench: gate-level compiler optimization (the paper's ref [2])."""
+
+from repro.gates import GateCircuit, multiply, optimize
+
+from harness import experiment_lcpc17, format_table
+
+
+def test_lcpc17_rows(benchmark, capsys):
+    rows = benchmark.pedantic(experiment_lcpc17, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n[LC17] gate-level compiler optimization (ref [2])")
+        print(format_table(rows))
+    for row in rows:
+        assert row["optimized_gates"] <= row["raw_gates"]
+    # multipliers carry the most redundancy (zero-extended accumulators)
+    by = {r["circuit"]: r for r in rows}
+    assert by["4x4 multiplier"]["raw_gates"] > 1.5 * by["4x4 multiplier"]["optimized_gates"]
+
+
+def _build_multiplier(width):
+    c = GateCircuit()
+    a = [c.had(k) for k in range(width)]
+    b = [c.had(width + k) for k in range(width)]
+    for i, bit in enumerate(multiply(c, a, b)):
+        c.mark_output(f"p{i}", bit)
+    return c
+
+
+def test_bench_optimize_multiplier(benchmark):
+    circuit = _build_multiplier(6)
+    optimized = benchmark(optimize, circuit)
+    assert optimized.gate_count() < circuit.gate_count()
+
+
+def test_bench_build_multiplier(benchmark):
+    circuit = benchmark(_build_multiplier, 8)
+    assert circuit.gate_count() > 100

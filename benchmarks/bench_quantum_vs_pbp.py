@@ -1,0 +1,76 @@
+"""QVP bench: destructive vs non-destructive measurement, quantified."""
+
+import numpy as np
+
+from repro.apps import factor_word_level
+from repro.pbp.measure import values_where
+from repro.quantum import QuantumSimulator, expected_runs_to_see_all
+
+from harness import experiment_qvp, experiment_qvp_endtoend, format_table
+
+
+def test_qvp_rows(benchmark, capsys):
+    rows = benchmark.pedantic(experiment_qvp, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n[QVP] destructive vs non-destructive measurement")
+        print(format_table(rows))
+    for row in rows:
+        # PBP reads everything once; quantum needs several runs and can
+        # never guarantee completeness (the expected count is the mean).
+        assert row["pbp_readouts"] == 1
+        assert row["quantum_expected_runs"] > 1
+        assert abs(row["quantum_measured_runs"] - row["quantum_expected_runs"]) < 1.5
+        # and the state-vector needs far more memory than one pbit's AoB
+        assert row["statevector_bytes"] > row["aob_bytes_per_pbit"]
+
+
+def test_qvp2_endtoend_rows(benchmark, capsys):
+    rows = benchmark.pedantic(
+        experiment_qvp_endtoend, kwargs={"trials": 15}, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n[QVP2] end-to-end factoring: quantum circuit vs Qat")
+        print(format_table(rows))
+    quantum, pbp = rows
+    # the quantum path needs many runs and more gates for the same predicate
+    assert quantum["runs_measured"] > 5
+    assert pbp["runs_measured"] == 1
+    assert quantum["gates"] > pbp["gates"]
+
+
+def test_bench_quantum_endtoend_single_run(benchmark):
+    """One complete quantum factoring run (prepare + compute + measure)."""
+    from repro.quantum import build_quantum_factor_circuit, run_factoring
+
+    fc = build_quantum_factor_circuit(6, 2, 2)
+    rng = np.random.default_rng(3)
+    b, c, flag = benchmark(run_factoring, fc, rng)
+    assert 0 <= b < 4 and 0 <= c < 4
+
+
+def test_bench_pbp_full_readout(benchmark):
+    """One non-destructive PBP readout of all factor pairs of 15."""
+    result = factor_word_level(15, 4, 4)
+
+    def readout():
+        return values_where(result.b, result.e)
+
+    assert benchmark(readout) == [1, 3, 5, 15]
+
+
+def test_bench_quantum_single_run(benchmark):
+    """One quantum run: prepare + measure = one sample, state destroyed."""
+    rng = np.random.default_rng(0)
+    counts = {1: 1, 3: 1, 5: 1, 15: 1}
+
+    def run_once():
+        sim = QuantumSimulator(4, rng)
+        sim.prepare_distribution(counts)
+        return sim.measure_all()
+
+    assert benchmark(run_once) in counts
+
+
+def test_bench_expected_runs_formula(benchmark):
+    value = benchmark(expected_runs_to_see_all, [0.25] * 4)
+    assert round(value, 2) == 8.33

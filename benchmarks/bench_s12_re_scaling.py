@@ -1,0 +1,64 @@
+"""S12 bench: RE (run-length) compression scaling past 16-way
+entanglement -- the section 1.2 exponential-factor claim."""
+
+import pytest
+
+from repro.aob import AoB
+from repro.pattern import ChunkStore, PatternVector
+
+from harness import experiment_s12, format_table
+
+
+def test_s12_rows(benchmark, capsys):
+    rows = benchmark.pedantic(experiment_s12, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n[S12] RE compression scaling (section 1.2)")
+        print(format_table(rows))
+    regular = [r for r in rows if str(r["value"]).startswith("H(")]
+    irregular = [r for r in rows if not str(r["value"]).startswith("H(")]
+    # compression grows exponentially with ways while run count stays flat
+    ratios = [r["compression"] for r in regular]
+    assert ratios[-1] / max(ratios[0], 1) >= 64
+    assert all(r["runs"] <= 2 for r in regular)
+    # op time does NOT grow with the dense size (symbolic evaluation)
+    assert regular[-1]["xor_us"] < 100 * max(regular[0]["xor_us"], 1)
+    # the honesty row: random data does not compress
+    assert irregular and irregular[0]["compression"] == 1.0
+
+
+@pytest.fixture(scope="module")
+def big_store():
+    return ChunkStore(16)
+
+
+def test_bench_pattern_xor_24way(benchmark, big_store):
+    """XOR of two 16M-bit values in compressed form."""
+    h = PatternVector.hadamard(24, 23, big_store)
+    g = PatternVector.hadamard(24, 0, big_store)
+    result = benchmark(lambda: h ^ g)
+    assert result.popcount() == 1 << 23
+
+
+def test_bench_dense_xor_24way_equivalent(benchmark):
+    """The dense computation the compression avoids (one 2^24-bit XOR)."""
+    import numpy as np
+
+    a = AoB.hadamard(24, 23)
+    b = AoB.hadamard(24, 0)
+    result = benchmark(lambda: a ^ b)
+    assert result.popcount() == 1 << 23
+
+
+def test_bench_pattern_next_24way(benchmark, big_store):
+    h = PatternVector.hadamard(24, 23, big_store)
+    assert benchmark(h.next, 5) == 1 << 23
+
+
+def test_bench_pattern_measure_distribution_20way(benchmark, big_store):
+    """Joint chunk-merge measurement of a 4-pbit word at 2^20 channels."""
+    from repro.pbp import PbpContext
+
+    ctx = PbpContext(ways=20, backend="pattern", chunk_ways=16)
+    p = ctx.pint_h(4, 0xF << 16)
+    counts = benchmark(p.counts)
+    assert sum(counts.values()) == 1 << 20

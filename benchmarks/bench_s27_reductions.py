@@ -1,0 +1,65 @@
+"""S27 bench: ANY/ALL/POP via next vs meas enumeration (section 2.7)."""
+
+import numpy as np
+import pytest
+
+from repro.aob import AoB
+
+from harness import experiment_s27, format_table
+
+
+def test_s27_rows(benchmark, capsys):
+    rows = benchmark.pedantic(experiment_s27, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n[S27] reductions: next-based vs meas enumeration")
+        print(format_table(rows))
+    # the gap grows with entanglement: O(1)-ish vs O(2^E)
+    speedups = [r["speedup"] for r in rows]
+    assert speedups == sorted(speedups)
+    assert speedups[-1] > 10
+
+
+@pytest.fixture(scope="module")
+def sparse_16way(rng=np.random.default_rng(11)):
+    return AoB.random(16, rng, p=0.0005)
+
+
+def test_bench_any_via_next(benchmark, sparse_16way):
+    a = sparse_16way
+
+    def any_fast():
+        return a.next(0) != 0 or bool(a.meas(0))
+
+    assert benchmark(any_fast) == a.any()
+
+
+def test_bench_any_via_meas_enumeration(benchmark, sparse_16way):
+    a = sparse_16way
+
+    def any_slow():
+        for e in range(a.nbits):
+            if a.meas(e):
+                return True
+        return False
+
+    benchmark.pedantic(any_slow, rounds=3, iterations=1)
+
+
+def test_bench_all_via_double_negation(benchmark, sparse_16way):
+    """ALL of @a == NOT(ANY(NOT @a)) -- the section 2.7 recipe."""
+    a = sparse_16way
+
+    def all_fast():
+        inv = ~a
+        return not (inv.next(0) != 0 or bool(inv.meas(0)))
+
+    assert benchmark(all_fast) == a.all()
+
+
+def test_bench_pop_split(benchmark, sparse_16way):
+    a = sparse_16way
+
+    def pop():
+        return a.pop_after(0) + a.meas(0)
+
+    assert benchmark(pop) == a.popcount()

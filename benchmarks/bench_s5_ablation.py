@@ -1,0 +1,54 @@
+"""S5A/S5B bench: the section-5 ISA simplification ablations."""
+
+from repro.apps import compile_factor_program, run_factor_program
+from repro.gates import EmitOptions
+
+from harness import experiment_s5, experiment_s5_regfile, format_table
+
+
+def test_s5a_rows(benchmark, capsys):
+    rows = benchmark.pedantic(experiment_s5, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n[S5A] ISA ablation on the factoring circuit (section 5)")
+        print(format_table(rows))
+    by_variant = {r["variant"]: r for r in rows}
+    greedy = by_variant["paper greedy (Fig 10 style)"]
+    recycle = by_variant["recycling allocator"]
+    reserved = by_variant["+ reserved constants"]
+    reversible = by_variant["reversible only"]
+    # the paper's Figure 10 regime: ~80 registers greedy, far fewer recycled
+    assert greedy["registers"] > 3 * recycle["registers"]
+    # reserved constants save the initializer instructions
+    assert reserved["qat_instructions"] < recycle["qat_instructions"]
+    # forcing quantum-style reversibility more than doubles the program
+    assert reversible["qat_instructions"] > 2 * recycle["qat_instructions"]
+
+
+def test_s5b_rows(benchmark, capsys):
+    rows = benchmark.pedantic(experiment_s5_regfile, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n[S5B] Qat register-file port cost (sections 2.5/5)")
+        print(format_table(rows))
+    assert rows[2]["overhead_vs_2R1W"] > rows[1]["overhead_vs_2R1W"] > 1.0
+
+
+def _compile_and_run(options):
+    def go():
+        compiled = compile_factor_program(15, 4, 4, options)
+        _, regs = run_factor_program(compiled.program, ways=8)
+        assert regs == (5, 3)
+        return compiled.qat_instructions
+
+    return go
+
+
+def test_bench_compile_greedy(benchmark):
+    benchmark(_compile_and_run(EmitOptions(allocator="greedy")))
+
+
+def test_bench_compile_recycle(benchmark):
+    benchmark(_compile_and_run(EmitOptions(allocator="recycle")))
+
+
+def test_bench_compile_reversible(benchmark):
+    benchmark(_compile_and_run(EmitOptions(gate_set="reversible", allocator="recycle")))

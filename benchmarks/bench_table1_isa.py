@@ -1,0 +1,55 @@
+"""TAB1 bench: base-ISA kernel execution across the simulators."""
+
+import pytest
+
+from repro.asm import assemble
+from repro.cpu import FunctionalSimulator, MultiCycleSimulator, PipelinedSimulator
+
+from harness import _TAB1_KERNELS, experiment_table1, format_table
+
+
+def test_table1_rows(benchmark, capsys):
+    rows = benchmark.pedantic(experiment_table1, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n[TAB1] base ISA kernels (Table 1)")
+        print(format_table(rows))
+    by_kernel = {r["kernel"]: r for r in rows}
+    # multi-cycle charges more cycles than the pipeline on every kernel
+    for row in rows:
+        assert row["multicycle_cycles"] > row["pipeline_cycles"]
+    # memory kernels cost extra multi-cycle states
+    assert (
+        by_kernel["memory (load/store)"]["multicycle_cycles"]
+        / by_kernel["memory (load/store)"]["instructions"]
+        > by_kernel["alu (add)"]["multicycle_cycles"]
+        / by_kernel["alu (add)"]["instructions"]
+    )
+
+
+@pytest.fixture(scope="module", params=sorted(_TAB1_KERNELS))
+def kernel_program(request):
+    return request.param, assemble(_TAB1_KERNELS[request.param] + "\nlex $rv, 0\nsys\n")
+
+
+def test_bench_functional(benchmark, kernel_program):
+    _, program = kernel_program
+
+    def run():
+        sim = FunctionalSimulator(ways=8)
+        sim.load(program)
+        sim.run()
+        return sim.machine.instret
+
+    assert benchmark(run) > 0
+
+
+def test_bench_pipelined(benchmark, kernel_program):
+    _, program = kernel_program
+
+    def run():
+        sim = PipelinedSimulator(ways=8)
+        sim.load(program)
+        sim.run()
+        return sim.stats.cycles
+
+    assert benchmark(run) > 0

@@ -1,0 +1,27 @@
+"""TAB2 bench: pseudo-instruction expansion table and assembly speed."""
+
+from repro.asm import assemble
+
+from harness import experiment_table2, format_table
+
+_MACRO_HEAVY = "\n".join(
+    f"l{i}:\tloadi $0, {i * 37 & 0xFFFF}\n\tjumpf $0, l{i}" for i in range(100)
+) + "\nlex $rv, 0\nsys\n"
+
+
+def test_table2_rows(benchmark, capsys):
+    rows = benchmark.pedantic(experiment_table2, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n[TAB2] pseudo-instruction expansions (Table 2)")
+        print(format_table(rows))
+    by_macro = {r["macro"]: r for r in rows}
+    assert by_macro["br lab"]["instructions"] == 2
+    assert by_macro["jump lab"]["instructions"] == 3
+    assert by_macro["jumpf $c,lab"]["instructions"] == 4
+    assert by_macro["loadi $d,imm8"]["instructions"] == 1
+    assert by_macro["loadi $d,imm16"]["instructions"] == 2
+
+
+def test_bench_assemble_macro_heavy(benchmark):
+    program = benchmark(assemble, _MACRO_HEAVY)
+    assert len(program.words) > 400

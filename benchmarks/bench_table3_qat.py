@@ -1,0 +1,65 @@
+"""TAB3 bench: Qat coprocessor operations at full 16-way scale."""
+
+import numpy as np
+import pytest
+
+from repro.aob import AoB, kernels
+from repro.utils.bits import words_for_bits
+
+from harness import experiment_table3, format_table
+
+WAYS = 16
+NBITS = 1 << WAYS
+
+
+def test_table3_rows(benchmark, capsys):
+    rows = benchmark.pedantic(experiment_table3, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n[TAB3] Qat ALU ops on 65,536-bit AoB values (Table 3)")
+        print(format_table(rows))
+    by_op = {r["op"]: r for r in rows}
+    # measurement ops are not slower than whole-vector gates by orders
+    # of magnitude -- meas is effectively O(1)
+    assert by_op["meas"]["microseconds"] < by_op["ccnot"]["microseconds"] * 50
+
+
+@pytest.fixture(scope="module")
+def regfile():
+    """The CPU's view: rows of a (256, words) uint64 matrix."""
+    rng = np.random.default_rng(3)
+    nwords = words_for_bits(NBITS)
+    qregs = rng.integers(0, 1 << 63, (256, nwords)).astype(np.uint64)
+    return qregs
+
+
+def test_bench_kernel_and(benchmark, regfile):
+    benchmark(kernels.k_and, regfile[0], regfile[1], regfile[2])
+
+
+def test_bench_kernel_ccnot(benchmark, regfile):
+    benchmark(kernels.k_ccnot, regfile[3], regfile[4], regfile[5])
+
+
+def test_bench_kernel_cswap(benchmark, regfile):
+    benchmark(kernels.k_cswap, regfile[6], regfile[7], regfile[8])
+
+
+def test_bench_kernel_had(benchmark, regfile):
+    benchmark(kernels.k_had, regfile[9], 7, WAYS)
+
+
+def test_bench_kernel_meas(benchmark, regfile):
+    benchmark(kernels.k_meas, regfile[10], 54321, NBITS)
+
+
+def test_bench_kernel_next_sparse(benchmark):
+    """next over a nearly-empty vector: the worst-case word scan."""
+    bits = np.zeros(NBITS, dtype=np.uint8)
+    bits[NBITS - 2] = 1
+    words = AoB.from_bits(bits).words
+    result = benchmark(kernels.k_next, words, 0, NBITS)
+    assert result == NBITS - 2
+
+
+def test_bench_kernel_pop_after(benchmark, regfile):
+    benchmark(kernels.k_pop_after, regfile[11], 100, NBITS)

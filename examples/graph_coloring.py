@@ -1,0 +1,51 @@
+"""Graph coloring in superposition: every proper coloring at once.
+
+Colors the Petersen graph (and friends) by superposing all color
+assignments over entanglement channels, evaluating every edge constraint
+with gate operations, and reading the proper colorings out of one
+non-destructive measurement.  The 10-vertex, 2-bit-per-vertex encoding
+needs 20-way entanglement -- past the Qat hardware's 16-way limit -- so
+this also exercises the RE-compressed pattern substrate transparently.
+
+Usage::
+
+    python examples/graph_coloring.py
+"""
+
+import networkx as nx
+
+from repro.apps.coloring import chromatic_number, color_graph
+
+
+def show(name: str, graph: nx.Graph, colors: int) -> None:
+    solutions = color_graph(graph.edges(), colors, nodes=graph.nodes(), max_solutions=4)
+    total = color_graph(graph.edges(), colors, nodes=graph.nodes())
+    print(f"{name}: {len(total)} proper {colors}-colorings; first few:")
+    for coloring in solutions:
+        rendered = " ".join(f"{v}:{c}" for v, c in sorted(coloring.items(), key=lambda kv: repr(kv[0])))
+        print(f"  {rendered}")
+
+
+def main() -> None:
+    print("== Small graphs ==")
+    show("triangle K3", nx.complete_graph(3), 3)
+    show("5-cycle C5", nx.cycle_graph(5), 3)
+
+    print("\n== Petersen graph (10 vertices, 20-way entanglement) ==")
+    petersen = nx.petersen_graph()
+    k = chromatic_number(petersen.edges(), nodes=petersen.nodes())
+    print(f"chromatic number found by increasing-k sweeps: {k}")
+    some = color_graph(petersen.edges(), k, nodes=petersen.nodes(), max_solutions=2)
+    for coloring in some:
+        assert all(coloring[u] != coloring[v] for u, v in petersen.edges())
+    print(f"example coloring: {some[0]}")
+    print("(every edge constraint checked classically: OK)")
+
+    print("\nAll of these were single evaluation passes: the substrate")
+    print("holds every assignment simultaneously, and measurement is")
+    print("non-destructive, so enumerating solutions costs one walk of")
+    print("the validity pbit's 1-channels.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""Reproduction of Tangled/Qat (Dietz, ICPP Workshops 2021).
+
+A conventional 16-bit host processor (*Tangled*) tightly integrating a
+quantum-inspired coprocessor (*Qat*) that implements the parallel bit
+pattern (PBP) model: superposition and entanglement realized as operations
+on Array-of-Bits (AoB) vectors and run-length-compressed pattern vectors,
+executed on conventional bit-level SIMD hardware.
+
+Public entry points
+-------------------
+- :mod:`repro.aob` -- the AoB bit-vector substrate (65,536-bit values for
+  16-way entanglement, plus any other width).
+- :mod:`repro.pattern` -- regular-expression (run-length) compressed
+  pattern vectors that scale past the hardware entanglement limit.
+- :mod:`repro.pbp` -- the word-level ``pint`` (pattern integer) API used by
+  the paper's Figure 9 factoring example.
+- :mod:`repro.gates` -- gate-level circuit IR, optimizer and the emitter
+  that produces Tangled/Qat assembly like the paper's Figure 10.
+- :mod:`repro.isa` / :mod:`repro.asm` -- the Table 1/2/3 instruction sets,
+  16-bit encodings, assembler and disassembler.
+- :mod:`repro.cpu` -- functional, multi-cycle and pipelined simulators.
+- :mod:`repro.hw` -- structural netlist cost models for the ``had`` and
+  ``next`` hardware (paper Figures 7 and 8).
+- :mod:`repro.quantum` -- the state-vector quantum baseline used for the
+  destructive-measurement comparison.
+- :mod:`repro.apps` -- the paper's applications (prime factoring and more).
+"""
+
+from repro._version import __version__
+from repro.aob import AoB
+from repro.pattern import PatternVector
+from repro.pbp import PbpContext, Pint, TraceContext
+
+__all__ = [
+    "__version__",
+    "AoB",
+    "PatternVector",
+    "PbpContext",
+    "Pint",
+    "TraceContext",
+]

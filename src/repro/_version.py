@@ -1,0 +1,3 @@
+"""Version of the Tangled/Qat reproduction package."""
+
+__version__ = "1.0.0"

@@ -1,0 +1,28 @@
+"""Array-of-Bits (AoB) substrate: the paper's section 1.1 representation.
+
+An ``E``-way entangled pbit value is an array of :math:`2^E` bits; the
+position of a bit within the array is its *entanglement channel*.  Qat, the
+paper's coprocessor, operates on 65,536-bit AoB values (16-way
+entanglement) held in 256 coprocessor registers.
+
+This package provides:
+
+- :class:`AoB` -- an immutable-by-convention packed bit-vector value type
+  with every Table-3 coprocessor operation as a method,
+- :mod:`repro.aob.kernels` -- raw vectorized kernels on uint64 word arrays
+  (used both by :class:`AoB` and by the CPU simulators' SIMD register
+  file), and
+- :mod:`repro.aob.hadamard` -- the ``H(k)`` standard entangled
+  superposition generators of section 2.3 / Figure 7.
+"""
+
+from repro.aob.bitvector import AoB, QAT_WAYS, STUDENT_WAYS
+from repro.aob.hadamard import hadamard_bit, hadamard_words
+
+__all__ = [
+    "AoB",
+    "QAT_WAYS",
+    "STUDENT_WAYS",
+    "hadamard_bit",
+    "hadamard_words",
+]

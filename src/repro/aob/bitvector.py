@@ -1,0 +1,308 @@
+"""The :class:`AoB` value type: an E-way entangled pbit as an array of bits.
+
+Paper section 1.1: "an *E*-way entangled pbit value is represented as an
+array of :math:`2^E` bits (AoB) ... each position within an AoB vector is
+an *entanglement channel*".
+
+:class:`AoB` is immutable by convention -- every operation returns a new
+value -- which makes instances safe to share, hash and intern (the pattern
+substrate relies on this).  The mutable, in-place path used by the CPU
+simulators lives in :mod:`repro.aob.kernels`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.aob import kernels
+from repro.aob.hadamard import hadamard_words
+from repro.errors import EntanglementError, MeasurementError
+from repro.utils.bits import WORD_BITS, top_mask, words_for_bits
+
+#: Entanglement supported by the full (author) Qat hardware: 65,536-bit AoB.
+QAT_WAYS = 16
+
+#: Entanglement the student implementations were permitted to restrict to.
+STUDENT_WAYS = 8
+
+#: Widest AoB this software implementation will build densely (beyond this,
+#: use :class:`repro.pattern.PatternVector`).
+MAX_DENSE_WAYS = 26
+
+
+def _check_ways(ways: int) -> None:
+    if not 0 <= ways <= MAX_DENSE_WAYS:
+        raise EntanglementError(
+            f"ways must be in [0, {MAX_DENSE_WAYS}], got {ways}; use "
+            "repro.pattern.PatternVector for higher entanglement"
+        )
+
+
+class AoB:
+    """A :math:`2^{ways}`-bit Array-of-Bits value (one pbit's superposition).
+
+    Parameters
+    ----------
+    ways:
+        Degree of entanglement ``E``; the vector holds :math:`2^E` bits.
+    words:
+        Optional packed uint64 backing array (little-endian channel
+        layout).  Taken by reference and must not be mutated afterwards;
+        omit it for an all-zeros value.
+
+    Examples
+    --------
+    The paper's Figure 1 pair of two-way entangled pbits:
+
+    >>> lo = AoB.hadamard(2, 0)   # {0,1,0,1}
+    >>> hi = AoB.hadamard(2, 1)   # {0,0,1,1}
+    >>> [(lo.meas(e), hi.meas(e)) for e in range(4)]
+    [(0, 0), (1, 0), (0, 1), (1, 1)]
+    """
+
+    __slots__ = ("ways", "nbits", "_words")
+
+    def __init__(self, ways: int, words: np.ndarray | None = None):
+        _check_ways(ways)
+        self.ways = ways
+        self.nbits = 1 << ways
+        nwords = words_for_bits(self.nbits)
+        if words is None:
+            words = np.zeros(nwords, dtype=np.uint64)
+        else:
+            words = np.ascontiguousarray(words, dtype=np.uint64)
+            if words.shape != (nwords,):
+                raise EntanglementError(
+                    f"expected {nwords} words for {ways}-way AoB, got shape {words.shape}"
+                )
+            if self.nbits < WORD_BITS and (words[-1] & ~top_mask(self.nbits)):
+                raise EntanglementError("bits set above the AoB width")
+        self._words = words
+        self._words.flags.writeable = False
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def zeros(cls, ways: int) -> "AoB":
+        """Constant pbit 0 (every channel 0) -- Table 3 ``zero @a``."""
+        return cls(ways)
+
+    @classmethod
+    def ones(cls, ways: int) -> "AoB":
+        """Constant pbit 1 (every channel 1) -- Table 3 ``one @a``."""
+        _check_ways(ways)
+        out = np.empty(words_for_bits(1 << ways), dtype=np.uint64)
+        kernels.k_one(out, 1 << ways)
+        return cls(ways, out)
+
+    @classmethod
+    def constant(cls, ways: int, bit: int) -> "AoB":
+        """Constant pbit ``bit`` (0 or 1)."""
+        if bit not in (0, 1):
+            raise ValueError(f"bit must be 0 or 1, got {bit}")
+        return cls.ones(ways) if bit else cls.zeros(ways)
+
+    @classmethod
+    def hadamard(cls, ways: int, k: int) -> "AoB":
+        """Standard entangled superposition ``H(k)`` -- Table 3 ``had @a,k``."""
+        _check_ways(ways)
+        return cls(ways, hadamard_words(ways, k))
+
+    @classmethod
+    def from_bits(cls, bits: Iterable[int]) -> "AoB":
+        """Build from an explicit channel-ordered bit sequence.
+
+        The length must be a power of two (it determines ``ways``).
+        """
+        arr = np.asarray(list(bits), dtype=np.uint8)
+        n = arr.size
+        if n == 0 or n & (n - 1):
+            raise EntanglementError(f"bit count must be a power of two, got {n}")
+        if ((arr != 0) & (arr != 1)).any():
+            raise ValueError("bits must be 0 or 1")
+        ways = n.bit_length() - 1
+        packed = np.packbits(arr, bitorder="little")
+        nwords = words_for_bits(n)
+        buf = np.zeros(nwords * 8, dtype=np.uint8)
+        buf[: packed.size] = packed
+        return cls(ways, buf.view(np.uint64))
+
+    @classmethod
+    def from_int(cls, ways: int, value: int) -> "AoB":
+        """Build from an integer whose bit ``e`` is channel ``e``'s value."""
+        _check_ways(ways)
+        nbits = 1 << ways
+        if value < 0 or value >> nbits:
+            raise ValueError(f"value does not fit in {nbits} bits")
+        nwords = words_for_bits(nbits)
+        words = np.empty(nwords, dtype=np.uint64)
+        for i in range(nwords):
+            words[i] = (value >> (i * WORD_BITS)) & 0xFFFF_FFFF_FFFF_FFFF
+        return cls(ways, words)
+
+    @classmethod
+    def random(cls, ways: int, rng: np.random.Generator, p: float = 0.5) -> "AoB":
+        """Random AoB with independent channel probability ``p`` of 1."""
+        _check_ways(ways)
+        bits = (rng.random(1 << ways) < p).astype(np.uint8)
+        return cls.from_bits(bits)
+
+    # -- raw access ---------------------------------------------------------
+
+    @property
+    def words(self) -> np.ndarray:
+        """Read-only packed uint64 backing array."""
+        return self._words
+
+    def to_bool_array(self) -> np.ndarray:
+        """Expand to a dense bool array of length :math:`2^{ways}`."""
+        bits = np.unpackbits(self._words.view(np.uint8), bitorder="little")
+        return bits[: self.nbits].astype(bool)
+
+    def to_int(self) -> int:
+        """The whole AoB as one integer (channel ``e`` = bit ``e``)."""
+        value = 0
+        for i, w in enumerate(self._words):
+            value |= int(w) << (i * WORD_BITS)
+        return value
+
+    # -- Table 3 gate operations (pure; return new values) -------------------
+
+    def _binary(self, other: "AoB", kernel) -> "AoB":
+        if not isinstance(other, AoB):
+            return NotImplemented
+        if other.ways != self.ways:
+            raise EntanglementError(
+                f"mismatched entanglement: {self.ways}-way vs {other.ways}-way"
+            )
+        out = np.empty_like(self._words)
+        kernel(self._words, other._words, out)
+        return AoB(self.ways, out)
+
+    def __and__(self, other: "AoB") -> "AoB":
+        return self._binary(other, kernels.k_and)
+
+    def __or__(self, other: "AoB") -> "AoB":
+        return self._binary(other, kernels.k_or)
+
+    def __xor__(self, other: "AoB") -> "AoB":
+        return self._binary(other, kernels.k_xor)
+
+    def __invert__(self) -> "AoB":
+        out = np.empty_like(self._words)
+        kernels.k_not(self._words, out, self.nbits)
+        return AoB(self.ways, out)
+
+    def cnot(self, ctrl: "AoB") -> "AoB":
+        """Controlled NOT: new value of ``self`` with ``self ^= ctrl``."""
+        return self ^ ctrl
+
+    def ccnot(self, b: "AoB", c: "AoB") -> "AoB":
+        """Toffoli: new value of ``self`` with ``self ^= AND(b, c)``."""
+        return self ^ (b & c)
+
+    def cswap(self, other: "AoB", ctrl: "AoB") -> tuple["AoB", "AoB"]:
+        """Fredkin gate: returns the pair ``(self', other')`` swapped where ``ctrl``."""
+        if other.ways != self.ways or ctrl.ways != self.ways:
+            raise EntanglementError("cswap operands must share entanglement ways")
+        a = self._words.copy()
+        b = other._words.copy()
+        kernels.k_cswap(a, b, ctrl._words)
+        return AoB(self.ways, a), AoB(self.ways, b)
+
+    # -- measurement (section 2.7; all non-destructive) -----------------------
+
+    def meas(self, channel: int) -> int:
+        """Bit at entanglement ``channel`` -- Table 3 ``meas $d,@a``."""
+        if channel < 0:
+            raise MeasurementError(f"channel must be non-negative, got {channel}")
+        return kernels.k_meas(self._words, channel, self.nbits)
+
+    def next(self, channel: int) -> int:
+        """Lowest channel ``> channel`` holding 1, else 0 -- ``next $d,@a``."""
+        if channel < 0:
+            raise MeasurementError(f"channel must be non-negative, got {channel}")
+        return kernels.k_next(self._words, channel, self.nbits)
+
+    def pop_after(self, channel: int) -> int:
+        """Count of 1s in channels ``> channel`` (the ``pop`` extension)."""
+        if channel < 0:
+            raise MeasurementError(f"channel must be non-negative, got {channel}")
+        return kernels.k_pop_after(self._words, channel, self.nbits)
+
+    def popcount(self) -> int:
+        """Number of 1 channels: probability of 1 in parts per :math:`2^E`."""
+        return kernels.k_popcount(self._words)
+
+    def any(self) -> bool:
+        """ANY reduction: non-zero probability of being 1."""
+        return kernels.k_any(self._words)
+
+    def all(self) -> bool:
+        """ALL reduction: zero probability of being 0."""
+        return kernels.k_all(self._words, self.nbits)
+
+    def probability(self) -> float:
+        """Probability this pbit measures 1 (popcount / :math:`2^E`)."""
+        return self.popcount() / self.nbits
+
+    def ones_channels(self) -> np.ndarray:
+        """Sorted array of every channel holding a 1 (full LCPC'20 readout)."""
+        return np.flatnonzero(self.to_bool_array())
+
+    def iter_ones(self) -> Iterator[int]:
+        """Iterate 1-channels using only ``meas``/``next``, as Tangled would.
+
+        This is exactly the read-out loop of the paper's section 2.7: test
+        channel 0 with ``meas``, then repeatedly ``next``.
+        """
+        if self.meas(0):
+            yield 0
+        chan = 0
+        while True:
+            chan = self.next(chan)
+            if chan == 0:
+                return
+            yield chan
+
+    # -- value protocol -------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AoB):
+            return NotImplemented
+        return self.ways == other.ways and bool(
+            np.array_equal(self._words, other._words)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.ways, self._words.tobytes()))
+
+    def __len__(self) -> int:
+        return self.nbits
+
+    def __getitem__(self, channel: int) -> int:
+        return self.meas(channel)
+
+    def __repr__(self) -> str:
+        return f"AoB(ways={self.ways}, {self.to_rle_string()})"
+
+    def to_rle_string(self, max_runs: int = 8) -> str:
+        """Run-length string in the paper's section 1.2 RE notation.
+
+        ``{0,0,1,1}`` renders as ``0^2 1^2``; long values are abbreviated.
+        """
+        bits = self.to_bool_array()
+        runs: list[tuple[int, int]] = []
+        i = 0
+        while i < bits.size and len(runs) <= max_runs:
+            j = i
+            while j < bits.size and bits[j] == bits[i]:
+                j += 1
+            runs.append((int(bits[i]), j - i))
+            i = j
+        parts = [f"{bit}^{count}" if count > 1 else str(bit) for bit, count in runs[:max_runs]]
+        if len(runs) > max_runs or i < bits.size:
+            parts.append("...")
+        return " ".join(parts)

@@ -1,0 +1,62 @@
+"""Hadamard-pattern generators: the ``had`` initializer of section 2.3.
+
+``had @a,k`` loads register ``@a`` with the *standard entangled
+superposition* ``H(k)``: entanglement channel ``e`` receives bit ``k`` of
+the binary value of ``e``, i.e. a repeating run of :math:`2^k` zeros
+followed by :math:`2^k` ones.  The paper's Figure 7 gives the parametric
+Verilog (``aob[i] = (i >> h)`` -- the low bit of the shift); this module is
+its vectorized software rendering.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.bits import WORD_BITS, hadamard_word, top_mask, words_for_bits
+
+
+def hadamard_bit(e: int, k: int) -> int:
+    """Bit value of channel ``e`` in the ``H(k)`` pattern (Figure 7 semantics)."""
+    if e < 0 or k < 0:
+        raise ValueError("channel and k must be non-negative")
+    return (e >> k) & 1
+
+
+def hadamard_words(ways: int, k: int) -> np.ndarray:
+    """Packed uint64 words of the ``H(k)`` pattern for a ``2**ways``-bit AoB.
+
+    For ``k < 6`` every word is the same 64-bit constant; for ``k >= 6``
+    whole words alternate between all-zeros and all-ones in runs of
+    :math:`2^{k-6}` words.  Both cases are O(number of words), matching the
+    paper's observation that ``had`` could be replaced by pre-computed
+    constant registers.
+
+    ``k`` may be any value ``0 <= k < 16`` (the Tangled immediate is 4
+    bits); channels whose index has bit ``k`` beyond the AoB width simply
+    produce an all-zeros pattern, mirroring the Figure 7 Verilog where
+    ``i >> h`` is zero for ``h`` past the top of ``i``.
+    """
+    if ways < 0:
+        raise ValueError(f"ways must be non-negative, got {ways}")
+    if k < 0:
+        raise ValueError(f"k must be non-negative, got {k}")
+    nbits = 1 << ways
+    nwords = words_for_bits(nbits)
+    if k >= ways:
+        # Every channel index e < 2**ways has bit k clear.
+        return np.zeros(nwords, dtype=np.uint64)
+    if nbits < WORD_BITS:
+        # Single partial word: build it directly.
+        value = 0
+        for e in range(nbits):
+            if (e >> k) & 1:
+                value |= 1 << e
+        return np.array([value], dtype=np.uint64)
+    if k < 6:
+        out = np.empty(nwords, dtype=np.uint64)
+        out.fill(hadamard_word(k))
+    else:
+        word_bit = np.arange(nwords, dtype=np.uint64) >> np.uint64(k - 6)
+        out = np.where(word_bit & np.uint64(1), np.uint64(0xFFFF_FFFF_FFFF_FFFF), np.uint64(0))
+    out[-1] &= top_mask(nbits)
+    return out

@@ -1,0 +1,210 @@
+"""Vectorized kernels on packed uint64 word arrays.
+
+These are the bit-level SIMD "ALU functions" of the Qat coprocessor
+(paper Table 3), expressed as NumPy operations over the packed AoB word
+layout (channel ``c`` = bit ``c & 63`` of word ``c >> 6``).
+
+Two invariants hold for every kernel:
+
+1. the word array represents exactly ``nbits`` channels; bits at or above
+   ``nbits`` in the last word are zero on input, and
+2. every kernel preserves that invariant on output (``k_not`` and
+   ``k_one`` mask the top word explicitly).
+
+The CPU simulators keep the whole 256-register Qat register file as one
+``(256, nwords)`` uint64 matrix and call these kernels on its rows, which
+is the closest Python analogue of the paper's bit-serial massively
+parallel SIMD datapath.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aob.hadamard import hadamard_words
+from repro.utils.bits import WORD_BITS, ctz64, top_mask
+
+__all__ = [
+    "k_all",
+    "k_and",
+    "k_any",
+    "k_ccnot",
+    "k_cnot",
+    "k_cswap",
+    "k_had",
+    "k_meas",
+    "k_next",
+    "k_not",
+    "k_one",
+    "k_or",
+    "k_pop_after",
+    "k_popcount",
+    "k_swap",
+    "k_xor",
+    "k_zero",
+]
+
+
+# ---------------------------------------------------------------------------
+# Logic gates (irreversible: and / or / xor / not)
+# ---------------------------------------------------------------------------
+
+def k_and(a: np.ndarray, b: np.ndarray, out: np.ndarray) -> None:
+    """``out = AND(a, b)`` -- Table 3 ``and @a,@b,@c``."""
+    np.bitwise_and(a, b, out=out)
+
+
+def k_or(a: np.ndarray, b: np.ndarray, out: np.ndarray) -> None:
+    """``out = OR(a, b)`` -- Table 3 ``or @a,@b,@c``."""
+    np.bitwise_or(a, b, out=out)
+
+
+def k_xor(a: np.ndarray, b: np.ndarray, out: np.ndarray) -> None:
+    """``out = XOR(a, b)`` -- Table 3 ``xor @a,@b,@c``."""
+    np.bitwise_xor(a, b, out=out)
+
+
+def k_not(a: np.ndarray, out: np.ndarray, nbits: int) -> None:
+    """``out = NOT(a)`` (Pauli-X analogue) -- Table 3 ``not @a``."""
+    np.bitwise_not(a, out=out)
+    out[-1] &= top_mask(nbits)
+
+
+# ---------------------------------------------------------------------------
+# Reversible not-based gates (section 2.4)
+# ---------------------------------------------------------------------------
+
+def k_cnot(dest: np.ndarray, ctrl: np.ndarray) -> None:
+    """Controlled NOT: ``dest ^= ctrl`` (its own inverse)."""
+    np.bitwise_xor(dest, ctrl, out=dest)
+
+
+def k_ccnot(dest: np.ndarray, b: np.ndarray, c: np.ndarray) -> None:
+    """Toffoli gate: ``dest ^= AND(b, c)``."""
+    np.bitwise_xor(dest, b & c, out=dest)
+
+
+# ---------------------------------------------------------------------------
+# Reversible swap-based gates (section 2.5)
+# ---------------------------------------------------------------------------
+
+def k_swap(a: np.ndarray, b: np.ndarray) -> None:
+    """Exchange two AoB values in place."""
+    tmp = a.copy()
+    a[:] = b
+    b[:] = tmp
+
+
+def k_cswap(a: np.ndarray, b: np.ndarray, ctrl: np.ndarray) -> None:
+    """Fredkin gate: swap ``a``/``b`` only in channels where ``ctrl`` is 1.
+
+    The masked-XOR formulation (``diff = (a ^ b) & ctrl``) preserves the
+    "billiard-ball conservancy" the paper notes: the multiset of bits
+    crossing the gate is unchanged.
+    """
+    diff = (a ^ b) & ctrl
+    np.bitwise_xor(a, diff, out=a)
+    np.bitwise_xor(b, diff, out=b)
+
+
+# ---------------------------------------------------------------------------
+# Initializers (section 2.3)
+# ---------------------------------------------------------------------------
+
+def k_zero(out: np.ndarray) -> None:
+    """Constant pbit 0: every entanglement channel holds 0."""
+    out.fill(0)
+
+
+def k_one(out: np.ndarray, nbits: int) -> None:
+    """Constant pbit 1: every entanglement channel holds 1."""
+    out.fill(np.uint64(0xFFFF_FFFF_FFFF_FFFF))
+    out[-1] &= top_mask(nbits)
+
+
+def k_had(out: np.ndarray, k: int, ways: int) -> None:
+    """Standard entangled superposition ``H(k)`` (section 2.3, Figure 7)."""
+    out[:] = hadamard_words(ways, k)
+
+
+# ---------------------------------------------------------------------------
+# Measurement (section 2.7) -- all non-destructive
+# ---------------------------------------------------------------------------
+
+def k_meas(words: np.ndarray, d: int, nbits: int) -> int:
+    """Bit value at entanglement channel ``d`` (``meas $d,@a``).
+
+    Channel numbers are taken modulo the AoB length, matching a hardware
+    implementation that simply ignores address bits above the top
+    (a 16-bit ``$d`` exactly indexes a 16-way AoB).
+    """
+    d &= nbits - 1
+    return int((words[d >> 6] >> np.uint64(d & (WORD_BITS - 1))) & np.uint64(1))
+
+
+def k_next(words: np.ndarray, d: int, nbits: int) -> int:
+    """Lowest channel ``> d`` holding a 1, else 0 (``next $d,@a``).
+
+    Mirrors the two-step Figure 8 design: mask off channels ``<= d``, then
+    count trailing zeros.  Here the masking touches only the first
+    candidate word and the scan for a non-zero word is a vectorized
+    ``argmax`` over the remainder.
+    """
+    start = d + 1
+    if start >= nbits:
+        return 0
+    w0 = start >> 6
+    offset = start & (WORD_BITS - 1)
+    first = int(words[w0]) & (-1 << offset) & 0xFFFF_FFFF_FFFF_FFFF
+    if first:
+        return w0 * WORD_BITS + ctz64(first)
+    tail = words[w0 + 1 :]
+    if tail.size:
+        nz = tail != 0
+        if nz.any():
+            idx = int(np.argmax(nz))
+            return (w0 + 1 + idx) * WORD_BITS + ctz64(int(tail[idx]))
+    return 0
+
+
+def k_pop_after(words: np.ndarray, d: int, nbits: int) -> int:
+    """Count of 1 bits in channels ``> d`` (the paper's ``pop`` extension).
+
+    Section 2.7: the full population count of a 16-way AoB ranges 0..65,536
+    which overflows a 16-bit register, so the specified-but-unbuilt ``pop``
+    instruction counts only channels *after* ``d``; POP = ``pop`` after 0
+    plus ``meas`` of channel 0.
+    """
+    start = d + 1
+    if start >= nbits:
+        return 0
+    w0 = start >> 6
+    offset = start & (WORD_BITS - 1)
+    first = int(words[w0]) & (-1 << offset) & 0xFFFF_FFFF_FFFF_FFFF
+    count = first.bit_count()
+    tail = words[w0 + 1 :]
+    if tail.size:
+        count += int(np.bitwise_count(tail).sum())
+    return count
+
+
+def k_popcount(words: np.ndarray) -> int:
+    """Total number of 1 bits (the LCPC'20 POP reduction)."""
+    if words.size == 0:
+        return 0
+    return int(np.bitwise_count(words).sum())
+
+
+def k_any(words: np.ndarray) -> bool:
+    """ANY reduction: true iff some channel holds 1 (LCPC'20 semantics)."""
+    return bool(words.any())
+
+
+def k_all(words: np.ndarray, nbits: int) -> bool:
+    """ALL reduction: true iff every channel holds 1."""
+    full = np.uint64(0xFFFF_FFFF_FFFF_FFFF)
+    if words.size == 1:
+        return bool(words[0] == top_mask(nbits))
+    if not bool((words[:-1] == full).all()):
+        return False
+    return bool(words[-1] == top_mask(nbits))

@@ -1,0 +1,48 @@
+"""Applications: the paper's algorithms plus further PBP demonstrations.
+
+- :mod:`repro.apps.factor` -- the word-level prime-factoring algorithm of
+  Figure 9, generalized to any semiprime and both substrates, plus the
+  section 4.2 channel-decoding readout.
+- :mod:`repro.apps.fig10` -- the *literal* Figure 10 Tangled/Qat assembly
+  listing (transcribed from the paper) and a compiler pipeline that
+  regenerates equivalent programs from the word-level form.
+- :mod:`repro.apps.search` -- exhaustive SAT / inverse-function search in
+  superposition: every satisfying assignment from one non-destructive
+  readout.
+- :mod:`repro.apps.arithmetic` -- superposed arithmetic demonstrations.
+"""
+
+from repro.apps.factor import (
+    FactorResult,
+    factor_channels,
+    factor_pairs,
+    factor_word_level,
+    figure9_demo,
+)
+from repro.apps.fig10 import (
+    FIG10_SOURCE,
+    compile_factor_program,
+    fig10_program,
+    run_factor_program,
+)
+from repro.apps.search import solve_sat, invert_function
+from repro.apps.arithmetic import multiplication_distribution, superposed_sum
+from repro.apps.coloring import chromatic_number, color_graph
+
+__all__ = [
+    "FIG10_SOURCE",
+    "FactorResult",
+    "chromatic_number",
+    "color_graph",
+    "compile_factor_program",
+    "factor_channels",
+    "factor_pairs",
+    "factor_word_level",
+    "fig10_program",
+    "figure9_demo",
+    "invert_function",
+    "multiplication_distribution",
+    "run_factor_program",
+    "solve_sat",
+    "superposed_sum",
+]

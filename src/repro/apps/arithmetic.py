@@ -1,0 +1,49 @@
+"""Superposed-arithmetic demonstrations.
+
+Small self-contained computations exercising the ``pint`` layer the way
+the paper's Figure 9 does, used by the examples and benchmarks: whole
+multiplication tables and sums computed "at once" over entangled
+superpositions, read out non-destructively.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+from repro.pbp import PbpContext
+
+
+def multiplication_distribution(
+    bits_a: int,
+    bits_b: int,
+    backend: str = "auto",
+    chunk_ways: int | None = None,
+) -> dict[int, int]:
+    """Channel counts of ``a * b`` over all pairs of ``a`` and ``b``.
+
+    One gate-level multiply evaluates the entire
+    :math:`2^{bits_a} \\times 2^{bits_b}` times table; the returned counts
+    say how many (a, b) pairs produce each product.
+    """
+    ctx = PbpContext(ways=bits_a + bits_b, backend=backend, chunk_ways=chunk_ways)
+    a = ctx.pint_h(bits_a, (1 << bits_a) - 1)
+    b = ctx.pint_h(bits_b, ((1 << bits_b) - 1) << bits_a)
+    return dict((a * b).counts())
+
+
+def superposed_sum(
+    bits: int,
+    constant: int,
+    backend: str = "auto",
+    chunk_ways: int | None = None,
+) -> dict[int, int]:
+    """Channel counts of ``x + constant`` over all ``x`` (wrapping).
+
+    Every count is 1: addition of a constant permutes the superposed
+    values -- a quick uniformity check used by tests and examples.
+    """
+    ctx = PbpContext(ways=bits, backend=backend, chunk_ways=chunk_ways)
+    if constant < 0 or constant >> bits:
+        raise ReproError(f"constant {constant} does not fit in {bits} bits")
+    x = ctx.pint_h(bits, (1 << bits) - 1)
+    k = ctx.pint_mk(bits, constant)
+    return dict((x + k).counts())

@@ -1,0 +1,119 @@
+"""Combinatorial optimization in superposition.
+
+Two further members of the algorithm class the paper's introduction
+motivates — problems whose quantum formulations earn their keep through
+superposition over exponentially many candidates:
+
+- **subset-sum**: superpose all subsets of a weight list, compute each
+  subset's total with gate-level adders (one circuit evaluates all
+  :math:`2^n` sums at once), and read out every solution;
+- **max-cut**: superpose all 2-partitions of a graph, count cut edges
+  per channel, and extract the maximum and all argmax partitions.
+
+Unlike quantum approaches (Grover for subset-sum, QAOA for max-cut),
+non-destructive measurement returns *all* optima exactly, in one pass.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Sequence
+
+from repro.errors import ReproError
+from repro.pbp import PbpContext
+from repro.pbp.pint import Pint
+
+
+def _superposed_subset_sum(ctx: PbpContext, weights: Sequence[int]) -> Pint:
+    """Pint whose channel ``S`` holds ``sum(weights[i] for i in S)``.
+
+    Element ``i`` rides channel set ``H(i)``; each weight joins the total
+    as a constant word ANDed with its selector bit (a gate-level
+    multiply-by-0-or-1), accumulated with ripple adders.
+    """
+    total_bits = max(1, sum(w for w in weights if w > 0).bit_length())
+    total = ctx.pint_mk(total_bits, 0)
+    for i, weight in enumerate(weights):
+        if weight < 0:
+            raise ReproError("weights must be non-negative")
+        if weight == 0:
+            continue
+        selector = ctx.had(i)
+        word = ctx.pint_mk(weight.bit_length(), weight).resized(total_bits)
+        gated = Pint(
+            ctx,
+            tuple(ctx.alg.band(bit, selector) for bit in word.bits),
+            channels=1 << i,
+        )
+        total = total + gated
+    return total
+
+
+def subset_sum(
+    weights: Sequence[int],
+    target: int,
+    backend: str = "auto",
+    chunk_ways: int | None = None,
+) -> list[list[int]]:
+    """All index subsets of ``weights`` summing exactly to ``target``.
+
+    One evaluation covers all :math:`2^{len(weights)}` subsets; channel
+    ``S`` of the equality pbit encodes the subset (bit ``i`` set = element
+    ``i`` chosen).
+    """
+    if not weights:
+        raise ReproError("need at least one weight")
+    if target < 0:
+        raise ReproError("target must be non-negative")
+    ctx = PbpContext(ways=len(weights), backend=backend, chunk_ways=chunk_ways)
+    total = _superposed_subset_sum(ctx, weights)
+    if target >> total.width:
+        return []
+    hit = total.eq_const(target)
+    solutions = []
+    for channel in hit.bits[0].iter_ones():
+        solutions.append([i for i in range(len(weights)) if (channel >> i) & 1])
+    return solutions
+
+
+def max_cut(
+    edges: Iterable[tuple[Hashable, Hashable]],
+    nodes: Iterable[Hashable] | None = None,
+    backend: str = "auto",
+    chunk_ways: int | None = None,
+) -> tuple[int, list[set[Hashable]]]:
+    """Exact maximum cut: ``(cut_size, [best partitions])``.
+
+    Vertex ``i`` rides channel set ``H(i)`` (its side of the partition);
+    an edge is cut where its endpoints' bits differ, and the per-channel
+    cut sizes accumulate through adders.  The best value is found from
+    the non-destructive distribution, and every argmax partition is
+    enumerated (each cut appears twice, once per side labeling; the
+    returned sets name vertices on side 1).
+    """
+    edge_list = [tuple(e) for e in edges]
+    vertex_set = set()
+    for u, v in edge_list:
+        if u == v:
+            raise ReproError(f"self-loop at {u!r}")
+        vertex_set.update((u, v))
+    if nodes is not None:
+        vertex_set.update(nodes)
+    vertices = sorted(vertex_set, key=repr)
+    if not vertices:
+        return 0, [set()]
+    index = {v: i for i, v in enumerate(vertices)}
+    ctx = PbpContext(ways=len(vertices), backend=backend, chunk_ways=chunk_ways)
+    count_bits = max(1, len(edge_list).bit_length())
+    total = ctx.pint_mk(count_bits, 0)
+    one = ctx.pint_mk(1, 1)
+    for u, v in edge_list:
+        differ = ctx.alg.bxor(ctx.had(index[u]), ctx.had(index[v]))
+        contribution = Pint(ctx, (differ,)).resized(count_bits)
+        total = total + contribution
+    counts = total.counts()
+    best = max(counts)
+    argmax = total.eq_const(best)
+    partitions = []
+    for channel in argmax.bits[0].iter_ones():
+        partitions.append({v for v in vertices if (channel >> index[v]) & 1})
+    return best, partitions

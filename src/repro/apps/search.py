@@ -1,0 +1,109 @@
+"""Exhaustive search in superposition (quantum-inspired, non-quantum).
+
+A Grover-style search on Qat needs no amplitude amplification: superpose
+every assignment with Hadamard initializers, evaluate the predicate with
+ordinary gates, and read *all* satisfying assignments from the result
+pbit's 1-channels -- in one pass, non-destructively.  This is the class
+of algorithm the paper's introduction argues PBP serves.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.errors import ReproError
+from repro.pbp import PbpContext
+
+
+def solve_sat(
+    clauses: Sequence[Sequence[int]],
+    num_vars: int,
+    backend: str = "auto",
+    chunk_ways: int | None = None,
+) -> list[int]:
+    """All satisfying assignments of a CNF formula, in one PBP pass.
+
+    ``clauses`` use DIMACS conventions: each clause is a list of non-zero
+    ints, positive for the variable, negative for its negation; variables
+    are numbered from 1.  Returns assignments as integers (bit ``i`` =
+    value of variable ``i+1``), sorted.
+    """
+    if num_vars <= 0:
+        raise ReproError("num_vars must be positive")
+    ctx = PbpContext(ways=num_vars, backend=backend, chunk_ways=chunk_ways)
+    alg = ctx.alg
+    # Superpose every assignment: variable i rides channel set H(i).
+    variables = [ctx.had(i) for i in range(num_vars)]
+    result = alg.const(1)
+    for clause in clauses:
+        if not clause:
+            raise ReproError("empty clause is unsatisfiable")
+        acc = alg.const(0)
+        for literal in clause:
+            var = abs(literal) - 1
+            if not 0 <= var < num_vars:
+                raise ReproError(f"literal {literal} out of range")
+            term = variables[var] if literal > 0 else alg.bnot(variables[var])
+            acc = alg.bor(acc, term)
+        result = alg.band(result, acc)
+    return sorted(result.iter_ones())
+
+
+def compile_sat(
+    clauses: Sequence[Sequence[int]],
+    num_vars: int,
+    options=None,
+):
+    """Compile a CNF formula into a runnable Tangled/Qat program.
+
+    Returns ``(program, result_reg)``: assembling the satisfiability pbit
+    into Qat register ``result_reg`` and halting.  Host code (or a
+    caller-provided epilogue) can then walk the register's 1-channels
+    with ``next`` to enumerate satisfying assignments on the simulated
+    hardware -- the full Figure 9 -> Figure 10 path for SAT instead of
+    factoring.
+    """
+    from repro.asm import assemble
+    from repro.pbp.trace import TraceContext
+
+    ctx = TraceContext(ways=num_vars)
+    alg = ctx.alg
+    variables = [ctx.had(i) for i in range(num_vars)]
+    result = alg.const(1)
+    for clause in clauses:
+        if not clause:
+            raise ReproError("empty clause is unsatisfiable")
+        acc = alg.const(0)
+        for literal in clause:
+            var = abs(literal) - 1
+            if not 0 <= var < num_vars:
+                raise ReproError(f"literal {literal} out of range")
+            term = variables[var] if literal > 0 else alg.bnot(variables[var])
+            acc = alg.bor(acc, term)
+        result = alg.band(result, acc)
+    from repro.pbp.pint import Pint
+
+    emission = ctx.compile({"sat": Pint(ctx, (result,))}, options)
+    source = "\n".join(emission.lines + ["lex\t$rv,0", "sys"])
+    return assemble(source), emission.output_regs["sat"]
+
+
+def invert_function(
+    fn: Callable[[object, list], object],
+    num_inputs: int,
+    target_channels_only: bool = True,
+    backend: str = "auto",
+    chunk_ways: int | None = None,
+) -> list[int]:
+    """All preimages ``x`` with ``fn(alg, bits_of_x) == 1``, in one pass.
+
+    ``fn`` receives the context's bit algebra and the superposed input
+    bits (LSB first) and must return a single pbit -- arbitrary PBP
+    circuits allowed.  Returns the satisfying inputs as sorted integers.
+    """
+    if num_inputs <= 0:
+        raise ReproError("num_inputs must be positive")
+    ctx = PbpContext(ways=num_inputs, backend=backend, chunk_ways=chunk_ways)
+    bits = [ctx.had(i) for i in range(num_inputs)]
+    result = fn(ctx.alg, bits)
+    return sorted(result.iter_ones())

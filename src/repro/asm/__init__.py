@@ -1,0 +1,32 @@
+"""Assembler and disassembler for Tangled/Qat.
+
+Plays the role AIK (the Assembler Interpreter from Kentucky) played for
+the paper's students: turns assembly source using the Table 1/3 mnemonics
+and the Table 2 pseudo-instructions into a 16-bit word memory image.
+
+Source syntax::
+
+    ; comment (also # and //)
+    label:  lex   $0, 42
+            next  $0, @80
+            brt   $1, label
+            .word 0x1234, 7      ; raw data
+            .origin 0x100        ; set location counter
+
+Qat and Tangled share several mnemonics (``and``, ``or``, ``xor``,
+``not``); the operand sigil (``$`` vs ``@``) disambiguates, exactly as in
+the paper's listings.
+"""
+
+from repro.asm.assembler import Program, assemble
+from repro.asm.disasm import disassemble, disassemble_one
+from repro.asm.macros import MACRO_NAMES, expand_macro
+
+__all__ = [
+    "MACRO_NAMES",
+    "Program",
+    "assemble",
+    "disassemble",
+    "disassemble_one",
+    "expand_macro",
+]

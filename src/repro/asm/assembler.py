@@ -1,0 +1,249 @@
+"""Two-pass assembler for Tangled/Qat source."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblerError
+from repro.isa.encoding import encode
+from repro.isa.instructions import ASM_NAMES, INSTRUCTIONS, Instr
+from repro.isa.registers import parse_gpr, parse_qreg
+from repro.asm.macros import HereRef, MACRO_NAMES, LabelRef, PendingInstr, expand_macro
+
+_COMMENT_MARKERS = (";", "#", "//")
+
+
+@dataclass
+class Program:
+    """An assembled memory image.
+
+    Attributes
+    ----------
+    words:
+        The 16-bit instruction/data words, index = address.
+    labels:
+        Symbol table (label -> word address).
+    source_map:
+        Word address of each emitted instruction -> source line number.
+    entry:
+        Start address (0 unless ``.origin`` moved the first code).
+    """
+
+    words: list[int] = field(default_factory=list)
+    labels: dict[str, int] = field(default_factory=dict)
+    source_map: dict[int, int] = field(default_factory=dict)
+    entry: int = 0
+
+    def __len__(self) -> int:
+        return len(self.words)
+
+
+def _strip_comment(line: str) -> str:
+    cut = len(line)
+    for marker in _COMMENT_MARKERS:
+        pos = line.find(marker)
+        if pos >= 0:
+            cut = min(cut, pos)
+    return line[:cut]
+
+
+def _parse_int(token: str, line: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(f"bad numeric literal {token!r}", line) from None
+
+
+def _is_identifier(token: str) -> bool:
+    return token.replace("_", "a").replace(".", "a").isalnum() and not token[0].isdigit()
+
+
+def _parse_operand(token: str, kind: str, line: int):
+    """Parse one operand token against its spec kind code."""
+    if kind in "dsca":
+        return parse_gpr(token) if token.startswith("$") else _bad_kind(token, "$-register", line)
+    if kind in "ABC":
+        return parse_qreg(token) if token.startswith("@") else _bad_kind(token, "@-register", line)
+    if kind == "o":  # branch target: label or numeric offset
+        if token.startswith("$") or token.startswith("@"):
+            _bad_kind(token, "label or offset", line)
+        if _is_identifier(token):
+            return LabelRef(token, "offset")
+        return _parse_int(token, line)
+    if kind in ("i", "k"):
+        if _is_identifier(token):
+            return LabelRef(token, "low")  # bare label in lex: low byte
+        return _parse_int(token, line)
+    raise AssemblerError(f"unknown operand kind {kind!r}", line)  # pragma: no cover
+
+
+def _bad_kind(token: str, expected: str, line: int):
+    raise AssemblerError(f"expected {expected}, got {token!r}", line)
+
+
+def _resolve_mnemonic(name: str, operand_tokens: list[str], line: int) -> str:
+    """Map an assembly-source name to the internal mnemonic, using the
+    first operand's sigil to split Tangled/Qat homonyms."""
+    candidates = ASM_NAMES.get(name)
+    if not candidates:
+        raise AssemblerError(f"unknown instruction {name!r}", line)
+    if len(candidates) == 1:
+        return candidates[0]
+    wants_qat = bool(operand_tokens) and operand_tokens[0].startswith("@")
+    for mnemonic in candidates:
+        if INSTRUCTIONS[mnemonic].is_qat == wants_qat:
+            return mnemonic
+    raise AssemblerError(f"cannot disambiguate {name!r}", line)  # pragma: no cover
+
+
+def _parse_macro_operand(token: str, line: int):
+    if token.startswith("$"):
+        return parse_gpr(token)
+    if token.startswith("@"):
+        raise AssemblerError("macros take $-registers, not @-registers", line)
+    if _is_identifier(token):
+        return LabelRef(token, "offset")
+    return _parse_int(token, line)
+
+
+def assemble(source: str, origin: int = 0) -> Program:
+    """Assemble Tangled/Qat source text into a :class:`Program`."""
+    # ---- pass 0: parse into items -----------------------------------------
+    items: list[tuple] = []  # ('instr', PendingInstr) | ('label', name, line)
+    #                        | ('word', [values], line) | ('origin', addr)
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        text = _strip_comment(raw).strip()
+        while text:
+            # Peel leading labels (several may stack on one line).
+            head = text.split(None, 1)[0]
+            if head.endswith(":"):
+                name = head[:-1]
+                if not _is_identifier(name):
+                    raise AssemblerError(f"bad label name {name!r}", line_no)
+                items.append(("label", name, line_no))
+                text = text[len(head):].strip()
+                continue
+            break
+        if not text:
+            continue
+        parts = text.split(None, 1)
+        op = parts[0].lower()
+        operand_text = parts[1] if len(parts) > 1 else ""
+        tokens = [t.strip() for t in operand_text.split(",")] if operand_text.strip() else []
+        if op == ".origin":
+            if len(tokens) != 1:
+                raise AssemblerError(".origin expects one address", line_no)
+            items.append(("origin", _parse_int(tokens[0], line_no), line_no))
+            continue
+        if op == ".word":
+            values = []
+            for t in tokens:
+                values.append(LabelRef(t, "abs") if _is_identifier(t) else _parse_int(t, line_no))
+            items.append(("word", values, line_no))
+            continue
+        if op == ".string":
+            # One 16-bit word per character plus a 0 terminator (the
+            # layout the sys print-string service walks).
+            text_arg = operand_text.strip()
+            if len(text_arg) < 2 or text_arg[0] != '"' or text_arg[-1] != '"':
+                raise AssemblerError('.string expects a "quoted" literal', line_no)
+            body = text_arg[1:-1].replace("\\n", "\n").replace("\\t", "\t")
+            values = [ord(ch) & 0xFFFF for ch in body] + [0]
+            items.append(("word", values, line_no))
+            continue
+        # `pop` is both the Qat population-count instruction (pop $d,@a)
+        # and the stack macro (pop $r); the @-operand disambiguates.
+        is_qat_pop = (
+            op == "pop" and len(tokens) == 2 and tokens[1].startswith("@")
+        )
+        if op in MACRO_NAMES and not is_qat_pop:
+            ops = tuple(_parse_macro_operand(t, line_no) for t in tokens)
+            for pending in expand_macro(op, ops, line_no):
+                items.append(("instr", pending))
+            continue
+        mnemonic = _resolve_mnemonic(op, tokens, line_no)
+        spec = INSTRUCTIONS[mnemonic]
+        if len(tokens) != len(spec.operands):
+            raise AssemblerError(
+                f"{op} expects {len(spec.operands)} operands, got {len(tokens)}",
+                line_no,
+            )
+        ops = tuple(
+            _parse_operand(t, kind, line_no)
+            for t, kind in zip(tokens, spec.operands)
+        )
+        items.append(("instr", PendingInstr(mnemonic, ops, line_no)))
+
+    # ---- pass 1: layout -----------------------------------------------------
+    labels: dict[str, int] = {}
+    address = origin
+    addresses: list[int] = []
+    for item in items:
+        if item[0] == "label":
+            _, name, line_no = item
+            if name in labels:
+                raise AssemblerError(f"duplicate label {name!r}", line_no)
+            labels[name] = address
+            addresses.append(address)
+        elif item[0] == "origin":
+            if item[1] < address:
+                raise AssemblerError(".origin cannot move backwards", item[2])
+            addresses.append(address)
+            address = item[1]
+        elif item[0] == "word":
+            addresses.append(address)
+            address += len(item[1])
+        else:
+            addresses.append(address)
+            address += INSTRUCTIONS[item[1].mnemonic].words
+
+    # ---- pass 2: resolve and encode ------------------------------------------
+    program = Program(entry=origin)
+    image: dict[int, int] = {}
+    source_map: dict[int, int] = {}
+
+    def resolve(ref, addr: int, width_words: int, line: int | None) -> int:
+        if isinstance(ref, HereRef):
+            target = addr + ref.delta
+            return target & 0xFF if ref.kind == "low" else (target >> 8) & 0xFF
+        if not isinstance(ref, LabelRef):
+            return ref
+        target = labels.get(ref.name)
+        if target is None:
+            raise AssemblerError(f"undefined label {ref.name!r}", line)
+        if ref.kind == "offset":
+            return target - (addr + width_words)
+        if ref.kind == "low":
+            return target & 0xFF
+        if ref.kind == "high":
+            return (target >> 8) & 0xFF
+        return target  # abs
+
+    for item, addr in zip(items, addresses):
+        if item[0] in ("label", "origin"):
+            continue
+        if item[0] == "word":
+            _, values, line_no = item
+            for i, value in enumerate(values):
+                resolved = resolve(value, addr + i, 0, line_no)
+                image[addr + i] = resolved & 0xFFFF
+            continue
+        pending = item[1]
+        spec = INSTRUCTIONS[pending.mnemonic]
+        ops = tuple(
+            resolve(op, addr, spec.words, pending.line) for op in pending.ops
+        )
+        try:
+            words = encode(Instr(pending.mnemonic, ops))
+        except Exception as exc:
+            raise AssemblerError(str(exc), pending.line) from exc
+        for i, word in enumerate(words):
+            image[addr + i] = word
+        if pending.line is not None:
+            source_map[addr] = pending.line
+
+    size = max(image) + 1 if image else origin
+    program.words = [image.get(i, 0) for i in range(size)]
+    program.labels = labels
+    program.source_map = source_map
+    return program

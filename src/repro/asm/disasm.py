@@ -1,0 +1,56 @@
+"""Disassembler: memory words back to Table 1/3 assembly text."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import EncodingError
+from repro.isa.encoding import decode
+from repro.isa.instructions import Instr
+
+
+def disassemble_one(words: Sequence[int], index: int = 0) -> tuple[str, int]:
+    """Disassemble the instruction at ``words[index]``; returns (text, size)."""
+    instr, size = decode(words, index)
+    return instr.render(), size
+
+
+def disassemble(
+    words: Sequence[int], start: int = 0, end: int | None = None
+) -> list[tuple[int, str]]:
+    """Disassemble a word range into ``[(address, text), ...]``.
+
+    Words that do not decode (data, unassigned opcodes) render as
+    ``.word 0x....`` so the listing always covers the whole range.
+    """
+    end = len(words) if end is None else min(end, len(words))
+    out: list[tuple[int, str]] = []
+    index = start
+    while index < end:
+        try:
+            instr, size = decode(words, index)
+            if index + size > end:
+                raise EncodingError("instruction spans past range")
+            text = instr.render()
+        except EncodingError:
+            text = f".word\t{int(words[index]) & 0xFFFF:#06x}"
+            size = 1
+        out.append((index, text))
+        index += size
+    return out
+
+
+def render_listing(words: Sequence[int], start: int = 0, end: int | None = None) -> str:
+    """Human-readable listing with addresses and encodings."""
+    lines = []
+    for addr, text in disassemble(words, start, end):
+        try:
+            _, size = decode(words, addr)
+            raw = " ".join(f"{int(words[addr + i]) & 0xFFFF:04x}" for i in range(size))
+        except EncodingError:
+            raw = f"{int(words[addr]) & 0xFFFF:04x}"
+        lines.append(f"{addr:04x}:  {raw:<10} {text}")
+    return "\n".join(lines)
+
+
+__all__ = ["disassemble", "disassemble_one", "render_listing", "Instr"]

@@ -1,0 +1,168 @@
+"""Table 2 pseudo-instructions (assembler macros).
+
+The paper reserves register ``$at`` (11) "for use as an assembler
+temporary in implementing assembler macros -- such as those listed in
+Table 2".  Expansions used here:
+
+``br lab``
+    ``brf $0,lab`` + ``brt $0,lab`` -- whichever way ``$0`` tests, one of
+    the pair takes the branch (2 words; keeps ``br`` a PC-relative branch
+    without burning an opcode).
+``jump lab``
+    ``lex $at,low(lab)`` + ``lhi $at,high(lab)`` + ``jumpr $at``.
+``jumpf $c,lab`` / ``jumpt $c,lab``
+    A ``brt``/``brf`` over the 3-word ``jump`` expansion, then the jump.
+``loadi $d,imm16``
+    ``lex`` alone when the value fits its sign-extended 8-bit immediate,
+    else ``lex`` + ``lhi`` (``lhi`` overwrites the sign-extension, so the
+    pair reproduces any 16-bit pattern).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AssemblerError
+
+
+@dataclass(frozen=True)
+class LabelRef:
+    """Symbolic operand resolved at layout time.
+
+    ``kind``: ``offset`` (branch, relative to the following instruction),
+    ``low`` / ``high`` (address byte halves for ``lex``/``lhi``), or
+    ``abs`` (whole address, for ``.word``).
+    """
+
+    name: str
+    kind: str = "offset"
+
+
+@dataclass(frozen=True)
+class HereRef:
+    """PC-relative operand: resolves to byte-half of (this instruction's
+    address + ``delta``).  Used by ``call`` to materialize the return
+    address without a link instruction."""
+
+    delta: int
+    kind: str  # "low" | "high"
+
+
+@dataclass(frozen=True)
+class PendingInstr:
+    """An instruction whose operands may still contain label references."""
+
+    mnemonic: str
+    ops: tuple  # ints and/or LabelRef/HereRef
+    line: int | None = None
+
+
+MACRO_NAMES = ("br", "jump", "jumpf", "jumpt", "loadi", "call", "ret", "push", "pop")
+
+
+def _jump_seq(target, line: int | None) -> list[PendingInstr]:
+    from repro.isa.registers import AT
+
+    if isinstance(target, LabelRef):
+        low = LabelRef(target.name, "low")
+        high = LabelRef(target.name, "high")
+    else:
+        low = target & 0xFF
+        high = (target >> 8) & 0xFF
+    return [
+        PendingInstr("lex", (AT, low), line),
+        PendingInstr("lhi", (AT, high), line),
+        PendingInstr("jumpr", (AT,), line),
+    ]
+
+
+def expand_macro(name: str, ops: tuple, line: int | None = None) -> list[PendingInstr]:
+    """Expand one Table 2 pseudo-instruction into real instructions.
+
+    ``ops`` uses the same convention as :class:`PendingInstr`: register
+    numbers and immediates as ints, symbolic targets as :class:`LabelRef`
+    with kind ``offset`` (re-keyed here as the expansion requires).
+    """
+    if name == "br":
+        if len(ops) != 1:
+            raise AssemblerError("br expects one target", line)
+        target = ops[0]
+        return [
+            PendingInstr("brf", (0, target), line),
+            PendingInstr("brt", (0, target), line),
+        ]
+    if name == "jump":
+        if len(ops) != 1:
+            raise AssemblerError("jump expects one target", line)
+        return _jump_seq(ops[0], line)
+    if name in ("jumpf", "jumpt"):
+        if len(ops) != 2:
+            raise AssemblerError(f"{name} expects a register and a target", line)
+        cond, target = ops
+        guard = "brt" if name == "jumpf" else "brf"
+        # Skip the 3-word jump sequence when the guard condition holds.
+        return [PendingInstr(guard, (cond, 3), line)] + _jump_seq(target, line)
+    if name == "loadi":
+        if len(ops) != 2:
+            raise AssemblerError("loadi expects a register and a 16-bit value", line)
+        reg, value = ops
+        if isinstance(value, LabelRef):
+            return [
+                PendingInstr("lex", (reg, LabelRef(value.name, "low")), line),
+                PendingInstr("lhi", (reg, LabelRef(value.name, "high")), line),
+            ]
+        if not -0x8000 <= value <= 0xFFFF:
+            raise AssemblerError(f"loadi value out of 16-bit range: {value}", line)
+        pattern = value & 0xFFFF
+        signed8 = pattern & 0xFF
+        if signed8 >= 128:
+            signed8 -= 256
+        if (signed8 & 0xFFFF) == pattern:
+            return [PendingInstr("lex", (reg, signed8), line)]
+        return [
+            PendingInstr("lex", (reg, pattern & 0xFF), line),
+            PendingInstr("lhi", (reg, pattern >> 8), line),
+        ]
+    if name == "call":
+        # Table 1 has no jump-and-link: build the return address in $ra
+        # from the expansion's own PC (5 words), then jump via $at.
+        from repro.isa.registers import RA
+
+        if len(ops) != 1:
+            raise AssemblerError("call expects one target", line)
+        target = ops[0]
+        return [
+            PendingInstr("lex", (RA, HereRef(5, "low")), line),
+            PendingInstr("lhi", (RA, HereRef(4, "high")), line),
+        ] + _jump_seq(target, line)
+    if name == "ret":
+        from repro.isa.registers import RA
+
+        if ops:
+            raise AssemblerError("ret takes no operands", line)
+        return [PendingInstr("jumpr", (RA,), line)]
+    if name == "push":
+        from repro.isa.registers import AT, SP
+
+        if len(ops) != 1 or not isinstance(ops[0], int):
+            raise AssemblerError("push expects one register", line)
+        if ops[0] == AT:
+            raise AssemblerError("push cannot spill $at (the macro uses it)", line)
+        return [
+            PendingInstr("lex", (AT, -1), line),
+            PendingInstr("add", (SP, AT), line),
+            PendingInstr("store", (ops[0], SP), line),
+        ]
+    if name == "pop":
+        from repro.isa.registers import AT, SP
+
+        if len(ops) != 1 or not isinstance(ops[0], int):
+            raise AssemblerError("pop expects one register", line)
+        if ops[0] == AT:
+            raise AssemblerError("pop cannot restore into $at (the macro uses it)", line)
+        return [
+            PendingInstr("load", (ops[0], SP), line),
+            PendingInstr("lex", (AT, 1), line),
+            PendingInstr("add", (SP, AT), line),
+        ]
+    raise AssemblerError(f"unknown macro {name!r}", line)

@@ -1,0 +1,179 @@
+"""Bit-exact scalar bfloat16 operations.
+
+Layout: bit 15 sign, bits 14..7 biased exponent (bias 127), bits 6..0
+mantissa.  A bfloat16 is exactly the top half of an IEEE-754 float32.
+
+Rounding is round-to-nearest-even on the float32 boundary, the behaviour
+of hardware that computes in (or converts through) float32 and keeps the
+top 16 bits.  Subnormal results flush to signed zero, the usual FPGA-class
+simplification (and the one the course library used); subnormal *inputs*
+are treated as zero.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+SIGN_MASK = 0x8000
+EXP_MASK = 0x7F80
+MAN_MASK = 0x007F
+EXP_SHIFT = 7
+EXP_BIAS = 127
+
+POS_INF = 0x7F80
+NEG_INF = 0xFF80
+NAN = 0x7FC0
+POS_ZERO = 0x0000
+NEG_ZERO = 0x8000
+
+
+def _check(bits: int) -> int:
+    if not 0 <= bits <= 0xFFFF:
+        raise ValueError(f"bfloat16 bit pattern out of range: {bits:#x}")
+    return bits
+
+
+def is_nan(bits: int) -> bool:
+    """True for any NaN encoding."""
+    _check(bits)
+    return (bits & EXP_MASK) == EXP_MASK and (bits & MAN_MASK) != 0
+
+
+def is_inf(bits: int) -> bool:
+    """True for +/- infinity."""
+    _check(bits)
+    return (bits & EXP_MASK) == EXP_MASK and (bits & MAN_MASK) == 0
+
+
+def is_zero_or_subnormal(bits: int) -> bool:
+    """True for +/-0 and subnormals (which this ALU flushes to zero)."""
+    _check(bits)
+    return (bits & EXP_MASK) == 0
+
+
+def bf16_to_float(bits: int) -> float:
+    """Decode to a Python float (exact: bf16 is a float32 prefix)."""
+    _check(bits)
+    if is_zero_or_subnormal(bits):
+        # Flush subnormal inputs, preserving sign.
+        bits &= SIGN_MASK
+    (value,) = struct.unpack(">f", struct.pack(">I", bits << 16))
+    return value
+
+
+def bf16_from_float(value: float) -> int:
+    """Encode a Python float with round-to-nearest-even; flush subnormals."""
+    if math.isnan(value):
+        return NAN
+    if math.isinf(value):
+        return POS_INF if value > 0 else NEG_INF
+    try:
+        (f32,) = struct.unpack(">I", struct.pack(">f", value))
+    except OverflowError:
+        # Magnitude rounds past float32 max: overflow to signed infinity.
+        return POS_INF if value > 0 else NEG_INF
+    # Round float32 -> bfloat16 (RNE on bit 16).
+    lower = f32 & 0xFFFF
+    upper = f32 >> 16
+    if lower > 0x8000 or (lower == 0x8000 and (upper & 1)):
+        upper += 1
+        if (upper & EXP_MASK) == EXP_MASK and (upper & MAN_MASK) == 0:
+            # Rounded up into infinity: keep it as signed infinity.
+            return upper & 0xFFFF
+    upper &= 0xFFFF
+    if (upper & EXP_MASK) == 0:
+        return upper & SIGN_MASK  # flush subnormal result
+    return upper
+
+
+def bf16_neg(bits: int) -> int:
+    """Sign flip (``negf $d``); NaN stays NaN."""
+    _check(bits)
+    if is_nan(bits):
+        return NAN
+    return bits ^ SIGN_MASK
+
+
+def bf16_add(a: int, b: int) -> int:
+    """Addition (``addf $d,$s``)."""
+    _check(a)
+    _check(b)
+    if is_nan(a) or is_nan(b):
+        return NAN
+    if is_inf(a) and is_inf(b) and (a ^ b) & SIGN_MASK:
+        return NAN  # inf + -inf
+    return bf16_from_float(bf16_to_float(a) + bf16_to_float(b))
+
+
+def bf16_mul(a: int, b: int) -> int:
+    """Multiplication (``mulf $d,$s``)."""
+    _check(a)
+    _check(b)
+    if is_nan(a) or is_nan(b):
+        return NAN
+    inf = is_inf(a) or is_inf(b)
+    zero = is_zero_or_subnormal(a) or is_zero_or_subnormal(b)
+    if inf and zero:
+        return NAN  # inf * 0
+    return bf16_from_float(bf16_to_float(a) * bf16_to_float(b))
+
+
+def bf16_recip(a: int) -> int:
+    """Reciprocal (``recip $d``) via the fraction lookup table.
+
+    Mirrors the course Verilog: the mantissa indexes a pre-computed table
+    of normalized reciprocal fractions (:mod:`repro.bf16.table`) while the
+    exponent is negated and adjusted; the table entries are themselves
+    correctly rounded, so the composite is bit-exact RNE except where the
+    exponent under/overflows (flushed / saturated to zero / infinity).
+    """
+    _check(a)
+    if is_nan(a):
+        return NAN
+    sign = a & SIGN_MASK
+    if is_inf(a):
+        return sign  # 1/inf = signed zero
+    if is_zero_or_subnormal(a):
+        return sign | POS_INF  # 1/0 = signed infinity
+    from repro.bf16.table import RECIP_LUT
+
+    exp = (a & EXP_MASK) >> EXP_SHIFT
+    man = a & MAN_MASK
+    frac_man, exp_adjust = RECIP_LUT[man]
+    # 1 / (1.m * 2^(exp-127)) = (1/1.m) * 2^(127-exp); 1/1.m is in (0.5, 1]
+    # and renormalizes as 1.m' * 2^exp_adjust with exp_adjust in {-1, 0}.
+    new_exp = (EXP_BIAS - (exp - EXP_BIAS)) + exp_adjust
+    if new_exp <= 0:
+        return sign  # underflow: flush
+    if new_exp >= 0xFF:
+        return sign | POS_INF  # overflow: saturate
+    return sign | (new_exp << EXP_SHIFT) | frac_man
+
+
+def bf16_from_int(value: int) -> int:
+    """Signed 16-bit integer to bfloat16 with RNE (``float $d``)."""
+    if not -0x8000 <= value <= 0xFFFF:
+        raise ValueError(f"int16 value out of range: {value}")
+    if value > 0x7FFF:
+        value -= 0x10000  # accept raw register bit patterns
+    return bf16_from_float(float(value))
+
+
+def bf16_to_int(bits: int) -> int:
+    """bfloat16 to signed 16-bit integer, truncating toward zero (``int $d``).
+
+    Saturates at the int16 limits; NaN converts to 0.  Returned as the
+    16-bit two's-complement register pattern (0..0xFFFF).
+    """
+    _check(bits)
+    if is_nan(bits):
+        return 0
+    value = bf16_to_float(bits)
+    if value >= 32767.0:
+        truncated = 32767
+    elif value <= -32768.0:
+        truncated = -32768
+    else:
+        truncated = math.trunc(value)
+    return truncated & 0xFFFF

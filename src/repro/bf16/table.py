@@ -1,0 +1,52 @@
+"""Reciprocal fraction lookup table.
+
+The course's Verilog floating-point library "required a small VMEM file
+initializing a lookup table for computing fraction reciprocals" (paper
+section 3.1).  This module builds the equivalent table: for each of the
+128 possible mantissas ``m``, the correctly rounded bfloat16 rendering of
+``1 / 1.m`` as a ``(mantissa', exponent_adjust)`` pair, where
+``exponent_adjust`` is ``0`` for ``m == 0`` (``1/1.0 == 1.0``) and ``-1``
+otherwise (``1/1.m`` lies in ``(0.5, 1)`` and renormalizes down one
+binade).
+
+The table depends only on the 7-bit mantissa, never the exponent, because
+``1/(1.m * 2^e) = (1/1.m) * 2^-e`` -- which is why a 128-entry VMEM
+suffices in hardware.
+"""
+
+from __future__ import annotations
+
+
+def _round_fraction(numerator: int, denominator: int, bits: int) -> tuple[int, int]:
+    """Round ``numerator/denominator`` (in [1, 2)) to ``1.f`` with ``bits``
+    fraction bits, RNE.  Returns ``(fraction, exp_carry)`` where
+    ``exp_carry`` is 1 if rounding overflowed to 2.0."""
+    scaled_num = numerator << (bits + 1)
+    q, r = divmod(scaled_num, denominator)
+    # q has bits+1 fraction bits; round the last one to nearest even.
+    half = q & 1
+    q >>= 1
+    if half and (r or (q & 1)):
+        q += 1
+    if q >> (bits + 1):
+        return 0, 1  # rounded up to 2.0 -> mantissa 0, exponent +1
+    return q & ((1 << bits) - 1), 0
+
+
+def recip_lut() -> list[tuple[int, int]]:
+    """Build the 128-entry reciprocal table (see module docstring)."""
+    table: list[tuple[int, int]] = []
+    for man in range(128):
+        if man == 0:
+            table.append((0, 0))  # 1/1.0 == 1.0 exactly
+            continue
+        # 1/1.m where 1.m = (128 + man) / 128; reciprocal = 128/(128+man),
+        # which lies in (0.5, 1): renormalize as 1.f * 2^-1, i.e. compute
+        # 256/(128+man) in [1, 2) with 7 fraction bits.
+        frac, carry = _round_fraction(256, 128 + man, 7)
+        table.append((frac, -1 + carry))
+    return table
+
+
+#: The table itself, built once at import (the "VMEM" contents).
+RECIP_LUT: list[tuple[int, int]] = recip_lut()

@@ -1,0 +1,57 @@
+"""Vectorized bfloat16 operations over NumPy uint16 arrays.
+
+Batch versions of the scalar ALU for the benchmark harness; semantics are
+identical to :mod:`repro.bf16.scalar` (RNE on the float32 boundary,
+subnormals flushed), validated against the scalar path by the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+EXP_MASK = np.uint16(0x7F80)
+MAN_MASK = np.uint16(0x007F)
+SIGN_MASK = np.uint16(0x8000)
+NAN = np.uint16(0x7FC0)
+
+
+def decode(bits: np.ndarray) -> np.ndarray:
+    """uint16 bfloat16 patterns -> float32 array (subnormals flushed)."""
+    bits = np.asarray(bits, dtype=np.uint16)
+    flushed = np.where((bits & EXP_MASK) == 0, bits & SIGN_MASK, bits)
+    return (flushed.astype(np.uint32) << np.uint32(16)).view(np.float32)
+
+
+def encode(values: np.ndarray) -> np.ndarray:
+    """float32 array -> uint16 bfloat16 patterns with RNE; flush subnormals."""
+    f32 = np.ascontiguousarray(values, dtype=np.float32).view(np.uint32)
+    lower = f32 & np.uint32(0xFFFF)
+    upper = (f32 >> np.uint32(16)).astype(np.uint32)
+    round_up = (lower > 0x8000) | ((lower == 0x8000) & ((upper & 1) == 1))
+    upper = upper + round_up.astype(np.uint32)
+    out = (upper & np.uint32(0xFFFF)).astype(np.uint16)
+    # NaN canonicalization and subnormal flush.
+    nan = np.isnan(values)
+    out = np.where(nan, NAN, out)
+    subnormal = ((out & EXP_MASK) == 0) & ~nan
+    out = np.where(subnormal, out & SIGN_MASK, out)
+    return out
+
+
+def add(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise bfloat16 addition on bit patterns."""
+    with np.errstate(invalid="ignore", over="ignore"):
+        return encode(decode(a) + decode(b))
+
+
+def mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Elementwise bfloat16 multiplication on bit patterns."""
+    with np.errstate(invalid="ignore", over="ignore"):
+        return encode(decode(a) * decode(b))
+
+
+def neg(a: np.ndarray) -> np.ndarray:
+    """Elementwise sign flip; NaNs canonicalized."""
+    a = np.asarray(a, dtype=np.uint16)
+    is_nan = ((a & EXP_MASK) == EXP_MASK) & ((a & MAN_MASK) != 0)
+    return np.where(is_nan, NAN, a ^ SIGN_MASK)

@@ -1,0 +1,201 @@
+"""Command-line tools for the Tangled/Qat reproduction.
+
+Installed as the ``tangled`` console script::
+
+    tangled asm  program.s [-o program.hex]     assemble to hex words
+    tangled dis  program.hex                    disassemble
+    tangled run  program.s [--sim pipelined]    assemble + execute
+    tangled factor 221 --bits 5                 PBP prime factoring
+    tangled verilog qatnext --ways 8            emit the Figure 7/8 Verilog
+    tangled fig10                               run the paper's listing
+
+Every subcommand prints to stdout and exits non-zero on error, so the
+tools compose in shell pipelines.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def cmd_asm(args: argparse.Namespace) -> int:
+    from repro.asm import assemble
+
+    program = assemble(_read_source(args.source))
+    lines = [f"{word:04x}" for word in program.words]
+    text = "\n".join(lines) + "\n"
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"{len(program.words)} words -> {args.output}")
+    else:
+        sys.stdout.write(text)
+    return 0
+
+
+def cmd_dis(args: argparse.Namespace) -> int:
+    from repro.asm.disasm import render_listing
+
+    words = [int(tok, 16) for tok in _read_source(args.image).split()]
+    print(render_listing(words))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from repro.asm import assemble
+    from repro.cpu import (
+        FunctionalSimulator,
+        MultiCycleSimulator,
+        PipelineConfig,
+        PipelinedSimulator,
+    )
+
+    program = assemble(_read_source(args.source))
+    if args.sim == "functional":
+        sim = FunctionalSimulator(ways=args.ways)
+    elif args.sim == "multicycle":
+        sim = MultiCycleSimulator(ways=args.ways)
+    else:
+        sim = PipelinedSimulator(
+            ways=args.ways,
+            config=PipelineConfig(stages=args.stages, forwarding=not args.no_forwarding),
+        )
+    sim.load(program)
+    sim.run(args.limit)
+    machine = sim.machine
+    for chunk in machine.output:
+        sys.stdout.write(chunk)
+    if machine.output:
+        print()
+    print("registers:", " ".join(f"${i}={machine.read_reg(i)}" for i in range(8)))
+    if args.sim == "multicycle":
+        print(f"cycles: {sim.cycles}  cpi: {sim.cpi:.3f}")
+    elif args.sim == "pipelined":
+        stats = sim.stats.as_dict()
+        print(
+            f"cycles: {stats['cycles']}  cpi: {stats['cpi']}  "
+            f"stalls: {stats['stall_data']} data, {stats['fetch_extra']} fetch, "
+            f"{stats['branch_flushes']} flushes"
+        )
+    else:
+        print(f"instructions: {machine.instret}")
+    return 0
+
+
+def cmd_factor(args: argparse.Namespace) -> int:
+    from repro.apps import factor_word_level
+
+    # Default width fits n itself, so the trivial (n, 1) pair -- and hence
+    # any factor -- is representable (Figure 9 uses 4 bits for n = 15).
+    bits = args.bits or max(2, args.n.bit_length())
+    result = factor_word_level(
+        args.n,
+        bits,
+        bits,
+        backend="pattern" if args.pattern else "auto",
+        chunk_ways=args.chunk_ways,
+    )
+    print(f"n = {args.n}  ({2 * bits}-way entanglement)")
+    print("factor pairs:", result.pairs)
+    if result.nontrivial:
+        print("nontrivial factors:", result.nontrivial)
+    else:
+        print("no nontrivial factors (prime or out of range)")
+    return 0
+
+
+def cmd_verilog(args: argparse.Namespace) -> int:
+    from repro.hw.verilog import emit_design_bundle, emit_qat_alu, emit_qathad, emit_qatnext
+
+    emitters = {
+        "qathad": emit_qathad,
+        "qatnext": emit_qatnext,
+        "qatalu": emit_qat_alu,
+        "all": emit_design_bundle,
+    }
+    sys.stdout.write(emitters[args.module](args.ways))
+    return 0
+
+
+def cmd_fig10(args: argparse.Namespace) -> int:
+    from repro.apps import fig10_program, run_factor_program
+
+    sim, (r0, r1) = run_factor_program(
+        fig10_program(), ways=args.ways, simulator=args.sim
+    )
+    print(f"Figure 10 on the {args.sim} simulator ({args.ways}-way Qat):")
+    print(f"  $0 = {r0}   $1 = {r1}")
+    if args.sim == "pipelined":
+        print(f"  {sim.stats.as_dict()}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="tangled", description="Tangled/Qat reproduction tools"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("asm", help="assemble Tangled/Qat source to hex")
+    p.add_argument("source", help="assembly file ('-' for stdin)")
+    p.add_argument("-o", "--output", help="write hex words here")
+    p.set_defaults(func=cmd_asm)
+
+    p = sub.add_parser("dis", help="disassemble a hex word image")
+    p.add_argument("image", help="hex file ('-' for stdin)")
+    p.set_defaults(func=cmd_dis)
+
+    p = sub.add_parser("run", help="assemble and execute a program")
+    p.add_argument("source", help="assembly file ('-' for stdin)")
+    p.add_argument("--sim", choices=("functional", "multicycle", "pipelined"),
+                   default="pipelined")
+    p.add_argument("--ways", type=int, default=8)
+    p.add_argument("--stages", type=int, choices=(4, 5), default=4)
+    p.add_argument("--no-forwarding", action="store_true")
+    p.add_argument("--limit", type=int, default=1_000_000,
+                   help="step/cycle budget")
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("factor", help="PBP prime factoring")
+    p.add_argument("n", type=int)
+    p.add_argument("--bits", type=int, help="bits per factor (default: fitted)")
+    p.add_argument("--pattern", action="store_true",
+                   help="force the RE-compressed substrate")
+    p.add_argument("--chunk-ways", type=int, default=None)
+    p.set_defaults(func=cmd_factor)
+
+    p = sub.add_parser("verilog", help="emit the Figure 7/8 Verilog modules")
+    p.add_argument("module", choices=("qathad", "qatnext", "qatalu", "all"))
+    p.add_argument("--ways", type=int, default=16)
+    p.set_defaults(func=cmd_verilog)
+
+    p = sub.add_parser("fig10", help="run the paper's Figure 10 program")
+    p.add_argument("--sim", choices=("functional", "multicycle", "pipelined"),
+                   default="pipelined")
+    p.add_argument("--ways", type=int, default=8)
+    p.set_defaults(func=cmd_fig10)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"tangled: error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

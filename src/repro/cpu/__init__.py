@@ -1,0 +1,34 @@
+"""CPU simulators for the Tangled/Qat processor.
+
+Three models of increasing timing fidelity, all sharing one architectural
+state (:class:`~repro.cpu.state.MachineState`) and one instruction
+executor (:mod:`repro.cpu.exec_core`), mirroring the course's project
+sequence (multi-cycle design, then pipelined, then pipelined with Qat):
+
+- :class:`~repro.cpu.functional.FunctionalSimulator` -- one instruction
+  per step, no timing; the reference for architectural correctness
+  (paper Figure 6's simplified single-cycle design).
+- :class:`~repro.cpu.multicycle.MultiCycleSimulator` -- per-class cycle
+  costs, the students' first implementation project.
+- :class:`~repro.cpu.pipeline.PipelinedSimulator` -- a cycle-stepped
+  4- or 5-stage pipeline with RAW interlocks, optional forwarding,
+  branch flushes, and the two-word Qat fetch penalty the paper says
+  generated "the most common student questions".
+"""
+
+from repro.cpu.functional import FunctionalSimulator
+from repro.cpu.multicycle import CycleCosts, MultiCycleSimulator
+from repro.cpu.pipeline import PipelineConfig, PipelinedSimulator, PipelineStats
+from repro.cpu.state import MachineState
+from repro.cpu.syscalls import SyscallHandler
+
+__all__ = [
+    "CycleCosts",
+    "FunctionalSimulator",
+    "MachineState",
+    "MultiCycleSimulator",
+    "PipelineConfig",
+    "PipelineStats",
+    "PipelinedSimulator",
+    "SyscallHandler",
+]

@@ -1,0 +1,263 @@
+"""Single-instruction executor shared by all simulators.
+
+Semantics follow Tables 1 and 3 exactly where the paper specifies them;
+where it leaves detail to the implementer the choices are documented
+inline (and in DESIGN.md):
+
+- ``shift $d,$s``: the paper says "shift left/right" with functionality
+  ``$d = $d << $s``; here ``$s`` is taken as signed -- positive shifts
+  left, negative shifts right (logical).  Magnitudes >= 16 yield 0.
+- ``slt`` compares signed 16-bit values.
+- Branch truth is "register non-zero"; offsets are relative to the
+  *following* instruction.
+- ``mul`` keeps the low 16 bits of the product.
+- ``meas``/``next``/``pop`` index channels modulo the AoB length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aob import kernels
+from repro.bf16 import (
+    bf16_add,
+    bf16_from_int,
+    bf16_mul,
+    bf16_neg,
+    bf16_recip,
+    bf16_to_int,
+)
+from repro.errors import SimulatorError
+from repro.isa.instructions import INSTRUCTIONS, Instr
+
+
+@dataclass
+class Effects:
+    """What one executed instruction did (consumed by timing models)."""
+
+    mnemonic: str
+    next_pc: int
+    taken_branch: bool = False
+    reads_gpr: frozenset[int] = frozenset()
+    writes_gpr: frozenset[int] = frozenset()
+    reads_qreg: frozenset[int] = frozenset()
+    writes_qreg: frozenset[int] = frozenset()
+    is_load: bool = False
+    is_store: bool = False
+    store_addr: int | None = None
+
+
+@dataclass(frozen=True)
+class StaticEffects:
+    """Register use derivable without executing (for hazard detection)."""
+
+    reads_gpr: frozenset[int]
+    writes_gpr: frozenset[int]
+    reads_qreg: frozenset[int]
+    writes_qreg: frozenset[int]
+    is_branch: bool
+    is_jump: bool
+    is_load: bool
+    is_store: bool
+
+
+def static_effects(instr: Instr) -> StaticEffects:
+    """Registers read/written by ``instr``, from the spec alone."""
+    m = instr.mnemonic
+    ops = instr.ops
+    rg: set[int] = set()
+    wg: set[int] = set()
+    rq: set[int] = set()
+    wq: set[int] = set()
+    is_branch = m in ("brf", "brt")
+    is_jump = m == "jumpr"
+    is_load = m == "load"
+    is_store = m == "store"
+    if m in ("add", "addf", "and", "mul", "mulf", "or", "shift", "slt", "xor"):
+        rg = {ops[0], ops[1]}
+        wg = {ops[0]}
+    elif m == "copy":
+        rg = {ops[1]}
+        wg = {ops[0]}
+    elif m == "load":
+        rg = {ops[1]}
+        wg = {ops[0]}
+    elif m == "store":
+        rg = {ops[0], ops[1]}
+    elif m in ("float", "int", "neg", "negf", "not", "recip"):
+        rg = {ops[0]}
+        wg = {ops[0]}
+    elif m == "lex":
+        wg = {ops[0]}
+    elif m == "lhi":
+        rg = {ops[0]}  # lhi preserves the low byte: read-modify-write
+        wg = {ops[0]}
+    elif m in ("brf", "brt"):
+        rg = {ops[0]}
+    elif m == "jumpr":
+        rg = {ops[0]}
+    elif m == "sys":
+        pass
+    elif m in ("qand", "qor", "qxor"):
+        rq = {ops[1], ops[2]}
+        wq = {ops[0]}
+    elif m == "qccnot":
+        rq = {ops[0], ops[1], ops[2]}
+        wq = {ops[0]}
+    elif m == "qcnot":
+        rq = {ops[0], ops[1]}
+        wq = {ops[0]}
+    elif m == "qcswap":
+        rq = {ops[0], ops[1], ops[2]}
+        wq = {ops[0], ops[1]}
+    elif m == "qswap":
+        rq = {ops[0], ops[1]}
+        wq = {ops[0], ops[1]}
+    elif m == "qnot":
+        rq = {ops[0]}
+        wq = {ops[0]}
+    elif m in ("qzero", "qone"):
+        wq = {ops[0]}
+    elif m == "qhad":
+        wq = {ops[0]}
+    elif m in ("qmeas", "qnext", "qpop"):
+        rg = {ops[0]}
+        wg = {ops[0]}
+        rq = {ops[1]}
+    else:  # pragma: no cover
+        raise SimulatorError(f"no effects model for {m!r}")
+    return StaticEffects(
+        frozenset(rg), frozenset(wg), frozenset(rq), frozenset(wq),
+        is_branch, is_jump, is_load, is_store,
+    )
+
+
+def execute(machine, instr: Instr, syscalls=None) -> Effects:
+    """Execute ``instr`` on ``machine`` (PC already points at it).
+
+    Advances the PC (including branches/jumps), mutates registers, memory
+    and the Qat register file, and returns the dynamic :class:`Effects`.
+    """
+    m = instr.mnemonic
+    ops = instr.ops
+    spec = INSTRUCTIONS[m]
+    pc_next = (machine.pc + spec.words) & 0xFFFF
+    stat = static_effects(instr)
+    eff = Effects(
+        mnemonic=m,
+        next_pc=pc_next,
+        reads_gpr=stat.reads_gpr,
+        writes_gpr=stat.writes_gpr,
+        reads_qreg=stat.reads_qreg,
+        writes_qreg=stat.writes_qreg,
+        is_load=stat.is_load,
+        is_store=stat.is_store,
+    )
+    read = machine.read_reg
+    read_s = machine.read_reg_signed
+    write = machine.write_reg
+
+    if m == "add":
+        write(ops[0], read(ops[0]) + read(ops[1]))
+    elif m == "addf":
+        write(ops[0], bf16_add(read(ops[0]), read(ops[1])))
+    elif m == "and":
+        write(ops[0], read(ops[0]) & read(ops[1]))
+    elif m == "brf":
+        if read(ops[0]) == 0:
+            pc_next = (pc_next + ops[1]) & 0xFFFF
+            eff.taken_branch = True
+    elif m == "brt":
+        if read(ops[0]) != 0:
+            pc_next = (pc_next + ops[1]) & 0xFFFF
+            eff.taken_branch = True
+    elif m == "copy":
+        write(ops[0], read(ops[1]))
+    elif m == "float":
+        write(ops[0], bf16_from_int(read(ops[0])))
+    elif m == "int":
+        write(ops[0], bf16_to_int(read(ops[0])))
+    elif m == "jumpr":
+        pc_next = read(ops[0])
+        eff.taken_branch = True
+    elif m == "lex":
+        write(ops[0], ops[1] & 0xFF if (ops[1] & 0x80) == 0 else (ops[1] & 0xFF) | 0xFF00)
+    elif m == "lhi":
+        write(ops[0], (read(ops[0]) & 0x00FF) | ((ops[1] & 0xFF) << 8))
+    elif m == "load":
+        write(ops[0], machine.read_mem(read(ops[1])))
+    elif m == "mul":
+        write(ops[0], read(ops[0]) * read(ops[1]))
+    elif m == "mulf":
+        write(ops[0], bf16_mul(read(ops[0]), read(ops[1])))
+    elif m == "neg":
+        write(ops[0], -read(ops[0]))
+    elif m == "negf":
+        write(ops[0], bf16_neg(read(ops[0])))
+    elif m == "not":
+        write(ops[0], ~read(ops[0]))
+    elif m == "or":
+        write(ops[0], read(ops[0]) | read(ops[1]))
+    elif m == "recip":
+        write(ops[0], bf16_recip(read(ops[0])))
+    elif m == "shift":
+        amount = read_s(ops[1])
+        value = read(ops[0])
+        if amount >= 16 or amount <= -16:
+            result = 0
+        elif amount >= 0:
+            result = value << amount
+        else:
+            result = value >> (-amount)
+        write(ops[0], result)
+    elif m == "slt":
+        write(ops[0], 1 if read_s(ops[0]) < read_s(ops[1]) else 0)
+    elif m == "store":
+        addr = read(ops[1])
+        machine.write_mem(addr, read(ops[0]))
+        eff.store_addr = addr
+    elif m == "sys":
+        if syscalls is not None:
+            syscalls.handle(machine)
+        else:
+            machine.halted = True
+    elif m == "xor":
+        write(ops[0], read(ops[0]) ^ read(ops[1]))
+    # ---- Qat coprocessor (Table 3) ------------------------------------------
+    elif m == "qand":
+        kernels.k_and(machine.qreg(ops[1]), machine.qreg(ops[2]), machine.qreg(ops[0]))
+    elif m == "qor":
+        kernels.k_or(machine.qreg(ops[1]), machine.qreg(ops[2]), machine.qreg(ops[0]))
+    elif m == "qxor":
+        kernels.k_xor(machine.qreg(ops[1]), machine.qreg(ops[2]), machine.qreg(ops[0]))
+    elif m == "qccnot":
+        kernels.k_ccnot(machine.qreg(ops[0]), machine.qreg(ops[1]), machine.qreg(ops[2]))
+    elif m == "qcnot":
+        kernels.k_cnot(machine.qreg(ops[0]), machine.qreg(ops[1]))
+    elif m == "qcswap":
+        kernels.k_cswap(machine.qreg(ops[0]), machine.qreg(ops[1]), machine.qreg(ops[2]))
+    elif m == "qswap":
+        kernels.k_swap(machine.qreg(ops[0]), machine.qreg(ops[1]))
+    elif m == "qnot":
+        kernels.k_not(machine.qreg(ops[0]), machine.qreg(ops[0]), machine.nbits)
+    elif m == "qzero":
+        kernels.k_zero(machine.qreg(ops[0]))
+    elif m == "qone":
+        kernels.k_one(machine.qreg(ops[0]), machine.nbits)
+    elif m == "qhad":
+        kernels.k_had(machine.qreg(ops[0]), ops[1], machine.ways)
+    elif m == "qmeas":
+        write(ops[0], kernels.k_meas(machine.qreg(ops[1]), read(ops[0]), machine.nbits))
+    elif m == "qnext":
+        # Like the Figure 8 Verilog, a start channel past the AoB top
+        # shifts everything out and returns 0 (no masking of $d).
+        write(ops[0], kernels.k_next(machine.qreg(ops[1]), read(ops[0]), machine.nbits))
+    elif m == "qpop":
+        write(ops[0], kernels.k_pop_after(machine.qreg(ops[1]), read(ops[0]), machine.nbits) & 0xFFFF)
+    else:  # pragma: no cover
+        raise SimulatorError(f"no executor for {m!r}")
+
+    eff.next_pc = pc_next
+    machine.pc = pc_next
+    machine.instret += 1
+    return eff

@@ -1,0 +1,66 @@
+"""Functional (instruction-accurate, untimed) simulator.
+
+The reference model: decodes and executes one instruction per step with
+no timing, like the paper's Figure 6 single-cycle datapath.  The other
+simulators are validated against this one on random programs.
+"""
+
+from __future__ import annotations
+
+from repro.aob.bitvector import QAT_WAYS
+from repro.cpu.exec_core import Effects, execute
+from repro.cpu.state import MachineState
+from repro.cpu.syscalls import SyscallHandler
+from repro.errors import HaltedError, SimulatorError
+from repro.isa.encoding import decode
+from repro.isa.instructions import Instr
+
+
+class FunctionalSimulator:
+    """Executes a program image one instruction at a time."""
+
+    def __init__(
+        self,
+        ways: int = QAT_WAYS,
+        syscalls: SyscallHandler | None = None,
+        trace=None,
+    ):
+        self.machine = MachineState(ways)
+        self.syscalls = syscalls if syscalls is not None else SyscallHandler()
+        self.trace = trace
+
+    def load(self, program, origin: int | None = None) -> None:
+        """Load an assembled :class:`~repro.asm.Program` (or raw words)."""
+        words = getattr(program, "words", program)
+        entry = getattr(program, "entry", 0) if origin is None else origin
+        self.machine.load_program(words, origin=0 if origin is None else origin)
+        self.machine.pc = entry
+
+    def fetch_decode(self) -> tuple[Instr, int]:
+        """Decode the instruction at the current PC."""
+        return decode(self.machine.mem, self.machine.pc)
+
+    def step(self) -> Effects:
+        """Fetch, decode and execute one instruction."""
+        if self.machine.halted:
+            raise HaltedError("machine is halted")
+        instr, _ = self.fetch_decode()
+        pc = self.machine.pc
+        effects = execute(self.machine, instr, self.syscalls)
+        if self.trace is not None:
+            self.trace.record(pc, instr, effects, self.machine)
+        return effects
+
+    def run(self, max_steps: int = 1_000_000) -> int:
+        """Run until ``sys``-halt; returns instructions executed.
+
+        Raises :class:`SimulatorError` if the step budget is exhausted
+        (runaway program).
+        """
+        steps = 0
+        while not self.machine.halted:
+            if steps >= max_steps:
+                raise SimulatorError(f"exceeded {max_steps} steps without halting")
+            self.step()
+            steps += 1
+        return steps

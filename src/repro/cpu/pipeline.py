@@ -1,0 +1,316 @@
+"""Cycle-stepped pipelined Tangled/Qat simulator.
+
+Models the student/author pipelines of paper section 3.1: a 4-stage
+(IF, ID, EX, WB) or 5-stage (IF, ID, EX, MEM, WB) in-order pipeline that
+"sustains completion of one instruction every clock cycle, provided there
+were no pipeline interlocks encountered".  The timing artifacts the paper
+calls out are all modeled:
+
+- **variable-length fetch** -- two-word Qat instructions occupy IF for two
+  cycles ("the most common student questions involved the fetch and
+  decode handling of variable-length instructions");
+- **data interlocks and forwarding** -- RAW hazards on both the Tangled
+  and the Qat register files ("pipeline interlocks and forwarding are
+  determined in part by coprocessor operations"); with forwarding the
+  4-stage runs stall-free, without it consumers wait for writeback, and
+  the 5-stage keeps the classic load-use bubble;
+- **control hazards** -- branches/jumps resolve in EX and flush the two
+  younger stages;
+- **Qat register-file port structural hazard** -- section 2.5 notes
+  ``swap``/``cswap`` need a second write port; configure
+  ``second_qat_write_port=False`` to charge them an extra EX cycle
+  instead (the section-5 ablation).
+
+Architectural state changes happen exactly once, in program order, when
+an instruction enters EX, so the pipelined model is state-equivalent to
+the functional simulator by construction -- the test suite checks this on
+random programs anyway.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.aob.bitvector import QAT_WAYS
+from repro.cpu.exec_core import execute, static_effects
+from repro.cpu.state import MachineState
+from repro.cpu.syscalls import SyscallHandler
+from repro.errors import EncodingError, HaltedError, SimulatorError
+from repro.isa.encoding import decode
+from repro.isa.instructions import Instr
+
+
+@dataclass
+class PipelineConfig:
+    """Structural parameters of the pipeline."""
+
+    stages: int = 4  # 4 (IF ID EX WB) or 5 (IF ID EX MEM WB)
+    forwarding: bool = True
+    second_qat_write_port: bool = True
+
+    def __post_init__(self) -> None:
+        if self.stages not in (4, 5):
+            raise ValueError("stages must be 4 or 5")
+
+
+@dataclass
+class PipelineStats:
+    """Cycle accounting."""
+
+    cycles: int = 0
+    retired: int = 0
+    stall_data: int = 0
+    stall_load_use: int = 0
+    stall_structural: int = 0
+    fetch_extra: int = 0
+    branch_flushes: int = 0
+    squashed: int = 0
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per retired instruction."""
+        return self.cycles / self.retired if self.retired else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "cycles": self.cycles,
+            "retired": self.retired,
+            "cpi": round(self.cpi, 4),
+            "stall_data": self.stall_data,
+            "stall_load_use": self.stall_load_use,
+            "stall_structural": self.stall_structural,
+            "fetch_extra": self.fetch_extra,
+            "branch_flushes": self.branch_flushes,
+            "squashed": self.squashed,
+        }
+
+
+@dataclass
+class _InFlight:
+    """One instruction (or fetch error) moving through the pipe."""
+
+    pc: int
+    instr: Instr | None  # None = fetched garbage (wrong-path data)
+    words: int = 1
+    fetch_left: int = 0
+    ex_left: int = 1
+    executed: bool = False
+    reads_gpr: frozenset = frozenset()
+    writes_gpr: frozenset = frozenset()
+    reads_qreg: frozenset = frozenset()
+    writes_qreg: frozenset = frozenset()
+    is_load: bool = False
+
+
+_IF, _ID, _EX = 0, 1, 2
+
+
+class PipelinedSimulator:
+    """In-order scalar pipeline over the shared machine state."""
+
+    def __init__(
+        self,
+        ways: int = QAT_WAYS,
+        config: PipelineConfig | None = None,
+        syscalls: SyscallHandler | None = None,
+    ):
+        self.config = config or PipelineConfig()
+        self.machine = MachineState(ways)
+        self.syscalls = syscalls if syscalls is not None else SyscallHandler(
+            cycle_source=lambda: self.stats.cycles
+        )
+        self.stats = PipelineStats()
+        nstages = self.config.stages
+        self._pipe: list[_InFlight | None] = [None] * nstages
+        self._fetch_pc = 0
+        self._fetch_current: _InFlight | None = None
+
+    # -- program loading ---------------------------------------------------------
+
+    def load(self, program, origin: int | None = None) -> None:
+        """Load an assembled :class:`~repro.asm.Program` (or raw words)."""
+        words = getattr(program, "words", program)
+        entry = getattr(program, "entry", 0) if origin is None else origin
+        self.machine.load_program(words, origin=0 if origin is None else origin)
+        self.machine.pc = entry
+        self._fetch_pc = entry
+        self._fetch_current = None
+        self._pipe = [None] * self.config.stages
+        self.stats = PipelineStats()
+
+    # -- fetch/decode ----------------------------------------------------------------
+
+    def _start_fetch(self) -> _InFlight:
+        pc = self._fetch_pc
+        try:
+            instr, words = decode(self.machine.mem, pc)
+        except EncodingError:
+            # Wrong-path fetch of data; becomes an error only if executed.
+            self._fetch_pc = (pc + 1) & 0xFFFF
+            return _InFlight(pc=pc, instr=None, words=1, fetch_left=1)
+        self._fetch_pc = (pc + words) & 0xFFFF
+        stat = static_effects(instr)
+        ex_left = 1
+        if not self.config.second_qat_write_port and instr.mnemonic in (
+            "qswap",
+            "qcswap",
+        ):
+            # Two result writes through a single Qat write port.
+            ex_left = 2
+        return _InFlight(
+            pc=pc,
+            instr=instr,
+            words=words,
+            fetch_left=words,
+            ex_left=ex_left,
+            reads_gpr=stat.reads_gpr,
+            writes_gpr=stat.writes_gpr,
+            reads_qreg=stat.reads_qreg,
+            writes_qreg=stat.writes_qreg,
+            is_load=stat.is_load,
+        )
+
+    # -- hazards ------------------------------------------------------------------------
+
+    def _id_stall_reason(self, rec: _InFlight) -> str | None:
+        """Why the instruction in ID cannot enter EX this cycle, if any."""
+        nstages = self.config.stages
+        for s in range(_EX, nstages):
+            prod = self._pipe[s]
+            if prod is None or prod.instr is None:
+                continue
+            raw = (
+                (rec.reads_gpr & prod.writes_gpr)
+                or (rec.reads_qreg & prod.writes_qreg)
+            )
+            if not raw:
+                continue
+            if self.config.forwarding:
+                # Results forward from the end of EX (loads: end of MEM in
+                # the 5-stage) straight into the consumer's EX.
+                if prod.is_load and s == _EX and nstages == 5:
+                    return "load_use"
+                continue
+            # No forwarding: wait until the producer is in WB (split-phase
+            # register file: write in the first half, read in the second).
+            if s < nstages - 1:
+                return "data"
+        return None
+
+    # -- the cycle ------------------------------------------------------------------------
+
+    def cycle(self) -> None:
+        """Advance the pipeline by one clock.
+
+        Stage latches update from *old* values, so an instruction spends a
+        full cycle in each stage: IF (per encoded word), ID, EX, [MEM,] WB.
+        """
+        if self.machine.halted:
+            raise HaltedError("machine is halted")
+        pipe = self._pipe
+        nstages = self.config.stages
+        self.stats.cycles += 1
+
+        # WB: retire (instruction leaves the pipe).
+        tail = pipe[nstages - 1]
+        if tail is not None and tail.instr is not None:
+            self.stats.retired += 1
+
+        # EX occupancy: a multi-cycle EX holds everything upstream.
+        ex_rec = pipe[_EX]
+        ex_busy = ex_rec is not None and ex_rec.executed and ex_rec.ex_left > 1
+
+        # Shift post-EX stages toward WB.
+        for s in range(nstages - 1, _EX, -1):
+            if s == _EX + 1 and ex_busy:
+                pipe[s] = None  # EX keeps its instruction; a bubble moves on
+            else:
+                pipe[s] = pipe[s - 1]
+
+        redirected = False
+        if ex_busy:
+            ex_rec.ex_left -= 1
+            self.stats.stall_structural += 1
+            pipe[_EX] = ex_rec
+        else:
+            # ID -> EX (with interlock check).
+            id_rec = pipe[_ID]
+            stall = self._id_stall_reason(id_rec) if id_rec is not None else None
+            if stall is not None:
+                pipe[_EX] = None
+                if stall == "data":
+                    self.stats.stall_data += 1
+                else:
+                    self.stats.stall_load_use += 1
+            else:
+                pipe[_EX] = id_rec
+                pipe[_ID] = None
+
+            # Execute on EX entry (all architectural state changes happen
+            # here, in program order).
+            entering = pipe[_EX]
+            if entering is not None and not entering.executed:
+                if entering.instr is None:
+                    raise SimulatorError(
+                        f"executed undecodable word at {entering.pc:#06x}"
+                    )
+                self.machine.pc = entering.pc
+                effects = execute(self.machine, entering.instr, self.syscalls)
+                entering.executed = True
+                if self.machine.halted:
+                    return
+                if effects.taken_branch:
+                    # Flush the two younger stages; the fetch redirect takes
+                    # effect at the end of this cycle (2-cycle penalty).
+                    self.stats.branch_flushes += 1
+                    if pipe[_ID] is not None:
+                        self.stats.squashed += 1
+                    pipe[_ID] = None
+                    if self._fetch_current is not None:
+                        self.stats.squashed += 1
+                    self._fetch_current = None
+                    self._fetch_pc = effects.next_pc
+                    redirected = True
+
+        # IF -> ID: only a fetch that completed in an *earlier* cycle may
+        # latch into a free ID slot (old-state latching).
+        if (
+            not redirected
+            and pipe[_ID] is None
+            and self._fetch_current is not None
+            and self._fetch_current.fetch_left == 0
+        ):
+            pipe[_ID] = self._fetch_current
+            self._fetch_current = None
+
+        # IF: progress the in-flight fetch / start the next one.
+        if not redirected:
+            self._fetch_progress()
+
+    def _fetch_progress(self) -> None:
+        """One cycle of instruction fetch work."""
+        if self._fetch_current is None:
+            self._fetch_current = self._start_fetch()
+        rec = self._fetch_current
+        if rec.fetch_left > 0:
+            rec.fetch_left -= 1
+            if rec.fetch_left > 0:
+                self.stats.fetch_extra += 1
+
+    # -- driving -------------------------------------------------------------------------------
+
+    def run(self, max_cycles: int = 10_000_000) -> PipelineStats:
+        """Run to ``sys``-halt; returns the cycle statistics."""
+        while not self.machine.halted:
+            if self.stats.cycles >= max_cycles:
+                raise SimulatorError(f"exceeded {max_cycles} cycles without halting")
+            self.cycle()
+        # Every executed instruction would drain to WB; count them all so
+        # CPI is consistent with the functional instruction count.
+        self.stats.retired = self.machine.instret
+        return self.stats
+
+    @property
+    def cpi(self) -> float:
+        """Cycles per retired instruction so far."""
+        return self.stats.cpi

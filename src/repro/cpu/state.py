@@ -1,0 +1,105 @@
+"""Shared architectural state of the Tangled/Qat machine.
+
+Tangled: 16 general 16-bit registers, a 16-bit PC, and 64Ki 16-bit words
+of memory.  Qat: 256 AoB coprocessor registers of :math:`2^{ways}` bits
+each, *no* memory access (paper section 2.2).  The Qat register file is
+one ``(256, words_per_reg)`` uint64 matrix so coprocessor gates are
+whole-row NumPy operations -- the software rendering of a bit-serial
+massively parallel SIMD datapath.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aob import AoB
+from repro.aob.bitvector import QAT_WAYS
+from repro.errors import SimulatorError
+from repro.isa.registers import NUM_GPRS, NUM_QAT_REGS
+from repro.utils.bits import words_for_bits
+
+MEM_WORDS = 1 << 16
+
+
+class MachineState:
+    """Registers, memory, PC, and the Qat coprocessor register file."""
+
+    def __init__(self, ways: int = QAT_WAYS):
+        if not 0 <= ways <= 20:
+            raise SimulatorError(f"unsupported Qat ways: {ways}")
+        self.ways = ways
+        self.nbits = 1 << ways
+        self.regs = np.zeros(NUM_GPRS, dtype=np.uint16)
+        self.mem = np.zeros(MEM_WORDS, dtype=np.uint16)
+        self.qregs = np.zeros(
+            (NUM_QAT_REGS, words_for_bits(self.nbits)), dtype=np.uint64
+        )
+        self.pc = 0
+        self.halted = False
+        self.output: list[str] = []
+        #: dynamic instruction count
+        self.instret = 0
+
+    # -- GPR access (values are canonical 0..0xFFFF ints) ---------------------
+
+    def read_reg(self, reg: int) -> int:
+        """Read a GPR as an unsigned 16-bit pattern."""
+        return int(self.regs[reg])
+
+    def read_reg_signed(self, reg: int) -> int:
+        """Read a GPR as a signed 16-bit value."""
+        value = int(self.regs[reg])
+        return value - 0x10000 if value >= 0x8000 else value
+
+    def write_reg(self, reg: int, value: int) -> None:
+        """Write a GPR (value truncated to 16 bits)."""
+        self.regs[reg] = value & 0xFFFF
+
+    # -- memory ------------------------------------------------------------------
+
+    def read_mem(self, addr: int) -> int:
+        """Read one 16-bit memory word."""
+        return int(self.mem[addr & 0xFFFF])
+
+    def write_mem(self, addr: int, value: int) -> None:
+        """Write one 16-bit memory word."""
+        self.mem[addr & 0xFFFF] = value & 0xFFFF
+
+    def load_program(self, words, origin: int = 0) -> None:
+        """Copy a program image into memory and point the PC at it."""
+        words = np.asarray(
+            [int(w) & 0xFFFF for w in words], dtype=np.uint16
+        )
+        if origin + words.size > MEM_WORDS:
+            raise SimulatorError("program image exceeds memory")
+        self.mem[origin : origin + words.size] = words
+        self.pc = origin
+
+    # -- Qat register access --------------------------------------------------------
+
+    def qreg(self, reg: int) -> np.ndarray:
+        """Raw word row of Qat register ``reg`` (mutable view)."""
+        return self.qregs[reg]
+
+    def read_qreg(self, reg: int) -> AoB:
+        """Snapshot Qat register ``reg`` as an immutable AoB value."""
+        return AoB(self.ways, self.qregs[reg].copy())
+
+    def write_qreg(self, reg: int, value: AoB) -> None:
+        """Store an AoB value into Qat register ``reg``."""
+        if value.ways != self.ways:
+            raise SimulatorError(
+                f"AoB is {value.ways}-way but machine is {self.ways}-way"
+            )
+        self.qregs[reg] = value.words
+
+    def snapshot(self) -> dict:
+        """Copy of the architectural state (for equivalence testing)."""
+        return {
+            "regs": self.regs.copy(),
+            "pc": self.pc,
+            "mem": self.mem.copy(),
+            "qregs": self.qregs.copy(),
+            "halted": self.halted,
+            "output": list(self.output),
+        }

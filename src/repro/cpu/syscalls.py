@@ -1,0 +1,65 @@
+"""System-call handling for the ``sys`` instruction.
+
+Table 1 specifies ``sys`` with no further detail; this reproduction's
+convention (documented in DESIGN.md) is: the service number is taken from
+``$rv`` (register 12) --
+
+====== ==========================================
+``0``  halt the machine
+``1``  print the signed integer in ``$0``
+``2``  print the character whose code is in ``$0``
+``3``  read the low 16 bits of the cycle counter into ``$0``
+``4``  print the 0-terminated string at address ``$0``
+====== ==========================================
+
+Unknown service numbers halt (the safe default for student code).  Output
+is accumulated in ``machine.output``.
+"""
+
+from __future__ import annotations
+
+from repro.isa.registers import RV
+
+HALT = 0
+PRINT_INT = 1
+PRINT_CHAR = 2
+READ_CYCLES = 3
+PRINT_STRING = 4
+
+
+class SyscallHandler:
+    """Default ``sys`` services; subclass or register to extend."""
+
+    def __init__(self, cycle_source=None):
+        self._cycle_source = cycle_source
+        self._custom: dict[int, object] = {}
+
+    def register(self, service: int, handler) -> None:
+        """Install ``handler(machine)`` for a service number."""
+        self._custom[service] = handler
+
+    def handle(self, machine) -> None:
+        """Dispatch one ``sys`` instruction on ``machine``."""
+        service = machine.read_reg(RV)
+        custom = self._custom.get(service)
+        if custom is not None:
+            custom(machine)
+            return
+        if service == PRINT_INT:
+            machine.output.append(str(machine.read_reg_signed(0)))
+        elif service == PRINT_CHAR:
+            machine.output.append(chr(machine.read_reg(0) & 0xFF))
+        elif service == READ_CYCLES and self._cycle_source is not None:
+            machine.write_reg(0, self._cycle_source() & 0xFFFF)
+        elif service == PRINT_STRING:
+            addr = machine.read_reg(0)
+            chars = []
+            for _ in range(4096):  # runaway guard
+                code = machine.read_mem(addr)
+                if code == 0:
+                    break
+                chars.append(chr(code & 0xFF))
+                addr = (addr + 1) & 0xFFFF
+            machine.output.append("".join(chars))
+        else:
+            machine.halted = True

@@ -1,0 +1,54 @@
+"""Execution tracing for the simulators.
+
+Attach an :class:`ExecutionTrace` to a simulator to capture the dynamic
+instruction stream -- handy for debugging programs and for the benches
+that analyse instruction mixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.instructions import INSTRUCTIONS, Instr
+
+
+@dataclass
+class TraceEntry:
+    """One executed instruction."""
+
+    pc: int
+    instr: Instr
+    taken_branch: bool
+
+    def render(self) -> str:
+        flag = " T" if self.taken_branch else ""
+        return f"{self.pc:04x}: {self.instr.render()}{flag}"
+
+
+@dataclass
+class ExecutionTrace:
+    """Collects executed instructions (optionally capped)."""
+
+    limit: int | None = None
+    entries: list[TraceEntry] = field(default_factory=list)
+
+    def record(self, pc: int, instr: Instr, effects, machine) -> None:
+        """Called by the simulator after each instruction."""
+        if self.limit is not None and len(self.entries) >= self.limit:
+            return
+        self.entries.append(TraceEntry(pc, instr, effects.taken_branch))
+
+    def mix(self) -> dict[str, int]:
+        """Dynamic instruction count per timing category."""
+        counts: dict[str, int] = {}
+        for entry in self.entries:
+            cat = INSTRUCTIONS[entry.instr.mnemonic].category
+            counts[cat] = counts.get(cat, 0) + 1
+        return counts
+
+    def render(self) -> str:
+        """The whole trace as text."""
+        return "\n".join(entry.render() for entry in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)

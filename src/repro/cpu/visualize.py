@@ -1,0 +1,67 @@
+"""Pipeline occupancy visualization.
+
+Wraps a :class:`~repro.cpu.pipeline.PipelinedSimulator` to record which
+instruction occupied each stage on every clock, then renders the classic
+pipeline diagram -- stages across, cycles down -- with stalls shown as
+held rows and flushes as vanished entries.  Used by the pipeline example
+and handy when debugging interlock behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cpu.pipeline import PipelinedSimulator
+
+_STAGE_NAMES = {4: ("IF", "ID", "EX", "WB"), 5: ("IF", "ID", "EX", "MEM", "WB")}
+
+
+@dataclass
+class PipelineRecording:
+    """Stage occupancy per cycle: each row maps stage name -> text."""
+
+    stages: tuple[str, ...]
+    rows: list[dict[str, str]] = field(default_factory=list)
+
+    def render(self, first: int = 0, count: int | None = None) -> str:
+        """ASCII table of the recorded cycles."""
+        rows = self.rows[first : None if count is None else first + count]
+        width = {s: max(len(s), *(len(r[s]) for r in rows)) if rows else len(s) for s in self.stages}
+        lines = [
+            "cycle  " + "  ".join(s.ljust(width[s]) for s in self.stages)
+        ]
+        for i, row in enumerate(rows, start=first + 1):
+            lines.append(
+                f"{i:5d}  " + "  ".join(row[s].ljust(width[s]) for s in self.stages)
+            )
+        return "\n".join(lines)
+
+
+def record_pipeline(simulator: PipelinedSimulator, max_cycles: int = 10_000) -> PipelineRecording:
+    """Run ``simulator`` to halt, recording stage occupancy every cycle.
+
+    The IF column shows the in-flight fetch; bubbles render as ``-``.
+    """
+    stages = _STAGE_NAMES[simulator.config.stages]
+    recording = PipelineRecording(stages=stages)
+
+    def snapshot() -> dict[str, str]:
+        row: dict[str, str] = {}
+        fetch = simulator._fetch_current
+        row["IF"] = (
+            "-" if fetch is None
+            else (fetch.instr.mnemonic if fetch.instr else "??") + (
+                "*" if fetch.fetch_left > 0 else ""
+            )
+        )
+        for name, rec in zip(stages[1:], simulator._pipe[1:]):
+            if rec is None or rec.instr is None:
+                row[name] = "-"
+            else:
+                row[name] = rec.instr.mnemonic
+        return row
+
+    while not simulator.machine.halted and simulator.stats.cycles < max_cycles:
+        simulator.cycle()
+        recording.rows.append(snapshot())
+    return recording

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the Tangled/Qat reproduction.
+
+Every error raised by the package derives from :class:`ReproError` so
+callers can catch package failures with a single ``except`` clause.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class EntanglementError(ReproError):
+    """Mismatched or out-of-range entanglement ways / channels."""
+
+
+class ChannelExhaustedError(EntanglementError):
+    """A PBP context ran out of free entanglement-channel sets."""
+
+
+class AssemblerError(ReproError):
+    """Syntax or semantic error while assembling Tangled/Qat source."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class EncodingError(ReproError):
+    """Instruction cannot be encoded or decoded (bad operand / opcode)."""
+
+
+class SimulatorError(ReproError):
+    """Runtime fault inside one of the CPU simulators."""
+
+
+class HaltedError(SimulatorError):
+    """Execution was requested on a machine that has already halted."""
+
+
+class MeasurementError(ReproError):
+    """Invalid measurement request (e.g. channel out of range)."""
+
+
+class CircuitError(ReproError):
+    """Malformed gate circuit (dangling node, wrong arity, ...)."""

@@ -1,0 +1,49 @@
+"""Gate-level circuit IR, optimizer, and Qat code emitter.
+
+Quantum algorithms "are optimized at the gate level rather than the word
+level" (paper section 1, citing Dietz's LCPC 2017 bit-level compiler
+work).  This package is the reproduction's gate level:
+
+- :mod:`repro.gates.alg` -- the tiny bit-algebra protocol every backend
+  implements (AoB values, pattern vectors, and circuit builders alike),
+- :mod:`repro.gates.ir` -- an SSA circuit of gate nodes with an evaluator,
+- :mod:`repro.gates.library` -- word-level arithmetic (adders,
+  multipliers, comparators) lowered onto any bit algebra,
+- :mod:`repro.gates.optimizer` -- constant folding, common-subexpression
+  elimination and dead-gate removal,
+- :mod:`repro.gates.regalloc` -- Qat register allocators (the paper's
+  greedy preserve-everything scheme and a recycling linear scan),
+- :mod:`repro.gates.emit` -- emission of Tangled/Qat assembly like the
+  paper's Figure 10.
+"""
+
+from repro.gates.alg import BitAlgebra
+from repro.gates.emit import EmitOptions, emit_qat
+from repro.gates.ir import GateCircuit, Node
+from repro.gates.library import (
+    equals,
+    less_than,
+    multiply,
+    mux,
+    ripple_add,
+    ripple_sub,
+)
+from repro.gates.optimizer import optimize
+from repro.gates.regalloc import GreedyAllocator, RecyclingAllocator
+
+__all__ = [
+    "BitAlgebra",
+    "EmitOptions",
+    "GateCircuit",
+    "GreedyAllocator",
+    "Node",
+    "RecyclingAllocator",
+    "emit_qat",
+    "equals",
+    "less_than",
+    "multiply",
+    "mux",
+    "optimize",
+    "ripple_add",
+    "ripple_sub",
+]

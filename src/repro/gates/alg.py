@@ -1,0 +1,96 @@
+"""The bit-algebra protocol shared by every PBP backend.
+
+Word-level operations (adders, multipliers, comparators, the whole of
+:mod:`repro.gates.library`) are written once against this protocol and
+then run unchanged over:
+
+- dense :class:`~repro.aob.AoB` values (immediate evaluation),
+- compressed :class:`~repro.pattern.PatternVector` values (symbolic
+  evaluation), or
+- a :class:`~repro.gates.ir.GateCircuit` builder (no evaluation at all --
+  the operations are *recorded* so they can be optimized and emitted as
+  Qat assembly, which is how the paper's Figure 10 listing was produced
+  from its word-level Figure 9 program).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, TypeVar, runtime_checkable
+
+B = TypeVar("B")
+
+
+@runtime_checkable
+class BitAlgebra(Protocol):
+    """Operations over single pbit values of some representation ``B``."""
+
+    def const(self, bit: int) -> Any:
+        """The constant pbit 0 or 1."""
+
+    def had(self, k: int) -> Any:
+        """The standard entangled superposition ``H(k)``."""
+
+    def band(self, a: Any, b: Any) -> Any:
+        """AND of two pbits."""
+
+    def bor(self, a: Any, b: Any) -> Any:
+        """OR of two pbits."""
+
+    def bxor(self, a: Any, b: Any) -> Any:
+        """XOR of two pbits."""
+
+    def bnot(self, a: Any) -> Any:
+        """NOT (Pauli-X analogue) of a pbit."""
+
+
+class ValueAlgebra:
+    """Bit algebra over concrete pbit values (AoB or pattern vectors).
+
+    Parameters
+    ----------
+    ways:
+        Entanglement degree of every value.
+    value_type:
+        Either :class:`repro.aob.AoB` or :class:`repro.pattern.PatternVector`.
+    store:
+        Chunk store, pattern backend only.
+    """
+
+    def __init__(self, ways: int, value_type: type, store=None):
+        self.ways = ways
+        self.value_type = value_type
+        self.store = store
+        self._const_cache: dict[int, Any] = {}
+        self._had_cache: dict[int, Any] = {}
+
+    def _make(self, factory: str, *args):
+        method = getattr(self.value_type, factory)
+        if self.store is not None:
+            return method(*args, store=self.store)
+        return method(*args)
+
+    def const(self, bit: int):
+        value = self._const_cache.get(bit)
+        if value is None:
+            value = self._make("constant", self.ways, bit)
+            self._const_cache[bit] = value
+        return value
+
+    def had(self, k: int):
+        value = self._had_cache.get(k)
+        if value is None:
+            value = self._make("hadamard", self.ways, k)
+            self._had_cache[k] = value
+        return value
+
+    def band(self, a, b):
+        return a & b
+
+    def bor(self, a, b):
+        return a | b
+
+    def bxor(self, a, b):
+        return a ^ b
+
+    def bnot(self, a):
+        return ~a

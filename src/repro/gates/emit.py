@@ -1,0 +1,287 @@
+"""Emission of gate circuits as Tangled/Qat assembly.
+
+This reproduces how the paper's Figure 10 listing was produced: "the
+software-only PBP implementation ... was slightly modified to output the
+gate-level operations rather than to perform them".  A
+:class:`~repro.gates.ir.GateCircuit` is walked in topological order and
+each node becomes one (or a few) Qat instructions.
+
+Three target gate sets support the section-5 ablation:
+
+``full``
+    Everything in Table 3 is available.  Irreversible 3-operand gates are
+    preferred; with the recycling allocator, in-place ``not``/``cnot``/
+    ``ccnot`` forms are used when an operand dies at its last use.
+``irreversible``
+    The section-5 recommendation: only ``and``/``or``/``xor``/``not`` plus
+    initializers and measurement; the reversible gates become macros.
+``reversible``
+    A quantum-style target with *only* thermodynamically reversible gates
+    (``not``/``cnot``/``ccnot``/``swap``/``cswap``) plus initializers --
+    what Qat code would cost if it inherited quantum constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CircuitError
+from repro.gates.ir import GateCircuit
+from repro.gates.regalloc import GreedyAllocator, RecyclingAllocator
+
+GATE_SETS = ("full", "irreversible", "reversible")
+
+#: Register map when ``reserved_constants`` is on -- the paper's section 5
+#: suggestion: "@0 be 0, @1 be 1, @2 be H(0), @3 be H(1), etc.".
+RESERVED_ZERO = 0
+RESERVED_ONE = 1
+RESERVED_HAD_BASE = 2
+NUM_RESERVED = 18
+
+
+@dataclass
+class EmitOptions:
+    """Knobs for Qat code emission (see module docstring)."""
+
+    gate_set: str = "full"
+    allocator: str = "greedy"  # or "recycle"
+    reserved_constants: bool = False
+    num_regs: int = 256
+
+    def __post_init__(self) -> None:
+        if self.gate_set not in GATE_SETS:
+            raise ValueError(f"gate_set must be one of {GATE_SETS}")
+        if self.allocator not in ("greedy", "recycle"):
+            raise ValueError("allocator must be 'greedy' or 'recycle'")
+
+
+@dataclass
+class QatEmission:
+    """Result of emitting a circuit: assembly plus cost accounting."""
+
+    lines: list[str] = field(default_factory=list)
+    output_regs: dict[str, int] = field(default_factory=dict)
+    instruction_count: int = 0
+    word_count: int = 0
+    high_water_regs: int = 0
+
+    def text(self) -> str:
+        """The program as assembly source."""
+        return "\n".join(self.lines) + ("\n" if self.lines else "")
+
+
+#: Encoded size in 16-bit words of each Qat mnemonic (our encoding keeps
+#: every instruction naming more than one @-register at two words).
+_WORDS = {
+    "and": 2, "or": 2, "xor": 2, "ccnot": 2, "cswap": 2,
+    "cnot": 2, "swap": 2,
+    "not": 1, "zero": 1, "one": 1, "had": 1,
+    "meas": 1, "next": 1, "pop": 1,
+}
+
+
+class _Emitter:
+    def __init__(self, circuit: GateCircuit, options: EmitOptions):
+        self.circuit = circuit
+        self.options = options
+        self.emission = QatEmission()
+        first_free = NUM_RESERVED if options.reserved_constants else 0
+        if options.allocator == "greedy":
+            self.alloc = GreedyAllocator(options.num_regs, first_free)
+        else:
+            self.alloc = RecyclingAllocator(options.num_regs, first_free)
+        self.live = circuit.live_nodes()
+        self.reg_of: dict[int, int] = {}
+        self.last_use: dict[int, int] = {}
+        self.uses_left: dict[int, int] = {}
+        outputs = set(circuit.outputs.values())
+        for i, node in enumerate(circuit.nodes):
+            if i not in self.live:
+                continue
+            for arg in node.args:
+                self.last_use[arg] = i
+                self.uses_left[arg] = self.uses_left.get(arg, 0) + 1
+        for out in outputs:
+            # Outputs stay live to the end of the program.
+            self.last_use[out] = len(circuit.nodes)
+            self.uses_left[out] = self.uses_left.get(out, 0) + 1
+
+    # -- low-level helpers ---------------------------------------------------
+
+    def emit(self, mnemonic: str, *operands: str) -> None:
+        line = f"{mnemonic}\t{','.join(operands)}" if operands else mnemonic
+        self.emission.lines.append(line)
+        self.emission.instruction_count += 1
+        self.emission.word_count += _WORDS[mnemonic]
+
+    def consume(self, node_id: int) -> None:
+        """Record one use of a node; free its register at the last one."""
+        self.uses_left[node_id] -= 1
+        if self.uses_left[node_id] == 0 and node_id not in self._pinned:
+            self.alloc.free(self.reg_of[node_id])
+
+    def dies_here(self, node_id: int) -> bool:
+        """True if this is the final use and in-place reuse is allowed."""
+        return (
+            self.options.allocator == "recycle"
+            and self.uses_left.get(node_id, 0) == 1
+            and node_id not in self._pinned
+        )
+
+    def take_over(self, node_id: int) -> int:
+        """Steal a dying operand's register for the result (no free/alloc)."""
+        self.uses_left[node_id] -= 1
+        return self.reg_of[node_id]
+
+    def copy_into_fresh(self, src_reg: int) -> int:
+        """Materialize a copy of ``src_reg`` in a fresh register."""
+        dest = self.alloc.alloc()
+        if self.options.gate_set == "reversible":
+            self.emit("zero", f"@{dest}")
+            self.emit("cnot", f"@{dest}", f"@{src_reg}")
+        else:
+            # Figure 10 idiom: "or @80,@79,@79 is simply making a copy".
+            self.emit("or", f"@{dest}", f"@{src_reg}", f"@{src_reg}")
+        return dest
+
+    # -- leaves ----------------------------------------------------------------
+
+    def emit_const(self, node_id: int, bit: int) -> None:
+        if self.options.reserved_constants:
+            self.reg_of[node_id] = RESERVED_ONE if bit else RESERVED_ZERO
+            return
+        reg = self.alloc.alloc()
+        self.emit("one" if bit else "zero", f"@{reg}")
+        self.reg_of[node_id] = reg
+
+    def emit_had(self, node_id: int, k: int) -> None:
+        if self.options.reserved_constants:
+            self.reg_of[node_id] = RESERVED_HAD_BASE + k
+            return
+        reg = self.alloc.alloc()
+        self.emit("had", f"@{reg}", str(k))
+        self.reg_of[node_id] = reg
+
+    # -- gates -----------------------------------------------------------------
+
+    def emit_binary(self, node_id: int, op: str, a: int, b: int) -> None:
+        if self.options.gate_set == "reversible":
+            self.emit_binary_reversible(node_id, op, a, b)
+            return
+        ra, rb = self.reg_of[a], self.reg_of[b]
+        if self.options.gate_set == "full" and op == "xor" and self.dies_here(a) and b != a:
+            # cnot @a,@b == xor @a,@a,@b (section 5): reuse a's register.
+            dest = self.take_over(a)
+            self.consume(b)
+            self.emit("cnot", f"@{dest}", f"@{rb}")
+            self.reg_of[node_id] = dest
+            return
+        self.consume(a)
+        self.consume(b)
+        dest = self.alloc.alloc()
+        self.emit(op, f"@{dest}", f"@{ra}", f"@{rb}")
+        self.reg_of[node_id] = dest
+
+    def emit_binary_reversible(self, node_id: int, op: str, a: int, b: int) -> None:
+        ra, rb = self.reg_of[a], self.reg_of[b]
+        dest = self.alloc.alloc()
+        if op == "xor":
+            self.emit("zero", f"@{dest}")
+            self.emit("cnot", f"@{dest}", f"@{ra}")
+            self.emit("cnot", f"@{dest}", f"@{rb}")
+        elif op == "and":
+            self.emit("zero", f"@{dest}")
+            self.emit("ccnot", f"@{dest}", f"@{ra}", f"@{rb}")
+        elif op == "or":
+            # a | b == a ^ b ^ (a & b)
+            self.emit("zero", f"@{dest}")
+            self.emit("cnot", f"@{dest}", f"@{ra}")
+            self.emit("cnot", f"@{dest}", f"@{rb}")
+            self.emit("ccnot", f"@{dest}", f"@{ra}", f"@{rb}")
+        else:  # pragma: no cover
+            raise CircuitError(f"unknown binary op {op!r}")
+        self.consume(a)
+        self.consume(b)
+        self.reg_of[node_id] = dest
+
+    def emit_not(self, node_id: int, a: int) -> None:
+        ra = self.reg_of[a]
+        if self.options.gate_set == "reversible":
+            # ~a == 1 ^ a: one @dest; cnot @dest,@a
+            dest = self.alloc.alloc()
+            self.emit("one", f"@{dest}")
+            self.emit("cnot", f"@{dest}", f"@{ra}")
+            self.consume(a)
+            self.reg_of[node_id] = dest
+            return
+        if self.dies_here(a):
+            dest = self.take_over(a)
+            self.emit("not", f"@{dest}")
+            self.reg_of[node_id] = dest
+            return
+        # Figure 10 idiom: copy then invert in place so the source survives.
+        self.consume(a)
+        dest = self.copy_into_fresh(ra)
+        self.emit("not", f"@{dest}")
+        self.reg_of[node_id] = dest
+
+    # -- driver -------------------------------------------------------------------
+
+    def run(self, input_regs: dict[str, int] | None = None) -> QatEmission:
+        input_regs = input_regs or {}
+        self._pinned: set[int] = set()
+        circuit = self.circuit
+        # Pin nodes bound to externally provided registers.
+        for i, node in enumerate(circuit.nodes):
+            if i in self.live and node.op == "input":
+                if node.name not in input_regs:
+                    raise CircuitError(
+                        f"Qat cannot read host values: bind input {node.name!r} "
+                        "to a register via input_regs"
+                    )
+                self.reg_of[i] = input_regs[node.name]
+                self._pinned.add(i)
+        if self.options.reserved_constants:
+            # Reserved registers are never freed.
+            pass
+        for i, node in enumerate(circuit.nodes):
+            if i not in self.live:
+                continue
+            if node.op == "const0":
+                self.emit_const(i, 0)
+                if self.options.reserved_constants:
+                    self._pinned.add(i)
+            elif node.op == "const1":
+                self.emit_const(i, 1)
+                if self.options.reserved_constants:
+                    self._pinned.add(i)
+            elif node.op == "had":
+                self.emit_had(i, node.k)
+                if self.options.reserved_constants:
+                    self._pinned.add(i)
+            elif node.op == "input":
+                pass
+            elif node.op in ("and", "or", "xor"):
+                self.emit_binary(i, node.op, node.args[0], node.args[1])
+            elif node.op == "not":
+                self.emit_not(i, node.args[0])
+            else:  # pragma: no cover
+                raise CircuitError(f"unknown op {node.op!r}")
+        for name, out in circuit.outputs.items():
+            self.emission.output_regs[name] = self.reg_of[out]
+        self.emission.high_water_regs = self.alloc.high_water
+        return self.emission
+
+
+def emit_qat(
+    circuit: GateCircuit,
+    options: EmitOptions | None = None,
+    input_regs: dict[str, int] | None = None,
+) -> QatEmission:
+    """Emit ``circuit`` as Qat assembly under ``options``.
+
+    Returns a :class:`QatEmission` whose ``lines`` are bare mnemonics (no
+    labels), ready to paste into a Tangled program, and whose
+    ``output_regs`` names the Qat register holding each circuit output.
+    """
+    return _Emitter(circuit, options or EmitOptions()).run(input_regs)

@@ -1,0 +1,177 @@
+"""SSA gate-circuit intermediate representation.
+
+A :class:`GateCircuit` is an append-only list of :class:`Node` records in
+topological order; node ids are indices into that list.  The circuit
+doubles as a :class:`~repro.gates.alg.BitAlgebra`, so the word-level
+arithmetic in :mod:`repro.gates.library` can *record* its gate operations
+by simply running against a circuit instead of against values.
+
+Node ops::
+
+    const0 / const1        -- constant pbit initializers (zero/one)
+    had                    -- standard superposition, arg ``k`` (had @a,k)
+    input                  -- externally supplied pbit (named)
+    and / or / xor         -- two-operand irreversible gates (section 2.6)
+    not                    -- one-operand Pauli-X analogue
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CircuitError
+
+_BINARY_OPS = ("and", "or", "xor")
+_LEAF_OPS = ("const0", "const1", "had", "input")
+VALID_OPS = _LEAF_OPS + _BINARY_OPS + ("not",)
+
+
+@dataclass(frozen=True)
+class Node:
+    """One gate (or leaf) of a circuit.
+
+    Attributes
+    ----------
+    op:
+        One of :data:`VALID_OPS`.
+    args:
+        Ids of operand nodes (empty for leaves).
+    k:
+        Hadamard index for ``had`` nodes.
+    name:
+        Label for ``input`` nodes.
+    """
+
+    op: str
+    args: tuple[int, ...] = ()
+    k: int | None = None
+    name: str | None = None
+
+
+@dataclass
+class GateCircuit:
+    """A gate-level program: nodes in topological order plus named outputs."""
+
+    nodes: list[Node] = field(default_factory=list)
+    outputs: dict[str, int] = field(default_factory=dict)
+
+    # -- construction ---------------------------------------------------------
+
+    def _add(self, node: Node) -> int:
+        for arg in node.args:
+            if not 0 <= arg < len(self.nodes):
+                raise CircuitError(f"node argument {arg} out of range")
+        self.nodes.append(node)
+        return len(self.nodes) - 1
+
+    def const(self, bit: int) -> int:
+        """Constant pbit leaf (``zero @a`` / ``one @a``)."""
+        if bit not in (0, 1):
+            raise CircuitError(f"const bit must be 0 or 1, got {bit}")
+        return self._add(Node("const1" if bit else "const0"))
+
+    def had(self, k: int) -> int:
+        """Hadamard initializer leaf (``had @a,k``)."""
+        if not 0 <= k < 16:
+            raise CircuitError(f"had k must fit the 4-bit immediate, got {k}")
+        return self._add(Node("had", k=k))
+
+    def input(self, name: str) -> int:
+        """Externally supplied pbit."""
+        return self._add(Node("input", name=name))
+
+    def band(self, a: int, b: int) -> int:
+        """AND gate."""
+        return self._add(Node("and", (a, b)))
+
+    def bor(self, a: int, b: int) -> int:
+        """OR gate."""
+        return self._add(Node("or", (a, b)))
+
+    def bxor(self, a: int, b: int) -> int:
+        """XOR gate."""
+        return self._add(Node("xor", (a, b)))
+
+    def bnot(self, a: int) -> int:
+        """NOT gate."""
+        return self._add(Node("not", (a,)))
+
+    def mark_output(self, name: str, node: int) -> None:
+        """Expose ``node`` as a named result of the circuit."""
+        if not 0 <= node < len(self.nodes):
+            raise CircuitError(f"output node {node} out of range")
+        self.outputs[name] = node
+
+    # -- interrogation ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def gate_count(self) -> int:
+        """Number of actual gates (excludes leaves)."""
+        return sum(1 for n in self.nodes if n.op not in _LEAF_OPS)
+
+    def op_histogram(self) -> dict[str, int]:
+        """Count of nodes per op, useful for the ablation benches."""
+        hist: dict[str, int] = {}
+        for node in self.nodes:
+            hist[node.op] = hist.get(node.op, 0) + 1
+        return hist
+
+    def depth(self) -> int:
+        """Longest gate chain from any leaf to any output."""
+        depths = [0] * len(self.nodes)
+        for i, node in enumerate(self.nodes):
+            if node.op in _LEAF_OPS:
+                depths[i] = 0
+            else:
+                depths[i] = 1 + max(depths[a] for a in node.args)
+        if not self.outputs:
+            return max(depths, default=0)
+        return max(depths[o] for o in self.outputs.values())
+
+    def live_nodes(self) -> set[int]:
+        """Ids reachable from the outputs (the rest is dead)."""
+        live: set[int] = set()
+        stack = list(self.outputs.values())
+        while stack:
+            i = stack.pop()
+            if i in live:
+                continue
+            live.add(i)
+            stack.extend(self.nodes[i].args)
+        return live
+
+    # -- evaluation --------------------------------------------------------------
+
+    def evaluate(self, algebra, inputs: dict[str, object] | None = None) -> dict[str, object]:
+        """Run the circuit over any :class:`~repro.gates.alg.BitAlgebra`.
+
+        Returns the named outputs as backend values.  ``inputs`` supplies
+        values for ``input`` leaves by name.
+        """
+        inputs = inputs or {}
+        values: list[object] = [None] * len(self.nodes)
+        for i, node in enumerate(self.nodes):
+            if node.op == "const0":
+                values[i] = algebra.const(0)
+            elif node.op == "const1":
+                values[i] = algebra.const(1)
+            elif node.op == "had":
+                values[i] = algebra.had(node.k)
+            elif node.op == "input":
+                try:
+                    values[i] = inputs[node.name]
+                except KeyError:
+                    raise CircuitError(f"missing input {node.name!r}") from None
+            elif node.op == "and":
+                values[i] = algebra.band(values[node.args[0]], values[node.args[1]])
+            elif node.op == "or":
+                values[i] = algebra.bor(values[node.args[0]], values[node.args[1]])
+            elif node.op == "xor":
+                values[i] = algebra.bxor(values[node.args[0]], values[node.args[1]])
+            elif node.op == "not":
+                values[i] = algebra.bnot(values[node.args[0]])
+            else:  # pragma: no cover - construction rejects unknown ops
+                raise CircuitError(f"unknown op {node.op!r}")
+        return {name: values[node] for name, node in self.outputs.items()}

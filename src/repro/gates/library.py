@@ -1,0 +1,147 @@
+"""Word-level arithmetic lowered to pbit gates.
+
+These are the circuits the word-level ``pint`` API of the paper's Figure 9
+compiles into: ripple-carry addition, shift-add multiplication, equality
+and magnitude comparison, and multiplexing.  Every function takes a
+:class:`~repro.gates.alg.BitAlgebra` plus little-endian lists of pbit
+values (bit 0 first), and returns pbit values of the same representation
+-- concrete AoB / pattern values when given a value algebra, circuit node
+ids when given a :class:`~repro.gates.ir.GateCircuit`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+Bits = Sequence[Any]
+
+
+def _check_nonempty(name: str, bits: Bits) -> None:
+    if len(bits) == 0:
+        raise ValueError(f"{name} must have at least one pbit")
+
+
+def full_adder(alg, a: Any, b: Any, carry: Any) -> tuple[Any, Any]:
+    """One full-adder stage: returns ``(sum, carry_out)``.
+
+    Uses the standard 2-XOR / majority decomposition (5 gates); the
+    ``a ^ b`` term is shared between sum and carry.
+    """
+    axb = alg.bxor(a, b)
+    total = alg.bxor(axb, carry)
+    carry_out = alg.bor(alg.band(a, b), alg.band(carry, axb))
+    return total, carry_out
+
+
+def ripple_add(alg, a: Bits, b: Bits, carry_in: Any | None = None) -> tuple[list[Any], Any]:
+    """Ripple-carry addition of equal-width words; returns ``(sum, carry)``."""
+    _check_nonempty("a", a)
+    if len(a) != len(b):
+        raise ValueError(f"width mismatch: {len(a)} vs {len(b)}")
+    carry = carry_in if carry_in is not None else alg.const(0)
+    out: list[Any] = []
+    for bit_a, bit_b in zip(a, b):
+        total, carry = full_adder(alg, bit_a, bit_b, carry)
+        out.append(total)
+    return out, carry
+
+
+def ripple_sub(alg, a: Bits, b: Bits) -> tuple[list[Any], Any]:
+    """Two's-complement subtraction ``a - b``; returns ``(diff, borrow)``.
+
+    ``borrow`` is 1 when ``a < b`` (unsigned), i.e. the complement of the
+    final carry of ``a + ~b + 1``.
+    """
+    _check_nonempty("a", a)
+    if len(a) != len(b):
+        raise ValueError(f"width mismatch: {len(a)} vs {len(b)}")
+    not_b = [alg.bnot(bit) for bit in b]
+    diff, carry = ripple_add(alg, a, not_b, carry_in=alg.const(1))
+    return diff, alg.bnot(carry)
+
+
+def multiply(alg, a: Bits, b: Bits, out_width: int | None = None) -> list[Any]:
+    """Shift-add multiplication; result width defaults to ``len(a)+len(b)``.
+
+    This is the circuit behind the Figure 9 ``pint_mul``: when ``a`` and
+    ``b`` are Hadamard superpositions over *disjoint* channel sets, the
+    product is entangled over the union of both sets.
+    """
+    _check_nonempty("a", a)
+    _check_nonempty("b", b)
+    if out_width is None:
+        out_width = len(a) + len(b)
+    zero = alg.const(0)
+    acc: list[Any] = [zero] * out_width
+    for i, bit_a in enumerate(a):
+        if i >= out_width:
+            break
+        # Partial product: b gated by bit i of a, shifted left by i.
+        width = min(len(b), out_width - i)
+        partial = [alg.band(bit_a, b[j]) for j in range(width)]
+        segment, carry = ripple_add(alg, acc[i : i + width], partial)
+        acc[i : i + width] = segment
+        # Propagate the carry through the remaining accumulator bits.
+        pos = i + width
+        while pos < out_width:
+            total = alg.bxor(acc[pos], carry)
+            carry = alg.band(acc[pos], carry)
+            acc[pos] = total
+            pos += 1
+    return acc
+
+
+def equals(alg, a: Bits, b: Bits) -> Any:
+    """Single pbit that is 1 in channels where the words are equal."""
+    _check_nonempty("a", a)
+    if len(a) != len(b):
+        raise ValueError(f"width mismatch: {len(a)} vs {len(b)}")
+    result = None
+    for bit_a, bit_b in zip(a, b):
+        same = alg.bnot(alg.bxor(bit_a, bit_b))
+        result = same if result is None else alg.band(result, same)
+    return result
+
+
+def equals_const(alg, a: Bits, value: int) -> Any:
+    """Single pbit that is 1 where word ``a`` equals the constant ``value``."""
+    _check_nonempty("a", a)
+    if value < 0 or value >> len(a):
+        raise ValueError(f"constant {value} does not fit in {len(a)} bits")
+    result = None
+    for i, bit_a in enumerate(a):
+        term = bit_a if (value >> i) & 1 else alg.bnot(bit_a)
+        result = term if result is None else alg.band(result, term)
+    return result
+
+
+def less_than(alg, a: Bits, b: Bits) -> Any:
+    """Single pbit that is 1 where ``a < b`` (unsigned)."""
+    _, borrow = ripple_sub(alg, list(a), list(b))
+    return borrow
+
+
+def mux(alg, sel: Any, when_true: Bits, when_false: Bits) -> list[Any]:
+    """Per-channel select: ``sel ? when_true : when_false`` for each bit.
+
+    The paper notes (section 2.5) that ``cswap`` is a generalization of a
+    1-of-2 multiplexor; this is the irreversible-gate expansion used when
+    the Fredkin instruction is ablated away.
+    """
+    if len(when_true) != len(when_false):
+        raise ValueError(
+            f"width mismatch: {len(when_true)} vs {len(when_false)}"
+        )
+    not_sel = alg.bnot(sel)
+    return [
+        alg.bor(alg.band(sel, t), alg.band(not_sel, f))
+        for t, f in zip(when_true, when_false)
+    ]
+
+
+def logical_ops(alg, a: Bits, b: Bits, op: str) -> list[Any]:
+    """Bitwise and/or/xor across equal-width words."""
+    if len(a) != len(b):
+        raise ValueError(f"width mismatch: {len(a)} vs {len(b)}")
+    fn = {"and": alg.band, "or": alg.bor, "xor": alg.bxor}[op]
+    return [fn(x, y) for x, y in zip(a, b)]

@@ -1,0 +1,190 @@
+"""Gate-level optimization passes.
+
+The paper's introduction argues (citing Dietz, LCPC 2017) that aggressive
+compiler optimization *at the gate level* can cut gate actions by orders of
+magnitude.  These passes are the reproduction's rendering of that claim,
+and the S5 ablation bench measures their effect on the factoring circuit:
+
+- constant folding with boolean identities (``x & 0 = 0``, ``x ^ x = 0``,
+  ``~~x = x``, ...),
+- common-subexpression elimination by hash-consing,
+- dead-gate elimination (anything unreachable from the outputs).
+
+Passes are applied to a fixpoint by :func:`optimize`; circuits are never
+mutated -- a new :class:`~repro.gates.ir.GateCircuit` is returned.
+"""
+
+from __future__ import annotations
+
+from repro.gates.ir import GateCircuit, Node
+
+_COMMUTATIVE = ("and", "or", "xor")
+
+
+def _rebuild(circuit: GateCircuit, replace: list[int | None]) -> GateCircuit:
+    """Copy ``circuit`` keeping only nodes whose ``replace`` entry is None,
+    remapping arguments through the replacement table."""
+    new = GateCircuit()
+    mapping: dict[int, int] = {}
+
+    def resolve(i: int) -> int:
+        while replace[i] is not None:
+            i = replace[i]
+        return mapping[i]
+
+    for i, node in enumerate(circuit.nodes):
+        if replace[i] is not None:
+            continue
+        args = tuple(resolve(a) for a in node.args)
+        mapping[i] = new._add(Node(node.op, args, k=node.k, name=node.name))
+    for name, out in circuit.outputs.items():
+        i = out
+        while replace[i] is not None:
+            i = replace[i]
+        new.mark_output(name, mapping[i])
+    return new
+
+
+def fold_constants(circuit: GateCircuit) -> GateCircuit:
+    """Apply boolean identities; returns a new circuit.
+
+    Handled identities (``c0``/``c1`` are constant nodes)::
+
+        x & c0 = c0     x & c1 = x      x & x = x
+        x | c0 = x      x | c1 = c1     x | x = x
+        x ^ c0 = x      x ^ c1 = ~x     x ^ x = c0
+        ~c0 = c1        ~c1 = c0        ~~x = x
+    """
+    nodes = circuit.nodes
+    const_of: list[int | None] = [None] * len(nodes)  # 0/1 for known consts
+    replace: list[int | None] = [None] * len(nodes)
+    rewritten: list[Node] = list(nodes)
+
+    def root(i: int) -> int:
+        while replace[i] is not None:
+            i = replace[i]
+        return i
+
+    for i, node in enumerate(nodes):
+        if node.op == "const0":
+            const_of[i] = 0
+            continue
+        if node.op == "const1":
+            const_of[i] = 1
+            continue
+        if node.op in ("had", "input"):
+            continue
+        args = tuple(root(a) for a in node.args)
+        if node.op == "not":
+            (a,) = args
+            if const_of[a] == 0:
+                rewritten[i] = Node("const1")
+                const_of[i] = 1
+            elif const_of[a] == 1:
+                rewritten[i] = Node("const0")
+                const_of[i] = 0
+            elif rewritten[a].op == "not":
+                replace[i] = rewritten[a].args[0]
+            else:
+                rewritten[i] = Node("not", (a,))
+            continue
+        a, b = args
+        ca, cb = const_of[a], const_of[b]
+        if node.op == "and":
+            if ca == 0 or cb == 0:
+                rewritten[i] = Node("const0")
+                const_of[i] = 0
+            elif ca == 1:
+                replace[i] = b
+            elif cb == 1 or a == b:
+                replace[i] = a
+            else:
+                rewritten[i] = Node("and", (a, b))
+        elif node.op == "or":
+            if ca == 1 or cb == 1:
+                rewritten[i] = Node("const1")
+                const_of[i] = 1
+            elif ca == 0:
+                replace[i] = b
+            elif cb == 0 or a == b:
+                replace[i] = a
+            else:
+                rewritten[i] = Node("or", (a, b))
+        elif node.op == "xor":
+            if a == b:
+                rewritten[i] = Node("const0")
+                const_of[i] = 0
+            elif ca == 0:
+                replace[i] = b
+            elif cb == 0:
+                replace[i] = a
+            elif ca == 1:
+                rewritten[i] = Node("not", (b,))
+            elif cb == 1:
+                rewritten[i] = Node("not", (a,))
+            else:
+                rewritten[i] = Node("xor", (a, b))
+
+    patched = GateCircuit(nodes=rewritten, outputs=dict(circuit.outputs))
+    return _rebuild(patched, replace)
+
+
+def eliminate_common_subexpressions(circuit: GateCircuit) -> GateCircuit:
+    """Merge structurally identical nodes (hash-consing).
+
+    Commutative gate operands are canonicalized so ``a & b`` and ``b & a``
+    unify.  ``input`` nodes unify by name; ``had`` nodes by ``k``.
+    """
+    seen: dict[tuple, int] = {}
+    replace: list[int | None] = [None] * len(circuit.nodes)
+
+    def root(i: int) -> int:
+        while replace[i] is not None:
+            i = replace[i]
+        return i
+
+    for i, node in enumerate(circuit.nodes):
+        args = tuple(root(a) for a in node.args)
+        if node.op in _COMMUTATIVE and args[0] > args[1]:
+            args = (args[1], args[0])
+        key = (node.op, args, node.k, node.name)
+        prior = seen.get(key)
+        if prior is not None:
+            replace[i] = prior
+        else:
+            seen[key] = i
+    return _rebuild(circuit, replace)
+
+
+def eliminate_dead_gates(circuit: GateCircuit) -> GateCircuit:
+    """Drop every node not reachable from a named output."""
+    live = circuit.live_nodes()
+    replace: list[int | None] = [
+        None if i in live else -1 for i in range(len(circuit.nodes))
+    ]
+    # _rebuild treats non-None as a redirect; dead nodes are never referenced
+    # by live ones, so redirecting them to themselves-as-dropped is safe only
+    # if we filter instead.  Use a direct rebuild here.
+    new = GateCircuit()
+    mapping: dict[int, int] = {}
+    for i, node in enumerate(circuit.nodes):
+        if replace[i] is not None:
+            continue
+        args = tuple(mapping[a] for a in node.args)
+        mapping[i] = new._add(Node(node.op, args, k=node.k, name=node.name))
+    for name, out in circuit.outputs.items():
+        new.mark_output(name, mapping[out])
+    return new
+
+
+def optimize(circuit: GateCircuit, max_rounds: int = 8) -> GateCircuit:
+    """Run fold / CSE / dead-code passes to a fixpoint."""
+    current = circuit
+    for _ in range(max_rounds):
+        before = len(current.nodes)
+        current = fold_constants(current)
+        current = eliminate_common_subexpressions(current)
+        current = eliminate_dead_gates(current)
+        if len(current.nodes) == before:
+            break
+    return current

@@ -1,0 +1,82 @@
+"""Qat register allocators.
+
+Qat has 256 AoB registers and *no* memory interface (paper section 2.2),
+so spilling is impossible: allocation either fits or the circuit cannot be
+emitted.  Two allocators are provided:
+
+- :class:`GreedyAllocator` reproduces the paper's Figure 10 scheme: "the
+  register allocation scheme greedily uses registers so that every
+  intermediate computation's value is still available in a register at the
+  end of the computation".
+- :class:`RecyclingAllocator` frees a register at its value's last use,
+  the obvious improvement the paper notes would need "far fewer
+  registers".
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.errors import CircuitError
+
+
+class AllocationError(CircuitError):
+    """The circuit needs more live registers than Qat provides."""
+
+
+class GreedyAllocator:
+    """Fresh register per value; nothing is ever freed."""
+
+    def __init__(self, num_regs: int = 256, first_free: int = 0):
+        self.num_regs = num_regs
+        self._next = first_free
+
+    def alloc(self) -> int:
+        """Claim the next register forever."""
+        if self._next >= self.num_regs:
+            raise AllocationError(
+                f"greedy allocation exhausted all {self.num_regs} Qat registers"
+            )
+        reg = self._next
+        self._next += 1
+        return reg
+
+    def free(self, reg: int) -> None:
+        """No-op: the greedy scheme preserves every intermediate value."""
+
+    @property
+    def high_water(self) -> int:
+        """Number of registers ever allocated."""
+        return self._next
+
+
+class RecyclingAllocator:
+    """Linear-scan allocation: registers return to a free pool at last use."""
+
+    def __init__(self, num_regs: int = 256, first_free: int = 0):
+        self.num_regs = num_regs
+        self._free: list[int] = list(range(first_free, num_regs))
+        heapq.heapify(self._free)
+        self._live = 0
+        self._high_water = first_free
+
+    def alloc(self) -> int:
+        """Claim the lowest-numbered free register."""
+        if not self._free:
+            raise AllocationError(
+                f"live values exceed all {self.num_regs} Qat registers"
+            )
+        reg = heapq.heappop(self._free)
+        self._live += 1
+        self._high_water = max(self._high_water, reg + 1)
+        return reg
+
+    def free(self, reg: int) -> None:
+        """Return ``reg`` to the pool."""
+        heapq.heappush(self._free, reg)
+        self._live -= 1
+
+    @property
+    def high_water(self) -> int:
+        """Highest register number ever claimed, plus one."""
+        return self._high_water

@@ -1,0 +1,35 @@
+"""Structural hardware models for the Qat datapath.
+
+The paper's hardware evaluation (sections 3.2/3.3) argues about *gate
+count and gate delay* of the two hard operations -- the ``had`` pattern
+generator of Figure 7 and the ``next`` priority logic of Figure 8 -- plus
+the register-file port cost of the reversible gates (sections 2.5 and 5).
+We have no synthesis toolchain here, so this package builds the actual
+gate netlists and measures those quantities directly:
+
+- :mod:`repro.hw.netlist` -- a tiny structural netlist (2-input gates,
+  arbitrary-fan-in reduction gates) with batch evaluation and
+  count/depth analysis;
+- :mod:`repro.hw.qathad` -- the Figure 7 ``had`` generator as decoder +
+  per-bit OR network, with closed-form costs for large WAYS;
+- :mod:`repro.hw.qatnext` -- the Figure 8 ``next`` design (barrel-shift
+  masking + recursive count-trailing-zeros) in both the narrow
+  (2-input OR tree) and wide OR-reduction variants that drive the
+  paper's O(WAYS) vs O(WAYS^2) delay discussion;
+- :mod:`repro.hw.regfile` -- register-file area/port model quantifying
+  the 3-read/2-write cost of ``ccnot``/``cswap``/``swap``.
+"""
+
+from repro.hw.netlist import Netlist
+from repro.hw.qathad import build_had_netlist, had_cost
+from repro.hw.qatnext import build_next_netlist, next_cost
+from repro.hw.regfile import regfile_cost
+
+__all__ = [
+    "Netlist",
+    "build_had_netlist",
+    "build_next_netlist",
+    "had_cost",
+    "next_cost",
+    "regfile_cost",
+]

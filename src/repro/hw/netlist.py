@@ -1,0 +1,187 @@
+"""A small structural netlist with batch evaluation.
+
+Nodes are created in topological order (construction requires operands to
+exist), so evaluation is a single forward pass.  Values during evaluation
+are NumPy bool arrays -- one lane per test vector -- so a whole random
+test batch flows through the netlist at once.
+
+Gate inventory: ``const``, ``input``, 2-input ``and``/``or``/``xor``,
+``not``, and arbitrary-fan-in ``orN``/``andN`` reduction gates.  The
+reduction gates model "wide" logic (single-level fan-in); pass
+``wide=False`` helpers to expand them into 2-input trees instead, which
+is exactly the narrow-vs-wide distinction behind the paper's O(WAYS) vs
+O(WAYS^2) delay analysis for ``next``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CircuitError
+
+
+@dataclass(frozen=True)
+class _Gate:
+    op: str
+    args: tuple[int, ...]
+    value: bool | None = None  # const only
+    name: str | None = None  # input only
+
+
+class Netlist:
+    """Append-only gate graph with named inputs and outputs."""
+
+    def __init__(self) -> None:
+        self._gates: list[_Gate] = []
+        self._inputs: dict[str, int] = {}
+        self.outputs: dict[str, list[int]] = {}
+        self._depth: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._gates)
+
+    # -- construction -----------------------------------------------------------
+
+    def _add(self, gate: _Gate, depth: int) -> int:
+        self._gates.append(gate)
+        self._depth.append(depth)
+        return len(self._gates) - 1
+
+    def const(self, value: bool) -> int:
+        """Constant driver (free: no gate cost, depth 0)."""
+        return self._add(_Gate("const", (), value=bool(value)), 0)
+
+    def input(self, name: str) -> int:
+        """Primary input bit."""
+        if name in self._inputs:
+            raise CircuitError(f"duplicate input {name!r}")
+        node = self._add(_Gate("input", (), name=name), 0)
+        self._inputs[name] = node
+        return node
+
+    def input_bus(self, name: str, width: int) -> list[int]:
+        """``width`` input bits named ``name[i]``, LSB first."""
+        return [self.input(f"{name}[{i}]") for i in range(width)]
+
+    def _gate2(self, op: str, a: int, b: int) -> int:
+        depth = 1 + max(self._depth[a], self._depth[b])
+        return self._add(_Gate(op, (a, b)), depth)
+
+    def g_and(self, a: int, b: int) -> int:
+        return self._gate2("and", a, b)
+
+    def g_or(self, a: int, b: int) -> int:
+        return self._gate2("or", a, b)
+
+    def g_xor(self, a: int, b: int) -> int:
+        return self._gate2("xor", a, b)
+
+    def g_not(self, a: int) -> int:
+        return self._add(_Gate("not", (a,)), 1 + self._depth[a])
+
+    def g_mux(self, sel: int, when_true: int, when_false: int) -> int:
+        """2:1 mux from 2-input gates (3 gates + shared inverter)."""
+        nsel = self.g_not(sel)
+        return self.g_or(self.g_and(sel, when_true), self.g_and(nsel, when_false))
+
+    def reduce_or(self, nodes: list[int], wide: bool) -> int:
+        """OR-reduce: one arbitrary-fan-in gate (``wide``) or a 2-input tree."""
+        return self._reduce("or", nodes, wide)
+
+    def reduce_and(self, nodes: list[int], wide: bool) -> int:
+        """AND-reduce (wide gate or 2-input tree)."""
+        return self._reduce("and", nodes, wide)
+
+    def _reduce(self, op: str, nodes: list[int], wide: bool) -> int:
+        if not nodes:
+            raise CircuitError("cannot reduce zero nodes")
+        if len(nodes) == 1:
+            return nodes[0]
+        if wide:
+            depth = 1 + max(self._depth[n] for n in nodes)
+            return self._add(_Gate(op + "N", tuple(nodes)), depth)
+        level = list(nodes)
+        while len(level) > 1:
+            nxt = []
+            for i in range(0, len(level) - 1, 2):
+                nxt.append(self._gate2(op, level[i], level[i + 1]))
+            if len(level) % 2:
+                nxt.append(level[-1])
+            level = nxt
+        return level[0]
+
+    def mark_output(self, name: str, nodes: list[int]) -> None:
+        """Expose a bus (LSB first) as a named output."""
+        self.outputs[name] = list(nodes)
+
+    # -- analysis ------------------------------------------------------------------
+
+    def gate_count(self) -> int:
+        """Number of logic gates (consts and inputs are free)."""
+        return sum(1 for g in self._gates if g.op not in ("const", "input"))
+
+    def gate_histogram(self) -> dict[str, int]:
+        hist: dict[str, int] = {}
+        for g in self._gates:
+            if g.op in ("const", "input"):
+                continue
+            hist[g.op] = hist.get(g.op, 0) + 1
+        return hist
+
+    def depth(self) -> int:
+        """Logic levels on the deepest output path."""
+        if not self.outputs:
+            return max(self._depth, default=0)
+        return max(
+            (self._depth[n] for bus in self.outputs.values() for n in bus),
+            default=0,
+        )
+
+    # -- evaluation -------------------------------------------------------------------
+
+    def evaluate(self, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+        """Batch-evaluate: each input bit is a bool array (lane = test case).
+
+        Returns each output bus as a 2D bool array ``(width, lanes)``.
+        """
+        lanes = None
+        for arr in inputs.values():
+            lanes = np.asarray(arr).shape[0]
+            break
+        if lanes is None:
+            lanes = 1
+        values: list[np.ndarray] = [None] * len(self._gates)  # type: ignore[list-item]
+        for i, g in enumerate(self._gates):
+            if g.op == "const":
+                values[i] = np.full(lanes, g.value, dtype=bool)
+            elif g.op == "input":
+                try:
+                    values[i] = np.asarray(inputs[g.name], dtype=bool)
+                except KeyError:
+                    raise CircuitError(f"missing input {g.name!r}") from None
+            elif g.op == "and":
+                values[i] = values[g.args[0]] & values[g.args[1]]
+            elif g.op == "or":
+                values[i] = values[g.args[0]] | values[g.args[1]]
+            elif g.op == "xor":
+                values[i] = values[g.args[0]] ^ values[g.args[1]]
+            elif g.op == "not":
+                values[i] = ~values[g.args[0]]
+            elif g.op == "orN":
+                acc = values[g.args[0]].copy()
+                for a in g.args[1:]:
+                    acc |= values[a]
+                values[i] = acc
+            elif g.op == "andN":
+                acc = values[g.args[0]].copy()
+                for a in g.args[1:]:
+                    acc &= values[a]
+                values[i] = acc
+            else:  # pragma: no cover
+                raise CircuitError(f"unknown gate op {g.op!r}")
+        return {
+            name: np.stack([values[n] for n in bus])
+            for name, bus in self.outputs.items()
+        }

@@ -1,0 +1,83 @@
+"""Structural model of the Figure 7 ``qathad`` generator.
+
+Figure 7's parametric Verilog assigns ``aob[i] = (i >> h)`` (bit 0 of the
+shift): output bit ``i`` equals bit ``h`` of the constant ``i``.  As a
+circuit this is a 4-bit decoder shared by all outputs plus, per output
+bit, an OR over the decoder lines ``k`` for which bit ``k`` of ``i`` is
+set -- the "lookup table expressed as a combinatorial case statement
+(multiplexor)" the students built.
+
+Section 5 concludes this hardware is not worth it: "the gate-level
+hardware needed to generate a standard entangled superposition ... is
+greater than that required to simply reserve constant-initialized
+registers".  :func:`had_cost` provides the closed-form gate count/depth
+that the FIG7 bench sweeps to quantify that claim.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.hw.netlist import Netlist
+
+
+def build_had_netlist(ways: int, wide: bool = True) -> Netlist:
+    """Build the ``had`` generator for :math:`2^{ways}` output bits.
+
+    Inputs: ``h[0..hbits-1]`` (the Hadamard index, ``hbits = max(4,
+    ceil(log2 ways))`` to match the 4-bit instruction immediate for the
+    full-scale design).  Output bus: ``aob``.
+    """
+    if ways <= 0:
+        raise ValueError(f"ways must be positive, got {ways}")
+    net = Netlist()
+    hbits = max(4, math.ceil(math.log2(ways))) if ways > 1 else 4
+    h = net.input_bus("h", hbits)
+    h_not = [net.g_not(bit) for bit in h]
+    # Decoder: one line per possible k in 0..ways-1.
+    lines = []
+    for k in range(ways):
+        terms = [h[b] if (k >> b) & 1 else h_not[b] for b in range(hbits)]
+        lines.append(net.reduce_and(terms, wide))
+    zero = net.const(False)
+    outputs = []
+    for i in range(1 << ways):
+        selected = [lines[k] for k in range(ways) if (i >> k) & 1]
+        outputs.append(net.reduce_or(selected, wide) if selected else zero)
+    net.mark_output("aob", outputs)
+    return net
+
+
+def had_cost(ways: int, wide: bool = True) -> dict[str, int]:
+    """Closed-form gate count and depth of the Figure 7 generator.
+
+    Per output bit ``i`` the OR network spans ``popcount(i)`` decoder
+    lines; summed over all :math:`2^{ways}` outputs that is
+    ``ways * 2^{ways-1}`` OR inputs -- the dominant term that makes the
+    section-5 "reserve constant registers instead" recommendation obvious.
+    """
+    if ways <= 0:
+        raise ValueError(f"ways must be positive, got {ways}")
+    hbits = max(4, math.ceil(math.log2(ways))) if ways > 1 else 4
+    decoder_gates = hbits + ways * (1 if wide else hbits - 1)
+    or_inputs = ways * (1 << (ways - 1))
+    if wide:
+        or_gates = sum(1 for i in range(1 << ways) if (i).bit_count() > 1)
+        depth = 2 + 1  # inverter + wide AND + wide OR
+    else:
+        or_gates = sum(max(0, i.bit_count() - 1) for i in range(1 << ways))
+        depth = (
+            1  # inverter
+            + math.ceil(math.log2(hbits))  # decoder AND tree
+            + max(
+                (math.ceil(math.log2(i.bit_count())) for i in range(1 << ways) if i.bit_count() > 0),
+                default=0,
+            )
+        )
+    return {
+        "ways": ways,
+        "gates": decoder_gates + or_gates,
+        "or_inputs": or_inputs,
+        "depth": depth,
+        "constant_register_bits": 1 << ways,  # the section-5 alternative
+    }

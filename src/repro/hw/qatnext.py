@@ -1,0 +1,166 @@
+"""Structural model of the Figure 8 ``qatnext`` priority logic.
+
+The paper's design has two steps (section 3.3):
+
+1. **Masking** -- "a barrel shifter to right-shift-out the original bits
+   in these positions and then left-shift back in 0s": channels ``<= s``
+   are cleared, bit 0 is forced to ``1'b0``.
+2. **Count trailing zeros** -- "a recursive decomposition in which each
+   bit of the next 1's entanglement channel number is computed in one
+   step examining :math:`2^k` bit positions": each level tests whether
+   the low half contains any 1 (the ``|t[pow2].v[...]`` OR-reduction),
+   selects that half if so, and emits one result bit.
+
+The OR-reductions dominate the delay: with arbitrary-fan-in ("wide") OR
+gates the whole operation is O(WAYS) levels, but "could approach
+O(WAYS^2) gate delays if the hardware implements the OR-reductions of
+step 2 using a tree of very narrow (e.g., 2-input) OR gates".  Pass
+``wide=False`` to get the narrow variant; the FIG8 bench sweeps both.
+
+:func:`build_next_netlist` constructs the actual gate network (verified
+against the ISA-level ``next`` by the test suite); :func:`next_cost`
+computes gate count and depth by mirroring the construction arithmetic
+without allocating gates, so it scales to the full 16-way design.
+"""
+
+from __future__ import annotations
+
+from repro.hw.netlist import Netlist
+
+
+def build_next_netlist(ways: int, wide: bool = True) -> Netlist:
+    """Build the full ``next`` netlist for a :math:`2^{ways}`-bit AoB.
+
+    Inputs: ``aob[0..N-1]`` and the start channel ``s[0..ways-1]``.
+    Output bus ``r``: the channel of the next 1 after ``s`` (0 if none).
+    """
+    if ways < 1:
+        raise ValueError(f"ways must be >= 1, got {ways}")
+    n = 1 << ways
+    net = Netlist()
+    s = net.input_bus("s", ways)
+    aob = net.input_bus("aob", n)
+
+    # ---- step 1: barrel-shift masking over aob[1..N-1] ----------------------
+    vec = aob[1:]
+    length = len(vec)
+    for direction in ("right", "left"):
+        for j in range(ways):
+            sel = s[j]
+            nsel = net.g_not(sel)
+            offset = 1 << j
+            new = []
+            for i in range(length):
+                src_idx = i + offset if direction == "right" else i - offset
+                keep = net.g_and(nsel, vec[i])
+                if 0 <= src_idx < length:
+                    new.append(net.g_or(net.g_and(sel, vec[src_idx]), keep))
+                else:
+                    new.append(keep)  # shifted-in zero when selected
+            vec = new
+    v = [net.const(False)] + vec  # Figure 8's trailing 1'b0 at channel 0
+
+    # ---- step 2: recursive count-trailing-zeros -------------------------------
+    tr: list[int | None] = [None] * ways
+    for pow2 in range(ways - 1, 0, -1):
+        half = 1 << pow2
+        low, high = v[:half], v[half : 2 * half]
+        any_low = net.reduce_or(low, wide)
+        not_any = net.g_not(any_low)
+        tr[pow2] = not_any
+        v = [
+            net.g_or(net.g_and(any_low, lo), net.g_and(not_any, hi))
+            for lo, hi in zip(low, high)
+        ]
+    tr[0] = net.g_not(v[0])
+    any_v = net.reduce_or(v, wide)
+    r = [net.g_and(any_v, tr[k]) for k in range(ways)]
+    net.mark_output("r", r)
+    return net
+
+
+def _reduce_depth(depths, wide: bool) -> tuple[int, int]:
+    """Depth and gate count of OR-reducing bits with the given depths,
+    mirroring :meth:`Netlist._reduce` (including its pairing order)."""
+    import numpy as np
+
+    depths = np.asarray(depths)
+    if depths.size == 1:
+        return int(depths[0]), 0
+    if wide:
+        return int(depths.max()) + 1, 1
+    gates = 0
+    level = depths
+    while level.size > 1:
+        pairs = level.size // 2
+        gates += pairs
+        merged = np.maximum(level[0 : 2 * pairs : 2], level[1 : 2 * pairs : 2]) + 1
+        if level.size % 2:
+            merged = np.concatenate([merged, level[-1:]])
+        level = merged
+    return int(level[0]), gates
+
+
+def next_cost(ways: int, wide: bool = True) -> dict[str, int]:
+    """Gate count and logic depth of the Figure 8 design.
+
+    Mirrors :func:`build_next_netlist` exactly -- per-bit depths are
+    simulated with vectorized arrays instead of allocating gates -- so it
+    agrees gate-for-gate with built netlists (the test suite asserts
+    this) yet evaluates instantly at the full-scale ``ways=16``.
+    """
+    import numpy as np
+
+    if ways < 1:
+        raise ValueError(f"next_cost needs ways >= 1, got {ways}")
+    n = 1 << ways
+    length = n - 1
+    gates = 0
+    # ---- masking barrel shifter (2 * ways stages) ------------------------------
+    d = np.zeros(length, dtype=np.int64)  # depth of each vec bit
+    for direction in ("right", "left"):
+        for j in range(ways):
+            offset = 1 << j
+            gates += 1  # shared inverter on the stage select
+            keep = np.maximum(1, d) + 1  # AND(nsel, vec)
+            src = np.full(length, -1, dtype=np.int64)
+            if direction == "right":
+                if offset < length:
+                    src[: length - offset] = d[offset:]
+                in_range = np.arange(length) + offset < length
+            else:
+                if offset < length:
+                    src[offset:] = d[: length - offset]
+                in_range = np.arange(length) - offset >= 0
+            full = np.maximum(src + 1, keep) + 1  # OR(AND(sel,src), keep)
+            d = np.where(in_range, full, keep)
+            n_full = int(in_range.sum())
+            gates += 3 * n_full + (length - n_full)
+    # ---- recursive CTZ -----------------------------------------------------------
+    v = np.concatenate([[0], d])  # channel 0 is the constant 1'b0
+    tr_depths: list[int] = []
+    for pow2 in range(ways - 1, 0, -1):
+        half = 1 << pow2
+        low, high = v[:half], v[half : 2 * half]
+        any_depth, reduce_gates = _reduce_depth(low, wide)
+        gates += reduce_gates
+        gates += 1  # the not_any inverter
+        not_depth = any_depth + 1
+        tr_depths.append(not_depth)
+        gates += 3 * half  # the half-select mux row
+        v = np.maximum(np.maximum(low, any_depth), np.maximum(high, not_depth)) + 2
+    # tr[0] inverter + final any-reduce + ways output ANDs.
+    gates += 1
+    tr0_depth = int(v[0]) + 1
+    tr_depths.append(tr0_depth)
+    any_v_depth, reduce_gates = _reduce_depth(v, wide)
+    gates += reduce_gates
+    gates += ways
+    out_depth = max([any_v_depth] + tr_depths) + 1
+    return {
+        "ways": ways,
+        "aob_bits": n,
+        "gates": gates,
+        "depth": out_depth,
+        "wide_or": wide,
+    }

@@ -1,0 +1,96 @@
+"""Register-file port cost model.
+
+Paper section 2.5: ``cswap`` "also needs input from three registers ...
+the register file should be capable of three reads and two writes per
+cycle.  While this is feasible, it is not clear that the performance
+gained by adding this hardware is sufficient to justify its use in Qat."
+Section 5 then recommends dropping to two reads / one write.
+
+This model quantifies the claim with standard multiplexed-SRAM-array
+estimates for a ``regs x bits`` register file:
+
+- each **read port** costs a ``regs``-to-1 mux tree per bit
+  (``regs - 1`` 2:1 muxes, ~4 gates each) plus an address decoder;
+- each **write port** costs a decoder plus a per-bit, per-register input
+  mux to select among write ports (ports > 1) and write-enable gating.
+
+Absolute numbers are rough; the *ratios* between port configurations are
+the quantity of interest, and they are toolchain-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+_GATES_PER_MUX2 = 4  # 2 AND + OR + inverter
+_GATES_PER_DECODER_LINE = 1  # one wide AND per decoded line
+_GATES_PER_CELL_WRITE = 1  # write-enable gating per bit per port
+
+
+@dataclass(frozen=True)
+class RegfileCost:
+    """Estimated cost of one register-file configuration."""
+
+    regs: int
+    bits: int
+    read_ports: int
+    write_ports: int
+    gates: int
+    mux_depth: int
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "regs": self.regs,
+            "bits": self.bits,
+            "read_ports": self.read_ports,
+            "write_ports": self.write_ports,
+            "gates": self.gates,
+            "mux_depth": self.mux_depth,
+        }
+
+
+def regfile_cost(
+    regs: int = 256, bits: int = 1 << 16, read_ports: int = 2, write_ports: int = 1
+) -> RegfileCost:
+    """Gate estimate for a ``regs x bits`` file with the given ports.
+
+    Defaults describe the baseline Qat register file (256 AoB registers
+    of 65,536 bits, 2R1W -- enough for the irreversible gate set).
+    ``ccnot``/``cswap`` need ``read_ports=3``; ``swap``/``cswap`` need
+    ``write_ports=2``.
+    """
+    if regs < 2 or bits < 1 or read_ports < 1 or write_ports < 1:
+        raise ValueError("invalid register file configuration")
+    read_mux = read_ports * bits * (regs - 1) * _GATES_PER_MUX2
+    decoders = (read_ports + write_ports) * regs * _GATES_PER_DECODER_LINE
+    write_gating = write_ports * regs * bits * _GATES_PER_CELL_WRITE
+    # With multiple write ports each cell needs a write-data select mux.
+    write_select = (write_ports - 1) * regs * bits * _GATES_PER_MUX2
+    gates = read_mux + decoders + write_gating + write_select
+    mux_depth = (regs - 1).bit_length() * 2  # 2:1 mux tree levels x 2 gates
+    return RegfileCost(regs, bits, read_ports, write_ports, gates, mux_depth)
+
+
+def port_ablation_table(regs: int = 256, bits: int = 1 << 16) -> list[dict[str, int | float]]:
+    """The section 2.5 / section 5 comparison table.
+
+    Rows: the baseline 2R1W file (irreversible gates only), 3R1W (adds
+    ``ccnot``), and 3R2W (adds ``swap``/``cswap``), each with its gate
+    overhead relative to baseline.
+    """
+    base = regfile_cost(regs, bits, 2, 1)
+    rows: list[dict[str, int | float]] = []
+    for label, (r, w) in (
+        ("2R1W (and/or/xor/not only)", (2, 1)),
+        ("3R1W (+ ccnot)", (3, 1)),
+        ("3R2W (+ swap/cswap)", (3, 2)),
+    ):
+        cost = regfile_cost(regs, bits, r, w)
+        rows.append(
+            {
+                "config": label,
+                "gates": cost.gates,
+                "overhead_vs_2R1W": round(cost.gates / base.gates, 3),
+            }
+        )
+    return rows

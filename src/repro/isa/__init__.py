@@ -1,0 +1,58 @@
+"""Instruction-set architecture of Tangled (Table 1) and Qat (Table 3).
+
+The paper deliberately leaves the binary encoding to each implementer
+("students needed to be slightly clever about picking an encoding"); the
+encoding used here is documented in :mod:`repro.isa.encoding` and keeps
+the paper's one observable constraint: Qat instructions that name more
+than one 8-bit coprocessor register occupy *two* 16-bit words, everything
+else one.
+
+Internally, Qat mnemonics carry a ``q`` prefix (``qand``, ``qnot``, ...)
+to distinguish them from the identically spelled Tangled instructions;
+assembly source uses the paper's spelling, disambiguated by the ``@``
+operand sigil.
+"""
+
+from repro.isa.encoding import decode, decode_stream, encode
+from repro.isa.instructions import (
+    INSTRUCTIONS,
+    QAT_MNEMONICS,
+    TANGLED_MNEMONICS,
+    Instr,
+    InstrSpec,
+    instruction_length,
+)
+from repro.isa.registers import (
+    AT,
+    FP,
+    NUM_GPRS,
+    NUM_QAT_REGS,
+    RA,
+    RV,
+    SP,
+    gpr_name,
+    parse_gpr,
+    parse_qreg,
+)
+
+__all__ = [
+    "AT",
+    "FP",
+    "INSTRUCTIONS",
+    "Instr",
+    "InstrSpec",
+    "NUM_GPRS",
+    "NUM_QAT_REGS",
+    "QAT_MNEMONICS",
+    "RA",
+    "RV",
+    "SP",
+    "TANGLED_MNEMONICS",
+    "decode",
+    "decode_stream",
+    "encode",
+    "gpr_name",
+    "instruction_length",
+    "parse_gpr",
+    "parse_qreg",
+]

@@ -1,0 +1,192 @@
+"""Binary encoding of the Tangled/Qat instruction set.
+
+The paper's 16-bit instruction word "only has space for a 4-bit fixed
+opcode field, but there are more than 16 different types of instructions",
+so implementers had to pick a sub-coded scheme; this is ours:
+
+====== ============================== =================================
+major  format                          instructions
+====== ============================== =================================
+0x0    ``sub[11:8] d[7:4] s[3:0]``     add and copy load mul or shift
+                                       slt store xor addf mulf
+0x1    ``sub[11:8] d[7:4]``            float int jumpr neg negf not
+                                       recip sys
+0x2    ``d[11:8] imm8[7:0]``           lex
+0x3    ``d[11:8] imm8[7:0]``           lhi
+0x4    ``c[11:8] off8[7:0]``           brf (offset from next instruction)
+0x5    ``c[11:8] off8[7:0]``           brt
+0x8    ``sub[11:8] a[7:0]`` + word2    qat 3-register: and or xor ccnot
+       ``b[15:8] c[7:0]``              cswap   (two words)
+0x9    ``sub[11:8] a[7:0]`` + word2    qat 2-register: cnot swap
+       ``b[15:8]``                     (two words)
+0xA    ``sub[11:8] a[7:0]``            qat 1-register: not zero one
+0xB    ``k[11:8] a[7:0]``              had
+0xC    ``d[11:8] a[7:0]``              meas
+0xD    ``d[11:8] a[7:0]``              next
+0xE    ``d[11:8] a[7:0]``              pop (section 2.7 extension)
+====== ============================== =================================
+
+Any Qat instruction naming two or more 8-bit coprocessor registers takes
+two words, matching the paper's observation that "the use of 8-bit Qat
+register numbers does force some Qat instructions to be two 16-bit words
+long".
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import EncodingError
+from repro.isa.instructions import INSTRUCTIONS, Instr
+
+_ALU2_SUBS = {
+    "add": 0, "and": 1, "copy": 2, "load": 3, "mul": 4, "or": 5,
+    "shift": 6, "slt": 7, "store": 8, "xor": 9, "addf": 10, "mulf": 11,
+}
+_ALU1_SUBS = {
+    "float": 0, "int": 1, "jumpr": 2, "neg": 3, "negf": 4, "not": 5,
+    "recip": 6, "sys": 7,
+}
+_QAT3_SUBS = {"qand": 0, "qor": 1, "qxor": 2, "qccnot": 3, "qcswap": 4}
+_QAT2_SUBS = {"qcnot": 0, "qswap": 1}
+_QAT1_SUBS = {"qnot": 0, "qzero": 1, "qone": 2}
+
+_ALU2_BY_SUB = {v: k for k, v in _ALU2_SUBS.items()}
+_ALU1_BY_SUB = {v: k for k, v in _ALU1_SUBS.items()}
+_QAT3_BY_SUB = {v: k for k, v in _QAT3_SUBS.items()}
+_QAT2_BY_SUB = {v: k for k, v in _QAT2_SUBS.items()}
+_QAT1_BY_SUB = {v: k for k, v in _QAT1_SUBS.items()}
+
+_IMM_MAJORS = {"lex": 0x2, "lhi": 0x3, "brf": 0x4, "brt": 0x5}
+_QMEAS_MAJORS = {"qmeas": 0xC, "qnext": 0xD, "qpop": 0xE}
+_MAJOR_TO_IMM = {v: k for k, v in _IMM_MAJORS.items()}
+_MAJOR_TO_QMEAS = {v: k for k, v in _QMEAS_MAJORS.items()}
+
+
+def _check_range(name: str, value: int, low: int, high: int) -> int:
+    if not low <= value <= high:
+        raise EncodingError(f"{name} out of range [{low}, {high}]: {value}")
+    return value
+
+
+def encode(instr: Instr) -> list[int]:
+    """Encode one instruction into 16-bit words."""
+    spec = INSTRUCTIONS.get(instr.mnemonic)
+    if spec is None:
+        raise EncodingError(f"unknown mnemonic {instr.mnemonic!r}")
+    if len(instr.ops) != len(spec.operands):
+        raise EncodingError(
+            f"{instr.mnemonic} expects {len(spec.operands)} operands, "
+            f"got {len(instr.ops)}"
+        )
+    m = instr.mnemonic
+    ops = instr.ops
+    if m in _ALU2_SUBS:
+        d = _check_range("register", ops[0], 0, 15)
+        s = _check_range("register", ops[1], 0, 15)
+        return [(0x0 << 12) | (_ALU2_SUBS[m] << 8) | (d << 4) | s]
+    if m in _ALU1_SUBS:
+        d = _check_range("register", ops[0], 0, 15) if ops else 0
+        return [(0x1 << 12) | (_ALU1_SUBS[m] << 8) | (d << 4)]
+    if m in ("lex", "lhi"):
+        d = _check_range("register", ops[0], 0, 15)
+        imm = _check_range("imm8", ops[1], -128, 255) & 0xFF
+        return [(_IMM_MAJORS[m] << 12) | (d << 8) | imm]
+    if m in ("brf", "brt"):
+        c = _check_range("register", ops[0], 0, 15)
+        off = _check_range("branch offset", ops[1], -128, 127) & 0xFF
+        return [(_IMM_MAJORS[m] << 12) | (c << 8) | off]
+    if m in _QAT3_SUBS:
+        a = _check_range("Qat register", ops[0], 0, 255)
+        b = _check_range("Qat register", ops[1], 0, 255)
+        c = _check_range("Qat register", ops[2], 0, 255)
+        return [(0x8 << 12) | (_QAT3_SUBS[m] << 8) | a, (b << 8) | c]
+    if m in _QAT2_SUBS:
+        a = _check_range("Qat register", ops[0], 0, 255)
+        b = _check_range("Qat register", ops[1], 0, 255)
+        return [(0x9 << 12) | (_QAT2_SUBS[m] << 8) | a, b << 8]
+    if m in _QAT1_SUBS:
+        a = _check_range("Qat register", ops[0], 0, 255)
+        return [(0xA << 12) | (_QAT1_SUBS[m] << 8) | a]
+    if m == "qhad":
+        a = _check_range("Qat register", ops[0], 0, 255)
+        k = _check_range("imm4", ops[1], 0, 15)
+        return [(0xB << 12) | (k << 8) | a]
+    if m in _QMEAS_MAJORS:
+        d = _check_range("register", ops[0], 0, 15)
+        a = _check_range("Qat register", ops[1], 0, 255)
+        return [(_QMEAS_MAJORS[m] << 12) | (d << 8) | a]
+    raise EncodingError(f"no encoding for {m!r}")  # pragma: no cover
+
+
+def decode(words: Sequence[int], index: int = 0) -> tuple[Instr, int]:
+    """Decode the instruction starting at ``words[index]``.
+
+    Returns ``(instruction, word_count)``.  Raises :class:`EncodingError`
+    for unassigned opcodes or a truncated two-word instruction.
+    """
+    try:
+        word = int(words[index]) & 0xFFFF
+    except IndexError:
+        raise EncodingError(f"decode past end of memory at {index}") from None
+    major = word >> 12
+    if major == 0x0:
+        sub, d, s = (word >> 8) & 0xF, (word >> 4) & 0xF, word & 0xF
+        m = _ALU2_BY_SUB.get(sub)
+        if m is None:
+            raise EncodingError(f"bad ALU sub-opcode {sub} in {word:#06x}")
+        return Instr(m, (d, s)), 1
+    if major == 0x1:
+        sub, d = (word >> 8) & 0xF, (word >> 4) & 0xF
+        m = _ALU1_BY_SUB.get(sub)
+        if m is None:
+            raise EncodingError(f"bad unary sub-opcode {sub} in {word:#06x}")
+        return Instr(m, (d,) if m != "sys" else ()), 1
+    if major in _MAJOR_TO_IMM:
+        m = _MAJOR_TO_IMM[major]
+        reg, imm = (word >> 8) & 0xF, word & 0xFF
+        if m in ("brf", "brt") or m == "lex":
+            if imm >= 128 and m != "lhi":
+                imm -= 256  # sign-extend offsets and lex immediates
+        return Instr(m, (reg, imm)), 1
+    if major == 0x8:
+        sub, a = (word >> 8) & 0xF, word & 0xFF
+        m = _QAT3_BY_SUB.get(sub)
+        if m is None:
+            raise EncodingError(f"bad qat3 sub-opcode {sub} in {word:#06x}")
+        if index + 1 >= len(words):
+            raise EncodingError(f"truncated two-word instruction at {index}")
+        word2 = int(words[index + 1]) & 0xFFFF
+        return Instr(m, (a, word2 >> 8, word2 & 0xFF)), 2
+    if major == 0x9:
+        sub, a = (word >> 8) & 0xF, word & 0xFF
+        m = _QAT2_BY_SUB.get(sub)
+        if m is None:
+            raise EncodingError(f"bad qat2 sub-opcode {sub} in {word:#06x}")
+        if index + 1 >= len(words):
+            raise EncodingError(f"truncated two-word instruction at {index}")
+        word2 = int(words[index + 1]) & 0xFFFF
+        return Instr(m, (a, word2 >> 8)), 2
+    if major == 0xA:
+        sub, a = (word >> 8) & 0xF, word & 0xFF
+        m = _QAT1_BY_SUB.get(sub)
+        if m is None:
+            raise EncodingError(f"bad qat1 sub-opcode {sub} in {word:#06x}")
+        return Instr(m, (a,)), 1
+    if major == 0xB:
+        return Instr("qhad", (word & 0xFF, (word >> 8) & 0xF)), 1
+    if major in _MAJOR_TO_QMEAS:
+        m = _MAJOR_TO_QMEAS[major]
+        return Instr(m, ((word >> 8) & 0xF, word & 0xFF)), 1
+    raise EncodingError(f"unassigned major opcode {major:#x} in {word:#06x}")
+
+
+def decode_stream(words: Sequence[int], start: int = 0, count: int | None = None) -> list[tuple[int, Instr]]:
+    """Decode a run of instructions; returns ``[(address, instr), ...]``."""
+    out: list[tuple[int, Instr]] = []
+    index = start
+    while index < len(words) and (count is None or len(out) < count):
+        instr, n = decode(words, index)
+        out.append((index, instr))
+        index += n
+    return out

@@ -1,0 +1,138 @@
+"""Declarative instruction table for Tangled (Table 1) and Qat (Table 3).
+
+Every instruction is described once by an :class:`InstrSpec`; the
+assembler, encoder, disassembler, and all three CPU simulators consume
+this table, so adding an instruction is a one-line change here plus its
+semantics in :mod:`repro.cpu.exec_core`.
+
+Operand kind codes
+------------------
+``d``/``s``/``c``/``a`` (GPR), ``A``/``B``/``C`` (Qat register),
+``i`` (imm8), ``k`` (imm4), ``o`` (branch offset, label in source).
+
+Internal mnemonics for Qat carry a ``q`` prefix; ``asm_name`` is the
+paper's spelling used in assembly source and disassembly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class InstrSpec:
+    """Static description of one machine instruction."""
+
+    mnemonic: str  #: internal unique name (``qand`` etc. for Qat)
+    asm_name: str  #: spelling in assembly source (paper's Table 1/3)
+    operands: str  #: operand kind codes, in source order
+    words: int  #: encoded length in 16-bit words
+    category: str  #: timing class: alu/fpu/mul/mem/branch/jump/sys/qat/qmeas
+    description: str  #: Table 1/3 description column
+
+    @property
+    def is_qat(self) -> bool:
+        """True for coprocessor instructions (Table 3)."""
+        return self.mnemonic.startswith("q")
+
+
+@dataclass(frozen=True)
+class Instr:
+    """One decoded/assembled instruction instance.
+
+    ``ops`` holds operand values in the spec's source order: register
+    numbers for GPR/Qat operands, the immediate for ``i``/``k``, and the
+    *word offset relative to the following instruction* for ``o``.
+    """
+
+    mnemonic: str
+    ops: tuple[int, ...] = ()
+
+    @property
+    def spec(self) -> InstrSpec:
+        return INSTRUCTIONS[self.mnemonic]
+
+    def render(self) -> str:
+        """Assembly text (offsets rendered numerically)."""
+        spec = self.spec
+        parts = []
+        for kind, value in zip(spec.operands, self.ops):
+            if kind in "dsca":
+                from repro.isa.registers import gpr_name
+
+                parts.append(gpr_name(value))
+            elif kind in "ABC":
+                parts.append(f"@{value}")
+            else:
+                parts.append(str(value))
+        return f"{spec.asm_name}\t{', '.join(parts)}" if parts else spec.asm_name
+
+
+def _t(mnemonic, operands, category, description, words=1, asm_name=None):
+    return InstrSpec(mnemonic, asm_name or mnemonic, operands, words, category, description)
+
+
+#: Table 1 -- Tangled base instruction set (25 instructions).
+_TANGLED = [
+    _t("add", "ds", "alu", "int add"),
+    _t("addf", "ds", "fpu", "bfloat16 add"),
+    _t("and", "ds", "alu", "bitwise AND"),
+    _t("brf", "co", "branch", "branch false to lab"),
+    _t("brt", "co", "branch", "branch true to lab"),
+    _t("copy", "ds", "alu", "copy"),
+    _t("float", "d", "fpu", "int to bfloat16"),
+    _t("int", "d", "fpu", "bfloat16 to int"),
+    _t("jumpr", "a", "jump", "jump to register"),
+    _t("lex", "di", "alu", "load sign extended"),
+    _t("lhi", "di", "alu", "load high"),
+    _t("load", "ds", "mem", "load"),
+    _t("mul", "ds", "mul", "int multiply"),
+    _t("mulf", "ds", "fpu", "bfloat16 multiply"),
+    _t("neg", "d", "alu", "int negate"),
+    _t("negf", "d", "fpu", "bfloat16 negate"),
+    _t("not", "d", "alu", "bitwise NOT"),
+    _t("or", "ds", "alu", "bitwise OR"),
+    _t("recip", "d", "fpu", "bfloat16 reciprocal"),
+    _t("shift", "ds", "alu", "shift left/right"),
+    _t("slt", "ds", "alu", "set less than"),
+    _t("store", "ds", "mem", "store"),
+    _t("sys", "", "sys", "system call"),
+    _t("xor", "ds", "alu", "bitwise XOR"),
+]
+
+#: Table 3 -- Qat coprocessor instructions (plus the specified-but-omitted
+#: ``pop`` extension of section 2.7).
+_QAT = [
+    _t("qand", "ABC", "qat", "AND", words=2, asm_name="and"),
+    _t("qccnot", "ABC", "qat", "controlled-controlled NOT", words=2, asm_name="ccnot"),
+    _t("qcnot", "AB", "qat", "controlled NOT", words=2, asm_name="cnot"),
+    _t("qcswap", "ABC", "qat", "controlled swap (Fredkin gate)", words=2, asm_name="cswap"),
+    _t("qhad", "Ak", "qat", "Hadamard initializer", asm_name="had"),
+    _t("qmeas", "dA", "qmeas", "entanglement channel measure", asm_name="meas"),
+    _t("qnext", "dA", "qmeas", "entanglement channel of next 1", asm_name="next"),
+    _t("qnot", "A", "qat", "NOT (Pauli-X gate)", asm_name="not"),
+    _t("qor", "ABC", "qat", "OR", words=2, asm_name="or"),
+    _t("qone", "A", "qat", "1 initializer", asm_name="one"),
+    _t("qpop", "dA", "qmeas", "population count after channel", asm_name="pop"),
+    _t("qswap", "AB", "qat", "swap", words=2, asm_name="swap"),
+    _t("qxor", "ABC", "qat", "XOR", words=2, asm_name="xor"),
+    _t("qzero", "A", "qat", "0 initializer", asm_name="zero"),
+]
+
+#: Full instruction table keyed by internal mnemonic.
+INSTRUCTIONS: dict[str, InstrSpec] = {s.mnemonic: s for s in _TANGLED + _QAT}
+
+TANGLED_MNEMONICS = tuple(s.mnemonic for s in _TANGLED)
+QAT_MNEMONICS = tuple(s.mnemonic for s in _QAT)
+
+#: Assembly-source name -> candidate internal mnemonics (``and`` maps to
+#: both the Tangled and the Qat instruction; the assembler picks by the
+#: first operand's sigil).
+ASM_NAMES: dict[str, list[str]] = {}
+for _spec in list(INSTRUCTIONS.values()):
+    ASM_NAMES.setdefault(_spec.asm_name, []).append(_spec.mnemonic)
+
+
+def instruction_length(mnemonic: str) -> int:
+    """Encoded length in 16-bit words."""
+    return INSTRUCTIONS[mnemonic].words

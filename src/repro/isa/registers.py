@@ -1,0 +1,62 @@
+"""Register files and naming.
+
+Tangled has 16 conventional 16-bit general-purpose registers (paper
+section 2.1): ``$0``-``$10`` general, ``$at`` (11) the assembler
+temporary, then ``$rv``, ``$ra``, ``$fp``, ``$sp`` for call handling.
+None has special meaning to Qat.
+
+Qat has 256 AoB registers ``@0``-``@255`` and no memory interface.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblerError
+
+NUM_GPRS = 16
+NUM_QAT_REGS = 256
+
+AT = 11  #: assembler temporary
+RV = 12  #: return value
+RA = 13  #: return address
+FP = 14  #: frame pointer
+SP = 15  #: stack pointer
+
+_ALIASES = {"at": AT, "rv": RV, "ra": RA, "fp": FP, "sp": SP}
+_NAMES = {v: k for k, v in _ALIASES.items()}
+
+
+def gpr_name(reg: int) -> str:
+    """Canonical assembly name of a general-purpose register."""
+    if not 0 <= reg < NUM_GPRS:
+        raise ValueError(f"GPR number out of range: {reg}")
+    alias = _NAMES.get(reg)
+    return f"${alias}" if alias else f"${reg}"
+
+
+def parse_gpr(token: str) -> int:
+    """Parse ``$n`` / ``$at`` / ``$rv`` / ``$ra`` / ``$fp`` / ``$sp``."""
+    if not token.startswith("$"):
+        raise AssemblerError(f"expected a $-register, got {token!r}")
+    body = token[1:].lower()
+    if body in _ALIASES:
+        return _ALIASES[body]
+    try:
+        reg = int(body, 10)
+    except ValueError:
+        raise AssemblerError(f"unknown register {token!r}") from None
+    if not 0 <= reg < NUM_GPRS:
+        raise AssemblerError(f"register number out of range: {token!r}")
+    return reg
+
+
+def parse_qreg(token: str) -> int:
+    """Parse a Qat coprocessor register ``@0`` .. ``@255``."""
+    if not token.startswith("@"):
+        raise AssemblerError(f"expected an @-register, got {token!r}")
+    try:
+        reg = int(token[1:], 10)
+    except ValueError:
+        raise AssemblerError(f"unknown Qat register {token!r}") from None
+    if not 0 <= reg < NUM_QAT_REGS:
+        raise AssemblerError(f"Qat register number out of range: {token!r}")
+    return reg

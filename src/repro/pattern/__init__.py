@@ -1,0 +1,22 @@
+"""Regular-expression (run-length) compressed pattern vectors.
+
+Paper section 1.2: the complete PBP model does not operate on raw AoB
+vectors but on *regular expressions* compressing repeating patterns, where
+each RE symbol is a fixed-size AoB chunk.  "The hardware implementation
+described here directly implements 65,536-bit AoB for up to 16-way
+entanglement, and it is assumed that higher degrees of entanglement would
+be implemented in software using 65,536-bit chunks as RE symbols."
+
+This package is that software layer:
+
+- :class:`ChunkStore` interns chunk symbols and memoizes chunk-level gate
+  operations, so each distinct chunk combination is computed once, and
+- :class:`PatternVector` is a run-length list of chunk symbols exposing
+  the same operation set as :class:`repro.aob.AoB`, usable at any
+  entanglement degree.
+"""
+
+from repro.pattern.chunkstore import ChunkStore
+from repro.pattern.vector import PatternVector
+
+__all__ = ["ChunkStore", "PatternVector"]

@@ -1,0 +1,127 @@
+"""Interned chunk symbols with memoized gate operations.
+
+Each symbol is an :class:`~repro.aob.AoB` of ``chunk_ways`` entanglement
+(65,536 bits for the paper's full-scale Qat).  Because AoB values are
+immutable and hashable, identical chunks intern to the same symbol id, and
+the result of any gate applied to a given symbol pair is computed exactly
+once.  This is what turns the run-length representation into *symbolic*
+computation: a gate over two pattern vectors costs O(distinct symbol
+pairs), not O(total bits).
+"""
+
+from __future__ import annotations
+
+from repro.aob import AoB
+from repro.errors import EntanglementError
+
+
+class ChunkStore:
+    """Hash-consing store for AoB chunk symbols of a fixed width.
+
+    Symbol ids are small ints; id 0 is always the all-zeros chunk and id 1
+    the all-ones chunk (mirroring the paper's suggestion of reserving
+    constant registers ``@0`` = 0 and ``@1`` = 1).
+    """
+
+    def __init__(self, chunk_ways: int):
+        if chunk_ways < 0:
+            raise EntanglementError(f"chunk_ways must be >= 0, got {chunk_ways}")
+        self.chunk_ways = chunk_ways
+        self.chunk_bits = 1 << chunk_ways
+        self._chunks: list[AoB] = []
+        self._ids: dict[AoB, int] = {}
+        self._binop_cache: dict[tuple[str, int, int], int] = {}
+        self._not_cache: dict[int, int] = {}
+        # Per-symbol measurement summaries, memoized lazily.
+        self._popcount: dict[int, int] = {}
+        self._first_one: dict[int, int] = {}
+        self.zero_id = self.intern(AoB.zeros(chunk_ways))
+        self.one_id = self.intern(AoB.ones(chunk_ways))
+
+    def __len__(self) -> int:
+        return len(self._chunks)
+
+    # -- interning ----------------------------------------------------------
+
+    def intern(self, chunk: AoB) -> int:
+        """Return the symbol id for ``chunk``, adding it if new."""
+        if chunk.ways != self.chunk_ways:
+            raise EntanglementError(
+                f"chunk must be {self.chunk_ways}-way, got {chunk.ways}-way"
+            )
+        sym = self._ids.get(chunk)
+        if sym is None:
+            sym = len(self._chunks)
+            self._chunks.append(chunk)
+            self._ids[chunk] = sym
+        return sym
+
+    def chunk(self, sym: int) -> AoB:
+        """The AoB value of symbol ``sym``."""
+        return self._chunks[sym]
+
+    def hadamard(self, k: int) -> int:
+        """Symbol id of the ``H(k)`` pattern restricted to one chunk."""
+        return self.intern(AoB.hadamard(self.chunk_ways, k))
+
+    # -- memoized gate operations --------------------------------------------
+
+    def binop(self, op: str, a: int, b: int) -> int:
+        """Apply gate ``op`` in {'and','or','xor'} to symbols ``a``, ``b``."""
+        if op in ("and", "or", "xor") and a > b:
+            a, b = b, a  # all three gates are commutative: halve the cache
+        key = (op, a, b)
+        sym = self._binop_cache.get(key)
+        if sym is None:
+            ca, cb = self._chunks[a], self._chunks[b]
+            if op == "and":
+                result = ca & cb
+            elif op == "or":
+                result = ca | cb
+            elif op == "xor":
+                result = ca ^ cb
+            else:
+                raise ValueError(f"unknown chunk binop {op!r}")
+            sym = self.intern(result)
+            self._binop_cache[key] = sym
+        return sym
+
+    def bnot(self, a: int) -> int:
+        """Apply NOT to symbol ``a``."""
+        sym = self._not_cache.get(a)
+        if sym is None:
+            sym = self.intern(~self._chunks[a])
+            self._not_cache[a] = sym
+            self._not_cache[sym] = a  # involution
+        return sym
+
+    # -- memoized measurement summaries ---------------------------------------
+
+    def popcount(self, sym: int) -> int:
+        """Number of 1 bits in symbol ``sym``."""
+        count = self._popcount.get(sym)
+        if count is None:
+            count = self._chunks[sym].popcount()
+            self._popcount[sym] = count
+        return count
+
+    def first_one(self, sym: int) -> int:
+        """Lowest channel holding a 1 within the chunk, or -1 if none."""
+        first = self._first_one.get(sym)
+        if first is None:
+            chunk = self._chunks[sym]
+            if chunk.meas(0):
+                first = 0
+            else:
+                nxt = chunk.next(0)
+                first = nxt if nxt else -1
+            self._first_one[sym] = first
+        return first
+
+    def stats(self) -> dict[str, int]:
+        """Diagnostics: store size and cache hit surface."""
+        return {
+            "symbols": len(self._chunks),
+            "binop_cache": len(self._binop_cache),
+            "not_cache": len(self._not_cache),
+        }

@@ -1,0 +1,292 @@
+"""Pattern integers: superposed words built from entangled pbits.
+
+A :class:`Pint` is a little-endian tuple of pbit values (bit 0 first), all
+sharing one :class:`~repro.pbp.context.PbpContext`.  Arithmetic lowers
+through the gate library (:mod:`repro.gates.library`) so the exact same
+circuits run on dense AoB values, compressed pattern vectors, or -- under
+a :class:`~repro.pbp.trace.TraceContext` -- into a
+:class:`~repro.gates.ir.GateCircuit` for emission as Qat assembly.
+
+Because PBP measurement is non-destructive (paper section 2.7), every
+query method (:meth:`measure`, :meth:`distribution`, :meth:`sample`,
+:meth:`at`) leaves the value intact and may be freely interleaved with
+further computation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EntanglementError, MeasurementError
+from repro.gates import library
+
+
+class Pint:
+    """A superposed ``width``-bit unsigned integer (one value per channel)."""
+
+    __slots__ = ("ctx", "bits", "channels")
+
+    def __init__(self, ctx, bits: tuple, channels: int = 0):
+        if not bits:
+            raise ValueError("a pint needs at least one pbit")
+        self.ctx = ctx
+        self.bits = tuple(bits)
+        #: Bitmask of Hadamard channel sets this value is entangled over.
+        self.channels = channels
+
+    # -- shape -------------------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Number of pbits in the word."""
+        return len(self.bits)
+
+    def _join(self, other: "Pint") -> int:
+        if not isinstance(other, Pint):
+            raise TypeError(f"expected Pint, got {type(other).__name__}")
+        if other.ctx is not self.ctx:
+            raise EntanglementError("pints belong to different contexts")
+        return self.channels | other.channels
+
+    def _same_width(self, other: "Pint") -> None:
+        if self.width != other.width:
+            raise EntanglementError(
+                f"width mismatch: {self.width} vs {other.width}"
+            )
+
+    def resized(self, width: int) -> "Pint":
+        """Zero-extend or truncate to ``width`` bits."""
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        if width <= self.width:
+            return Pint(self.ctx, self.bits[:width], self.channels)
+        zero = self.ctx.const(0)
+        return Pint(
+            self.ctx, self.bits + (zero,) * (width - self.width), self.channels
+        )
+
+    # -- arithmetic (Figure 9 pint_* operations) ------------------------------------
+
+    def __add__(self, other: "Pint") -> "Pint":
+        """Wrapping addition at the wider operand's width."""
+        chans = self._join(other)
+        w = max(self.width, other.width)
+        a, b = self.resized(w), other.resized(w)
+        total, _ = library.ripple_add(self.ctx.alg, a.bits, b.bits)
+        return Pint(self.ctx, tuple(total), chans)
+
+    def add_expand(self, other: "Pint") -> "Pint":
+        """Addition widened by one bit so the carry is kept."""
+        chans = self._join(other)
+        w = max(self.width, other.width)
+        a, b = self.resized(w), other.resized(w)
+        total, carry = library.ripple_add(self.ctx.alg, a.bits, b.bits)
+        return Pint(self.ctx, tuple(total) + (carry,), chans)
+
+    def __sub__(self, other: "Pint") -> "Pint":
+        """Wrapping two's-complement subtraction."""
+        chans = self._join(other)
+        w = max(self.width, other.width)
+        a, b = self.resized(w), other.resized(w)
+        diff, _ = library.ripple_sub(self.ctx.alg, a.bits, b.bits)
+        return Pint(self.ctx, tuple(diff), chans)
+
+    def __mul__(self, other: "Pint") -> "Pint":
+        """Full-width product (``width = w_a + w_b``) -- ``pint_mul``.
+
+        When the operands superpose over *disjoint* channel sets the
+        product is entangled over the union (Figure 9's 8-way ``b * c``);
+        with shared channels it computes correlated products such as
+        squares, exactly as the paper cautions.
+        """
+        chans = self._join(other)
+        product = library.multiply(self.ctx.alg, self.bits, other.bits)
+        return Pint(self.ctx, tuple(product), chans)
+
+    def eq(self, other: "Pint") -> "Pint":
+        """Single-pbit comparison: 1 in channels where values match (``pint_eq``)."""
+        chans = self._join(other)
+        w = max(self.width, other.width)
+        a, b = self.resized(w), other.resized(w)
+        bit = library.equals(self.ctx.alg, a.bits, b.bits)
+        return Pint(self.ctx, (bit,), chans)
+
+    def eq_const(self, value: int) -> "Pint":
+        """Single-pbit comparison against a classical constant."""
+        bit = library.equals_const(self.ctx.alg, self.bits, value)
+        return Pint(self.ctx, (bit,), self.channels)
+
+    def ne(self, other: "Pint") -> "Pint":
+        """Single-pbit inequality."""
+        eq = self.eq(other)
+        return Pint(self.ctx, (self.ctx.alg.bnot(eq.bits[0]),), eq.channels)
+
+    def lt(self, other: "Pint") -> "Pint":
+        """Single-pbit unsigned ``self < other``."""
+        chans = self._join(other)
+        w = max(self.width, other.width)
+        a, b = self.resized(w), other.resized(w)
+        bit = library.less_than(self.ctx.alg, a.bits, b.bits)
+        return Pint(self.ctx, (bit,), chans)
+
+    def le(self, other: "Pint") -> "Pint":
+        """Single-pbit unsigned ``self <= other`` (NOT other < self)."""
+        gt = other.lt(self)
+        return Pint(self.ctx, (self.ctx.alg.bnot(gt.bits[0]),), gt.channels)
+
+    def gt(self, other: "Pint") -> "Pint":
+        """Single-pbit unsigned ``self > other``."""
+        return other.lt(self)
+
+    def ge(self, other: "Pint") -> "Pint":
+        """Single-pbit unsigned ``self >= other``."""
+        return other.le(self)
+
+    def min(self, other: "Pint") -> "Pint":
+        """Channel-wise unsigned minimum (a lt-comparator feeding a mux)."""
+        w = max(self.width, other.width)
+        a, b = self.resized(w), other.resized(w)
+        return a.lt(b).mux(a, b)
+
+    def max(self, other: "Pint") -> "Pint":
+        """Channel-wise unsigned maximum."""
+        w = max(self.width, other.width)
+        a, b = self.resized(w), other.resized(w)
+        return a.lt(b).mux(b, a)
+
+    def square(self) -> "Pint":
+        """Channel-wise ``self * self`` -- the shared-channel product the
+        paper's section 4.1 warns a careless ``pint_mul`` computes."""
+        return self * self
+
+    # -- two's-complement (signed) views ------------------------------------------
+
+    def negate(self) -> "Pint":
+        """Two's-complement negation at this width (``~x + 1``)."""
+        one = self.ctx.pint_mk(self.width, 1)
+        inverted = ~self
+        total, _ = library.ripple_add(self.ctx.alg, inverted.bits, one.bits)
+        return Pint(self.ctx, tuple(total), self.channels)
+
+    def sign_bit(self) -> "Pint":
+        """The sign pbit (MSB) of this word read as two's complement."""
+        return Pint(self.ctx, (self.bits[-1],), self.channels)
+
+    def abs(self) -> "Pint":
+        """Two's-complement absolute value (MIN wraps to itself)."""
+        return self.sign_bit().mux(self.negate(), self)
+
+    def lt_signed(self, other: "Pint") -> "Pint":
+        """Single-pbit signed ``self < other``.
+
+        Flipping both sign bits maps two's-complement order onto unsigned
+        order (an XOR with ``1 << (w-1)``), then the unsigned comparator
+        applies.
+        """
+        chans = self._join(other)
+        w = max(self.width, other.width)
+        a = self.sign_extended(w)
+        b = other.sign_extended(w)
+        alg = self.ctx.alg
+        a_bits = a.bits[:-1] + (alg.bnot(a.bits[-1]),)
+        b_bits = b.bits[:-1] + (alg.bnot(b.bits[-1]),)
+        bit = library.less_than(alg, a_bits, b_bits)
+        return Pint(self.ctx, (bit,), chans)
+
+    def sign_extended(self, width: int) -> "Pint":
+        """Extend to ``width`` bits replicating the sign pbit."""
+        if width < self.width:
+            raise EntanglementError("sign_extended cannot truncate")
+        sign = self.bits[-1]
+        return Pint(
+            self.ctx,
+            self.bits + (sign,) * (width - self.width),
+            self.channels,
+        )
+
+    # -- bitwise -----------------------------------------------------------------------
+
+    def _bitwise(self, other: "Pint", op: str) -> "Pint":
+        chans = self._join(other)
+        self._same_width(other)
+        out = library.logical_ops(self.ctx.alg, self.bits, other.bits, op)
+        return Pint(self.ctx, tuple(out), chans)
+
+    def __and__(self, other: "Pint") -> "Pint":
+        return self._bitwise(other, "and")
+
+    def __or__(self, other: "Pint") -> "Pint":
+        return self._bitwise(other, "or")
+
+    def __xor__(self, other: "Pint") -> "Pint":
+        return self._bitwise(other, "xor")
+
+    def __invert__(self) -> "Pint":
+        alg = self.ctx.alg
+        return Pint(self.ctx, tuple(alg.bnot(b) for b in self.bits), self.channels)
+
+    def mux(self, when_true: "Pint", when_false: "Pint") -> "Pint":
+        """Per-channel select using this single-pbit value as the condition."""
+        if self.width != 1:
+            raise EntanglementError("mux condition must be a single pbit")
+        when_true._same_width(when_false)
+        chans = self.channels | when_true.channels | when_false.channels
+        out = library.mux(
+            self.ctx.alg, self.bits[0], when_true.bits, when_false.bits
+        )
+        return Pint(self.ctx, tuple(out), chans)
+
+    def __lshift__(self, amount: int) -> "Pint":
+        """Shift left by a classical constant, widening."""
+        if amount < 0:
+            raise ValueError("shift amount must be non-negative")
+        zero = self.ctx.const(0)
+        return Pint(self.ctx, (zero,) * amount + self.bits, self.channels)
+
+    # -- measurement (all non-destructive) ------------------------------------------------
+
+    def at(self, channel: int) -> int:
+        """The classical value this word holds in one entanglement channel."""
+        if channel < 0:
+            raise MeasurementError(f"channel must be non-negative, got {channel}")
+        if not hasattr(self.bits[0], "meas"):
+            raise MeasurementError(
+                "this pint holds no data (trace context): compile the "
+                "circuit and run it on a simulator to observe values"
+            )
+        value = 0
+        for i, bit in enumerate(self.bits):
+            value |= bit.meas(channel) << i
+        return value
+
+    def measure(self) -> list[int]:
+        """Sorted distinct values across all channels (``pint_measure``)."""
+        from repro.pbp.measure import measure_distribution
+
+        return sorted(measure_distribution(self))
+
+    def distribution(self) -> dict[int, float]:
+        """Probability of each value (channel counts / :math:`2^E`)."""
+        from repro.pbp.measure import measure_distribution
+
+        counts = measure_distribution(self)
+        total = 1 << self.ctx.ways
+        return {value: count / total for value, count in counts.items()}
+
+    def counts(self) -> dict[int, int]:
+        """Raw channel count per value."""
+        from repro.pbp.measure import measure_distribution
+
+        return dict(measure_distribution(self))
+
+    def sample(self, rng: np.random.Generator, n: int = 1) -> np.ndarray:
+        """Random channel sampling -- what a quantum measurement would return,
+        except the superposition survives."""
+        channels = rng.integers(0, 1 << self.ctx.ways, size=n)
+        return np.array([self.at(int(c)) for c in channels])
+
+    def __repr__(self) -> str:
+        return (
+            f"Pint(width={self.width}, ways={self.ctx.ways}, "
+            f"channels={self.channels:#x})"
+        )

@@ -1,0 +1,36 @@
+"""State-vector quantum baseline.
+
+The paper contrasts Qat's non-destructive measurement with real quantum
+computers, where "measuring a superposed qubit's value collapses it"
+(section 2.7, Figure 5) and "there is no number of runs sufficient to
+guarantee that all values in the entangled superposition have been seen".
+
+This package provides the comparison substrate: a dense state-vector
+simulator with the gates of the paper's Figures 2-4 (X, H, CNOT, CCNOT,
+SWAP, CSWAP) and *destructive* projective measurement, plus the
+coupon-collector analysis used by the quantum-vs-PBP benchmark.
+"""
+
+from repro.quantum.statevector import QuantumSimulator
+from repro.quantum.sampling import (
+    expected_runs_to_see_all,
+    runs_to_collect_all,
+)
+from repro.quantum.reversible import (
+    ReversibleCircuit,
+    build_quantum_factor_circuit,
+    controlled_cuccaro_add,
+    cuccaro_add,
+    run_factoring,
+)
+
+__all__ = [
+    "QuantumSimulator",
+    "ReversibleCircuit",
+    "build_quantum_factor_circuit",
+    "controlled_cuccaro_add",
+    "cuccaro_add",
+    "expected_runs_to_see_all",
+    "run_factoring",
+    "runs_to_collect_all",
+]

@@ -1,0 +1,290 @@
+"""Reversible (quantum-style) arithmetic circuits for the baseline.
+
+The paper's section 2.2 describes how a real quantum computer must do the
+factoring computation: init, then a sequence of thermodynamically
+reversible gate operations, then one destructive measurement.  This
+module builds that circuit for the product-equality predicate
+``b * c == n`` out of exactly the Figure 2-3 gate set (X, H, CNOT,
+CCNOT), so the QVP benchmark can compare *computation plus measurement*
+against the PBP path rather than measurement alone:
+
+- :func:`cuccaro_add` -- the standard MAJ/UMA in-place ripple adder
+  (Cuccaro et al. 2004): ``b += a`` using one ancilla, restoring ``a``;
+- a controlled variant whose extra control is realized by decomposing
+  each 3-control NOT into Toffolis with one shared ancilla;
+- :func:`build_factor_circuit` -- allocate qubit registers, superpose
+  ``b`` and ``c``, multiply by controlled additions, and compute the
+  ``== n`` flag through a Toffoli AND-chain;
+- :func:`run_factoring` -- execute on the state-vector simulator and
+  destructively measure one ``(b, c, flag)`` sample, re-preparing from
+  scratch for every run exactly as hardware would.
+
+Everything is pure permutation logic after the initial Hadamards, so the
+circuits are also unit-testable classically on basis states.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.quantum.statevector import QuantumSimulator
+
+
+@dataclass
+class Gate:
+    """One reversible gate: ``kind`` in {'x', 'h', 'cnot', 'ccnot'}."""
+
+    kind: str
+    qubits: tuple[int, ...]
+
+
+@dataclass
+class ReversibleCircuit:
+    """A gate list over ``num_qubits`` qubits, applied in order."""
+
+    num_qubits: int
+    gates: list[Gate] = field(default_factory=list)
+
+    def x(self, q: int) -> None:
+        self.gates.append(Gate("x", (q,)))
+
+    def h(self, q: int) -> None:
+        self.gates.append(Gate("h", (q,)))
+
+    def cnot(self, target: int, control: int) -> None:
+        self.gates.append(Gate("cnot", (target, control)))
+
+    def ccnot(self, target: int, c1: int, c2: int) -> None:
+        self.gates.append(Gate("ccnot", (target, c1, c2)))
+
+    def cccnot(self, target: int, c1: int, c2: int, c3: int, ancilla: int) -> None:
+        """3-controlled NOT via the standard 3-Toffoli decomposition.
+
+        ``ancilla`` must be 0 on entry and is restored to 0.
+        """
+        self.ccnot(ancilla, c1, c2)
+        self.ccnot(target, ancilla, c3)
+        self.ccnot(ancilla, c1, c2)
+
+    def gate_count(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for g in self.gates:
+            counts[g.kind] = counts.get(g.kind, 0) + 1
+        return counts
+
+    def apply(self, sim: QuantumSimulator) -> None:
+        """Run the circuit on a simulator."""
+        if sim.num_qubits < self.num_qubits:
+            raise ReproError(
+                f"circuit needs {self.num_qubits} qubits, simulator has {sim.num_qubits}"
+            )
+        for g in self.gates:
+            if g.kind == "x":
+                sim.x(*g.qubits)
+            elif g.kind == "h":
+                sim.h(*g.qubits)
+            elif g.kind == "cnot":
+                sim.cnot(*g.qubits)
+            elif g.kind == "ccnot":
+                sim.ccnot(*g.qubits)
+            else:  # pragma: no cover
+                raise ReproError(f"unknown gate kind {g.kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# Cuccaro ripple adder (MAJ / UMA), plain and single-controlled
+# ---------------------------------------------------------------------------
+
+def _maj(circ: ReversibleCircuit, c: int, b: int, a: int) -> None:
+    circ.cnot(b, a)
+    circ.cnot(c, a)
+    circ.ccnot(a, b, c)
+
+
+def _uma(circ: ReversibleCircuit, c: int, b: int, a: int) -> None:
+    circ.ccnot(a, b, c)
+    circ.cnot(c, a)
+    circ.cnot(b, c)
+
+
+def cuccaro_add(
+    circ: ReversibleCircuit,
+    a: list[int],
+    b: list[int],
+    carry_anc: int,
+    carry_out: int | None = None,
+) -> None:
+    """In-place reversible addition ``b += a`` (LSB first, equal widths).
+
+    ``carry_anc`` must be 0 on entry and is restored; ``carry_out``, if
+    given, receives the final carry (xored in).
+    """
+    if len(a) != len(b):
+        raise ReproError(f"width mismatch: {len(a)} vs {len(b)}")
+    if not a:
+        raise ReproError("adder needs at least one bit")
+    n = len(a)
+    _maj(circ, carry_anc, b[0], a[0])
+    for i in range(1, n):
+        _maj(circ, a[i - 1], b[i], a[i])
+    if carry_out is not None:
+        circ.cnot(carry_out, a[n - 1])
+    for i in range(n - 1, 0, -1):
+        _uma(circ, a[i - 1], b[i], a[i])
+    _uma(circ, carry_anc, b[0], a[0])
+
+
+def _controlled(circ: ReversibleCircuit, control: int, toffoli_anc: int):
+    """Wrap gate emitters so every gate gains ``control``."""
+
+    class _Ctl:
+        def cnot(self, target, c1):
+            circ.ccnot(target, c1, control)
+
+        def ccnot(self, target, c1, c2):
+            circ.cccnot(target, c1, c2, control, toffoli_anc)
+
+    return _Ctl()
+
+
+def controlled_cuccaro_add(
+    circ: ReversibleCircuit,
+    a: list[int],
+    b: list[int],
+    carry_anc: int,
+    control: int,
+    toffoli_anc: int,
+    carry_out: int | None = None,
+) -> None:
+    """``if control: b += a`` -- every adder gate gains one control.
+
+    The MAJ/UMA internals may run unconditionally *only* if they restore
+    state when the addition is skipped; they do not, so each gate is
+    individually controlled (CNOT -> CCNOT, CCNOT -> 3-control via the
+    shared ``toffoli_anc``).
+    """
+    if len(a) != len(b):
+        raise ReproError(f"width mismatch: {len(a)} vs {len(b)}")
+    ctl = _controlled(circ, control, toffoli_anc)
+    n = len(a)
+
+    def maj(c, bq, aq):
+        ctl.cnot(bq, aq)
+        ctl.cnot(c, aq)
+        ctl.ccnot(aq, bq, c)
+
+    def uma(c, bq, aq):
+        ctl.ccnot(aq, bq, c)
+        ctl.cnot(c, aq)
+        ctl.cnot(bq, c)
+
+    maj(carry_anc, b[0], a[0])
+    for i in range(1, n):
+        maj(a[i - 1], b[i], a[i])
+    if carry_out is not None:
+        ctl.cnot(carry_out, a[n - 1])
+    for i in range(n - 1, 0, -1):
+        uma(a[i - 1], b[i], a[i])
+    uma(carry_anc, b[0], a[0])
+
+
+# ---------------------------------------------------------------------------
+# The factoring predicate circuit
+# ---------------------------------------------------------------------------
+
+@dataclass
+class FactorCircuit:
+    """Qubit layout and circuit for ``flag = (b * c == n)``."""
+
+    circuit: ReversibleCircuit
+    b: list[int]
+    c: list[int]
+    product: list[int]
+    flag: int
+    num_qubits: int
+    n: int
+
+
+def build_quantum_factor_circuit(n: int, bits_b: int, bits_c: int, superpose: bool = True) -> FactorCircuit:
+    """Reversible circuit computing ``b * c`` and comparing with ``n``.
+
+    Layout (LSB-first registers): ``b``, ``c``, ``product``
+    (``bits_b + bits_c`` wide), a zero pad reused as the addend's high
+    bits, one Cuccaro carry ancilla, one Toffoli ancilla, the AND-chain
+    ancillas, and the result ``flag``.
+
+    With ``superpose`` the ``b``/``c`` registers get Hadamards (phase 2 of
+    the paper's section 2.2 narrative); without it the circuit is a
+    classical reversible evaluator usable on basis states.
+    """
+    if n <= 0 or n >> (bits_b + bits_c):
+        raise ReproError(f"{n} does not fit in {bits_b}+{bits_c} bits")
+    width_p = bits_b + bits_c
+    next_q = 0
+
+    def claim(count: int) -> list[int]:
+        nonlocal next_q
+        out = list(range(next_q, next_q + count))
+        next_q += count
+        return out
+
+    b = claim(bits_b)
+    c = claim(bits_c)
+    product = claim(width_p)
+    zero_pad = claim(width_p - bits_b)  # read-only 0 high bits of the addend
+    carry_anc = claim(1)[0]
+    toffoli_anc = claim(1)[0]
+    chain = claim(max(0, width_p - 2))
+    flag = claim(1)[0]
+
+    circ = ReversibleCircuit(num_qubits=next_q)
+    if superpose:
+        for q in b + c:
+            circ.h(q)
+    # Multiply: for each bit i of c, controlled-add (b << i) into product.
+    for i in range(bits_c):
+        window = product[i:]
+        addend = (b + zero_pad)[: len(window)]
+        controlled_cuccaro_add(
+            circ, addend, window, carry_anc, control=c[i], toffoli_anc=toffoli_anc
+        )
+    # Compare with n: flip product bits where n's bit is 0, then AND-chain.
+    for i, q in enumerate(product):
+        if not (n >> i) & 1:
+            circ.x(q)
+    if width_p == 1:
+        circ.cnot(flag, product[0])
+    elif width_p == 2:
+        circ.ccnot(flag, product[0], product[1])
+    else:
+        circ.ccnot(chain[0], product[0], product[1])
+        for i in range(2, width_p - 1):
+            circ.ccnot(chain[i - 1], chain[i - 2], product[i])
+        circ.ccnot(flag, chain[-1], product[-1])
+    return FactorCircuit(
+        circuit=circ,
+        b=b,
+        c=c,
+        product=product,
+        flag=flag,
+        num_qubits=next_q,
+        n=n,
+    )
+
+
+def run_factoring(
+    fc: FactorCircuit, rng: np.random.Generator
+) -> tuple[int, int, int]:
+    """One full quantum run: prepare, compute, destructively measure.
+
+    Returns ``(b, c, flag)``.  The state is consumed; another sample
+    requires building up from |0...0> again (section 2.2's three phases).
+    """
+    sim = QuantumSimulator(fc.num_qubits, rng)
+    fc.circuit.apply(sim)
+    outcome = sim.measure_all()
+    read = lambda qs: sum(((outcome >> q) & 1) << i for i, q in enumerate(qs))
+    return read(fc.b), read(fc.c), (outcome >> fc.flag) & 1

@@ -1,0 +1,71 @@
+"""Coupon-collector analysis of destructive measurement.
+
+The paper (section 2.7): "although an entangled superposition at the end
+of a computation might contain all answers, only one can be examined per
+run.  Further, the inability to deterministically pick which answer is
+sampled means that there is no number of runs sufficient to guarantee
+that all values in the entangled superposition have been seen."
+
+These helpers quantify that: the *expected* number of runs for a quantum
+computer to observe every distinct answer at least once (the weighted
+coupon-collector problem), and a Monte-Carlo run counter against a
+:class:`~repro.quantum.statevector.QuantumSimulator`.  PBP needs exactly
+one (non-destructive) readout regardless of the distribution.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+
+def expected_runs_to_see_all(probabilities: list[float]) -> float:
+    """Expected draws to see every outcome once (inclusion-exclusion).
+
+    ``E = sum over non-empty subsets S of (-1)^(|S|+1) / P(S)`` where
+    ``P(S)`` is the total probability of subset ``S``.  Exponential in the
+    number of distinct outcomes; fine for the handful of answers the
+    factoring benchmarks produce.
+    """
+    probs = [p for p in probabilities if p > 0]
+    if not probs:
+        raise ReproError("need at least one positive-probability outcome")
+    if len(probs) > 20:
+        raise ReproError("inclusion-exclusion limited to 20 outcomes")
+    total = float(sum(probs))
+    expected = 0.0
+    n = len(probs)
+    for size in range(1, n + 1):
+        sign = 1.0 if size % 2 else -1.0
+        for subset in combinations(probs, size):
+            expected += sign * total / sum(subset)
+    return expected
+
+
+def runs_to_collect_all(
+    prepare,
+    distinct: int,
+    rng: np.random.Generator,
+    max_runs: int = 1_000_000,
+) -> int:
+    """Monte-Carlo: repeat "prepare state, measure destructively" until
+    ``distinct`` different outcomes have been observed.
+
+    ``prepare`` is a zero-argument callable returning a freshly prepared
+    :class:`~repro.quantum.statevector.QuantumSimulator` (each quantum run
+    must re-prepare from scratch -- measurement destroyed the last state).
+    Returns the number of runs used.
+    """
+    seen: set[int] = set()
+    runs = 0
+    while len(seen) < distinct:
+        if runs >= max_runs:
+            raise ReproError(f"did not see all outcomes within {max_runs} runs")
+        sim = prepare()
+        sim.rng = rng
+        seen.add(sim.measure_all())
+        runs += 1
+    return runs

@@ -1,0 +1,156 @@
+"""Dense state-vector simulation of a small quantum computer.
+
+Implements exactly the gate set the paper draws in Figures 2-4 plus the
+Figure 5 measurement gate.  Qubit 0 is the least significant bit of a
+basis-state index.  Unlike Qat, measurement here **collapses** the state:
+entangled qubits lock to consistent values and the superposition is gone
+-- which is precisely the behavioural difference the benchmarks quantify.
+
+Permutation gates (X, CNOT, CCNOT, SWAP, CSWAP) are applied as basis
+re-indexing (every one is an involution on basis states); only the
+Hadamard mixes amplitudes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReproError
+
+_SQRT_HALF = 1.0 / np.sqrt(2.0)
+
+
+class QuantumSimulator:
+    """An ``n``-qubit register with ideal (noiseless) gates."""
+
+    def __init__(self, num_qubits: int, rng: np.random.Generator | None = None):
+        if not 1 <= num_qubits <= 24:
+            raise ReproError(f"num_qubits must be in [1, 24], got {num_qubits}")
+        self.num_qubits = num_qubits
+        self.rng = rng if rng is not None else np.random.default_rng()
+        self.state = np.zeros(1 << num_qubits, dtype=np.complex128)
+        self.state[0] = 1.0
+        self._idx = np.arange(1 << num_qubits)
+
+    def _check(self, *qubits: int) -> None:
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise ReproError(f"qubit index out of range: {q}")
+        if len(set(qubits)) != len(qubits):
+            raise ReproError("gate qubits must be distinct")
+
+    # -- state preparation ------------------------------------------------------
+
+    def reset(self, basis_state: int = 0) -> None:
+        """Initialize to a computational basis state (the Figure 2 phase 1)."""
+        if not 0 <= basis_state < self.state.size:
+            raise ReproError(f"basis state out of range: {basis_state}")
+        self.state[:] = 0.0
+        self.state[basis_state] = 1.0
+
+    def prepare_distribution(self, counts: dict[int, int]) -> None:
+        """Load amplitudes proportional to the square roots of ``counts``.
+
+        Used by the comparison benchmarks to hand the quantum baseline the
+        same final distribution PBP computed, isolating the *measurement*
+        difference from the computation difference.
+        """
+        self.state[:] = 0.0
+        total = sum(counts.values())
+        if total <= 0:
+            raise ReproError("counts must be positive")
+        for value, count in counts.items():
+            if not 0 <= value < self.state.size:
+                raise ReproError(f"value {value} exceeds the register width")
+            self.state[value] = np.sqrt(count / total)
+
+    def _axes(self, *qubits: int) -> np.ndarray:
+        """Tensor view with the given qubits moved to the leading axes.
+
+        Axis order in the reshape is most-significant qubit first, so
+        qubit ``q`` sits at axis ``num_qubits - 1 - q``.
+        """
+        view = self.state.reshape([2] * self.num_qubits)
+        sources = tuple(self.num_qubits - 1 - q for q in qubits)
+        return np.moveaxis(view, sources, tuple(range(len(qubits))))
+
+    @staticmethod
+    def _swap_slices(view: np.ndarray, i, j) -> None:
+        """Exchange two disjoint index tuples of a tensor view in place."""
+        tmp = view[i].copy()
+        view[i] = view[j]
+        view[j] = tmp
+
+    # -- gates (Figures 2-4) ------------------------------------------------------
+
+    def x(self, qubit: int) -> None:
+        """Pauli-X (the ``not`` gate of Figure 3)."""
+        self._check(qubit)
+        self._swap_slices(self._axes(qubit), 0, 1)
+
+    def h(self, qubit: int) -> None:
+        """Hadamard gate (Figure 2): creates/uncreates superposition."""
+        self._check(qubit)
+        view = self._axes(qubit)
+        zero = view[0].copy()
+        one = view[1].copy()
+        view[0] = (zero + one) * _SQRT_HALF
+        view[1] = (zero - one) * _SQRT_HALF
+
+    def cnot(self, target: int, control: int) -> None:
+        """Controlled NOT (Figure 3), operand order matching Qat's
+        ``cnot @a,@b``: the *first* argument is potentially flipped."""
+        self._check(target, control)
+        self._swap_slices(self._axes(control, target), (1, 0), (1, 1))
+
+    def ccnot(self, target: int, control1: int, control2: int) -> None:
+        """Toffoli gate (Figure 3)."""
+        self._check(target, control1, control2)
+        view = self._axes(control1, control2, target)
+        self._swap_slices(view, (1, 1, 0), (1, 1, 1))
+
+    def swap(self, a: int, b: int) -> None:
+        """Swap gate (Figure 4)."""
+        self._check(a, b)
+        self._swap_slices(self._axes(a, b), (0, 1), (1, 0))
+
+    def cswap(self, a: int, b: int, control: int) -> None:
+        """Fredkin gate (Figure 4)."""
+        self._check(a, b, control)
+        view = self._axes(control, a, b)
+        self._swap_slices(view, (1, 0, 1), (1, 1, 0))
+
+    # -- inspection (not available on real hardware; used by tests) -----------------
+
+    def probabilities(self) -> np.ndarray:
+        """Basis-state probability vector (simulator-only introspection)."""
+        return np.abs(self.state) ** 2
+
+    def probability_of_one(self, qubit: int) -> float:
+        """P(measuring ``qubit`` = 1) without collapsing (simulator-only)."""
+        self._check(qubit)
+        probs = self.probabilities()
+        return float(probs[(self._idx >> qubit) & 1 == 1].sum())
+
+    # -- measurement (Figure 5: destructive) --------------------------------------------
+
+    def measure(self, qubit: int) -> int:
+        """Projective measurement of one qubit.  **Collapses the state**:
+        any qubits entangled with it lock to consistent values."""
+        p_one = self.probability_of_one(qubit)
+        outcome = int(self.rng.random() < p_one)
+        keep = ((self._idx >> qubit) & 1) == outcome
+        self.state[~keep] = 0.0
+        norm = np.linalg.norm(self.state)
+        if norm == 0.0:  # pragma: no cover - unreachable for valid states
+            raise ReproError("measurement collapsed to a zero state")
+        self.state /= norm
+        return outcome
+
+    def measure_all(self) -> int:
+        """Measure every qubit; returns the basis state and collapses to it."""
+        probs = self.probabilities()
+        probs = probs / probs.sum()
+        outcome = int(self.rng.choice(probs.size, p=probs))
+        self.reset(outcome)
+        return outcome

@@ -1,0 +1,250 @@
+"""AoB value-type tests, including property tests against a dense
+bool-array reference model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aob import AoB
+from repro.errors import EntanglementError, MeasurementError
+
+WAYS = st.integers(min_value=0, max_value=9)
+
+
+def aob_strategy(ways):
+    """Random AoB of fixed ways as (AoB, reference bool array)."""
+    nbits = 1 << ways
+    return st.lists(
+        st.integers(min_value=0, max_value=1), min_size=nbits, max_size=nbits
+    ).map(lambda bits: (AoB.from_bits(bits), np.array(bits, dtype=bool)))
+
+
+class TestConstruction:
+    def test_zeros(self):
+        a = AoB.zeros(4)
+        assert a.popcount() == 0
+        assert not a.any()
+
+    def test_ones(self):
+        a = AoB.ones(4)
+        assert a.popcount() == 16
+        assert a.all()
+
+    def test_ones_partial_word(self):
+        a = AoB.ones(3)
+        assert a.popcount() == 8
+        assert a.to_int() == 0xFF
+
+    def test_constant(self):
+        assert AoB.constant(5, 0) == AoB.zeros(5)
+        assert AoB.constant(5, 1) == AoB.ones(5)
+
+    def test_constant_rejects_bad_bit(self):
+        with pytest.raises(ValueError):
+            AoB.constant(5, 2)
+
+    def test_from_bits_roundtrip(self):
+        bits = [1, 0, 0, 1, 1, 1, 0, 0]
+        a = AoB.from_bits(bits)
+        assert list(a.to_bool_array().astype(int)) == bits
+
+    def test_from_bits_rejects_non_power_of_two(self):
+        with pytest.raises(EntanglementError):
+            AoB.from_bits([1, 0, 1])
+
+    def test_from_bits_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            AoB.from_bits([0, 2, 0, 1])
+
+    def test_from_int_roundtrip(self):
+        a = AoB.from_int(7, 0xDEADBEEF_CAFEF00D >> 2 & ((1 << 128) - 1))
+        assert AoB.from_int(7, a.to_int()) == a
+
+    def test_from_int_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            AoB.from_int(3, 1 << 8)
+
+    def test_too_many_ways_rejected(self):
+        with pytest.raises(EntanglementError):
+            AoB.zeros(40)
+
+    def test_words_are_read_only(self):
+        a = AoB.zeros(8)
+        with pytest.raises(ValueError):
+            a.words[0] = 1
+
+    def test_random_probability(self, rng):
+        a = AoB.random(14, rng, p=0.25)
+        assert 0.2 < a.probability() < 0.3
+
+    @given(WAYS)
+    def test_len_is_two_to_ways(self, ways):
+        assert len(AoB.zeros(ways)) == 1 << ways
+
+
+class TestGateProperties:
+    @given(st.integers(min_value=0, max_value=7).flatmap(
+        lambda w: st.tuples(aob_strategy(w), aob_strategy(w))))
+    def test_binary_ops_match_reference(self, pair):
+        (a, ra), (b, rb) = pair
+        assert np.array_equal((a & b).to_bool_array(), ra & rb)
+        assert np.array_equal((a | b).to_bool_array(), ra | rb)
+        assert np.array_equal((a ^ b).to_bool_array(), ra ^ rb)
+
+    @given(st.integers(min_value=0, max_value=7).flatmap(aob_strategy))
+    def test_not_matches_reference(self, pair):
+        a, ra = pair
+        assert np.array_equal((~a).to_bool_array(), ~ra)
+
+    @given(st.integers(min_value=0, max_value=7).flatmap(aob_strategy))
+    def test_not_is_involution(self, pair):
+        a, _ = pair
+        assert ~~a == a
+
+    @given(st.integers(min_value=0, max_value=6).flatmap(
+        lambda w: st.tuples(aob_strategy(w), aob_strategy(w))))
+    def test_cnot_is_involution(self, pair):
+        (a, _), (b, _) = pair
+        assert a.cnot(b).cnot(b) == a
+
+    @given(st.integers(min_value=0, max_value=6).flatmap(
+        lambda w: st.tuples(aob_strategy(w), aob_strategy(w), aob_strategy(w))))
+    def test_ccnot_is_involution(self, triple):
+        (a, _), (b, _), (c, _) = triple
+        assert a.ccnot(b, c).ccnot(b, c) == a
+
+    @given(st.integers(min_value=0, max_value=6).flatmap(
+        lambda w: st.tuples(aob_strategy(w), aob_strategy(w), aob_strategy(w))))
+    def test_cswap_is_involution(self, triple):
+        (a, _), (b, _), (c, _) = triple
+        x, y = a.cswap(b, c)
+        back_x, back_y = x.cswap(y, c)
+        assert back_x == a and back_y == b
+
+    @given(st.integers(min_value=0, max_value=6).flatmap(
+        lambda w: st.tuples(aob_strategy(w), aob_strategy(w), aob_strategy(w))))
+    def test_cswap_conserves_bits(self, triple):
+        """Billiard-ball conservancy (paper section 2.5)."""
+        (a, _), (b, _), (c, _) = triple
+        x, y = a.cswap(b, c)
+        assert x.popcount() + y.popcount() == a.popcount() + b.popcount()
+
+    @given(st.integers(min_value=0, max_value=6).flatmap(
+        lambda w: st.tuples(aob_strategy(w), aob_strategy(w))))
+    def test_cswap_with_ones_is_swap(self, pair):
+        (a, _), (b, _) = pair
+        x, y = a.cswap(b, AoB.ones(a.ways))
+        assert x == b and y == a
+
+    @given(st.integers(min_value=0, max_value=6).flatmap(
+        lambda w: st.tuples(aob_strategy(w), aob_strategy(w))))
+    def test_cswap_with_zeros_is_identity(self, pair):
+        (a, _), (b, _) = pair
+        x, y = a.cswap(b, AoB.zeros(a.ways))
+        assert x == a and y == b
+
+    def test_mismatched_ways_rejected(self):
+        with pytest.raises(EntanglementError):
+            AoB.zeros(3) & AoB.zeros(4)
+
+    def test_cswap_mismatched_ways_rejected(self):
+        with pytest.raises(EntanglementError):
+            AoB.zeros(3).cswap(AoB.zeros(3), AoB.zeros(4))
+
+
+class TestMeasurement:
+    @given(st.integers(min_value=0, max_value=8).flatmap(aob_strategy))
+    def test_meas_matches_reference(self, pair):
+        a, ref = pair
+        for channel in range(len(ref)):
+            assert a.meas(channel) == int(ref[channel])
+
+    @given(st.integers(min_value=0, max_value=8).flatmap(aob_strategy),
+           st.integers(min_value=0, max_value=300))
+    def test_next_matches_reference(self, pair, start):
+        a, ref = pair
+        ones = np.flatnonzero(ref)
+        after = ones[ones > start]
+        expected = int(after[0]) if after.size else 0
+        assert a.next(start) == expected
+
+    @given(st.integers(min_value=0, max_value=8).flatmap(aob_strategy),
+           st.integers(min_value=0, max_value=300))
+    def test_pop_after_matches_reference(self, pair, start):
+        a, ref = pair
+        ones = np.flatnonzero(ref)
+        assert a.pop_after(start) == int((ones > start).sum())
+
+    @given(st.integers(min_value=0, max_value=8).flatmap(aob_strategy))
+    def test_popcount_and_reductions(self, pair):
+        a, ref = pair
+        assert a.popcount() == int(ref.sum())
+        assert a.any() == bool(ref.any())
+        assert a.all() == bool(ref.all())
+        assert a.probability() == ref.mean()
+
+    @given(st.integers(min_value=0, max_value=8).flatmap(aob_strategy))
+    def test_iter_ones_matches_reference(self, pair):
+        a, ref = pair
+        assert list(a.iter_ones()) == list(np.flatnonzero(ref))
+
+    @given(st.integers(min_value=0, max_value=8).flatmap(aob_strategy))
+    def test_measurement_is_nondestructive(self, pair):
+        """Section 2.7: reading never changes the value."""
+        a, _ = pair
+        before = a.to_int()
+        a.meas(0)
+        a.next(0)
+        a.pop_after(0)
+        a.popcount()
+        list(a.iter_ones())
+        assert a.to_int() == before
+
+    def test_paper_next_example(self):
+        """The worked example from section 2.7: had @123,4 then
+        next from 42 yields 48."""
+        a = AoB.hadamard(16, 4)
+        assert a.next(42) == 48
+
+    def test_meas_wraps_channel(self):
+        a = AoB.from_bits([0, 1, 0, 0])
+        assert a.meas(1) == 1
+        assert a.meas(5) == 1  # 5 mod 4 == 1
+
+    def test_negative_channel_rejected(self):
+        a = AoB.zeros(4)
+        with pytest.raises(MeasurementError):
+            a.meas(-1)
+        with pytest.raises(MeasurementError):
+            a.next(-1)
+        with pytest.raises(MeasurementError):
+            a.pop_after(-1)
+
+    def test_next_past_end_returns_zero(self):
+        a = AoB.ones(4)
+        assert a.next(15) == 0
+        assert a.next(100) == 0
+
+    def test_getitem_is_meas(self):
+        a = AoB.from_bits([0, 1, 1, 0])
+        assert a[0] == 0 and a[1] == 1 and a[2] == 1 and a[3] == 0
+
+
+class TestValueProtocol:
+    def test_equality_and_hash(self):
+        a = AoB.from_bits([0, 1, 1, 0])
+        b = AoB.from_bits([0, 1, 1, 0])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != AoB.from_bits([0, 1, 1, 1])
+
+    def test_equality_different_ways(self):
+        assert AoB.zeros(3) != AoB.zeros(4)
+
+    def test_rle_string(self):
+        assert AoB.from_bits([0, 0, 1, 1]).to_rle_string() == "0^2 1^2"
+        assert AoB.from_bits([0, 1, 0, 1]).to_rle_string() == "0 1 0 1"
+
+    def test_repr_mentions_ways(self):
+        assert "ways=3" in repr(AoB.zeros(3))

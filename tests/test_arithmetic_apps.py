@@ -1,0 +1,45 @@
+"""Superposed-arithmetic demonstration applications."""
+
+import pytest
+
+from repro.apps import multiplication_distribution, superposed_sum
+from repro.errors import ReproError
+
+
+class TestMultiplicationDistribution:
+    def test_matches_times_table(self):
+        dist = multiplication_distribution(3, 3)
+        brute = {}
+        for a in range(8):
+            for b in range(8):
+                brute[a * b] = brute.get(a * b, 0) + 1
+        assert dist == brute
+
+    def test_total_mass(self):
+        dist = multiplication_distribution(4, 4)
+        assert sum(dist.values()) == 256
+
+    def test_asymmetric_widths(self):
+        dist = multiplication_distribution(2, 4)
+        assert sum(dist.values()) == 64
+        assert dist[45] == 1  # 3 * 15 only
+
+    def test_pattern_backend_agrees(self):
+        dense = multiplication_distribution(3, 3)
+        compressed = multiplication_distribution(3, 3, backend="pattern", chunk_ways=6)
+        assert dense == compressed
+
+
+class TestSuperposedSum:
+    def test_is_a_permutation(self):
+        dist = superposed_sum(4, 5)
+        assert set(dist.values()) == {1}
+        assert set(dist) == set(range(16))
+
+    def test_zero_constant(self):
+        dist = superposed_sum(3, 0)
+        assert set(dist) == set(range(8))
+
+    def test_constant_range_checked(self):
+        with pytest.raises(ReproError):
+            superposed_sum(3, 8)

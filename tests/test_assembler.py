@@ -1,0 +1,144 @@
+"""Assembler tests: syntax, labels, directives, errors, disassembly."""
+
+import pytest
+
+from repro.asm import assemble, disassemble
+from repro.asm.disasm import render_listing
+from repro.errors import AssemblerError
+from repro.isa import decode
+
+
+class TestBasicSyntax:
+    def test_empty_source(self):
+        assert len(assemble("")) == 0
+
+    def test_comments_all_styles(self):
+        p = assemble("lex $0, 1 ; semicolon\nlex $1, 2 # hash\nlex $2, 3 // slashes\n")
+        assert len(p.words) == 3
+
+    def test_register_aliases(self):
+        p = assemble("copy $at, $rv\ncopy $ra, $fp\ncopy $sp, $0\n")
+        instrs = [decode(p.words, i)[0] for i in range(3)]
+        assert instrs[0].ops == (11, 12)
+        assert instrs[1].ops == (13, 14)
+        assert instrs[2].ops == (15, 0)
+
+    def test_numeric_literals(self):
+        p = assemble("lex $0, 0x1f\nlex $1, 0b101\nlex $2, -3\n")
+        assert p.words[0] & 0xFF == 0x1F
+        assert p.words[1] & 0xFF == 5
+        assert p.words[2] & 0xFF == 0xFD
+
+    def test_case_insensitive_mnemonics(self):
+        p = assemble("LEX $0, 1\nAdd $0, $1\n")
+        assert decode(p.words, 0)[0].mnemonic == "lex"
+
+    def test_qat_tangled_disambiguation(self):
+        p = assemble("and $0, $1\nand @0, @1, @2\nnot $3\nnot @3\n")
+        mnemonics = [i.mnemonic for _, i in
+                     ((a, decode(p.words, a)[0]) for a in (0, 1, 3, 4))]
+        assert mnemonics == ["and", "qand", "not", "qnot"]
+
+
+class TestLabels:
+    def test_forward_and_backward_branches(self):
+        p = assemble(
+            "top:\tlex $0, 1\n\tbrt $0, end\n\tbrf $0, top\nend:\tsys\n"
+        )
+        brt, _ = decode(p.words, 1)
+        brf, _ = decode(p.words, 2)
+        assert brt.ops == (0, 1)  # end(3) - (1+1) = 1
+        assert brf.ops == (0, -3)  # top(0) - (2+1) = -3
+
+    def test_labels_in_word_directive(self):
+        p = assemble("entry:\tsys\ndata:\t.word entry, data\n")
+        assert p.words[1] == 0
+        assert p.words[2] == 1
+
+    def test_stacked_labels(self):
+        p = assemble("a: b: c: sys\n")
+        assert p.labels == {"a": 0, "b": 0, "c": 0}
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("x:\tsys\nx:\tsys\n")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble("brt $0, nowhere\n")
+
+    def test_branch_offset_range_checked(self):
+        src = "\tbrt $0, far\n" + "\tsys\n" * 200 + "far:\tsys\n"
+        with pytest.raises(AssemblerError):
+            assemble(src)
+
+    def test_source_map_records_lines(self):
+        p = assemble("\tlex $0, 1\n\tsys\n")
+        assert p.source_map[0] == 1
+        assert p.source_map[1] == 2
+
+
+class TestDirectives:
+    def test_word_values(self):
+        p = assemble(".word 1, 0x10, -1\n")
+        assert p.words == [1, 16, 0xFFFF]
+
+    def test_origin_moves_forward(self):
+        p = assemble("sys\n.origin 0x10\ntarget: sys\n")
+        assert p.labels["target"] == 0x10
+        assert p.words[0x10] == p.words[0]
+
+    def test_origin_backwards_rejected(self):
+        with pytest.raises(AssemblerError):
+            assemble(".origin 5\nsys\n.origin 2\nsys\n")
+
+    def test_origin_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble(".origin 1, 2\n")
+
+
+class TestErrors:
+    def test_unknown_instruction(self):
+        with pytest.raises(AssemblerError) as info:
+            assemble("blorp $0\n")
+        assert "line 1" in str(info.value)
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            assemble("add $0\n")
+
+    def test_wrong_operand_sigil(self):
+        with pytest.raises(AssemblerError):
+            assemble("add $0, @1\n")
+
+    def test_bad_register_number(self):
+        with pytest.raises(AssemblerError):
+            assemble("add $16, $0\n")
+        with pytest.raises(AssemblerError):
+            assemble("zero @256\n")
+
+    def test_bad_literal(self):
+        with pytest.raises(AssemblerError):
+            assemble("lex $0, 12abc\n")
+
+    def test_bad_label_name(self):
+        with pytest.raises(AssemblerError):
+            assemble("1bad:\tsys\n")
+
+
+class TestDisassembly:
+    def test_roundtrip_through_disassembler(self):
+        src = "\tlex $0, 42\n\thad @9, 3\n\tand @2, @0, @1\n\tsys\n"
+        p = assemble(src)
+        listing = disassemble(p.words)
+        reassembled = assemble("\n".join(text for _, text in listing))
+        assert reassembled.words == p.words
+
+    def test_data_renders_as_word(self):
+        listing = disassemble([0x6123])
+        assert listing[0][1].startswith(".word")
+
+    def test_render_listing_has_addresses(self):
+        p = assemble("lex $0, 1\nsys\n")
+        text = render_listing(p.words)
+        assert "0000:" in text and "0001:" in text

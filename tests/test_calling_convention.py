@@ -1,0 +1,159 @@
+"""Call/stack macros: the function-call register convention in action.
+
+The paper reserves $rv/$ra/$fp/$sp "for function/subroutine call
+handling" but defines no call instruction; these tests exercise our
+call/ret/push/pop macro layer built on that convention.
+"""
+
+import pytest
+
+from repro.asm.macros import expand_macro
+from repro.errors import AssemblerError
+from repro.isa.registers import AT, RA, SP
+
+from tests.conftest import assemble_and_run
+
+
+class TestExpansions:
+    def test_call_builds_return_address(self):
+        seq = expand_macro("call", (100,))
+        assert [p.mnemonic for p in seq] == ["lex", "lhi", "lex", "lhi", "jumpr"]
+        assert seq[0].ops[0] == RA and seq[1].ops[0] == RA
+
+    def test_ret_is_jumpr_ra(self):
+        seq = expand_macro("ret", ())
+        assert [p.mnemonic for p in seq] == ["jumpr"]
+        assert seq[0].ops == (RA,)
+
+    def test_push_pop_use_stack_pointer(self):
+        push = expand_macro("push", (3,))
+        pop = expand_macro("pop", (3,))
+        assert [p.mnemonic for p in push] == ["lex", "add", "store"]
+        assert [p.mnemonic for p in pop] == ["load", "lex", "add"]
+        assert push[2].ops == (3, SP)
+
+    def test_at_cannot_be_pushed(self):
+        with pytest.raises(AssemblerError):
+            expand_macro("push", (AT,))
+        with pytest.raises(AssemblerError):
+            expand_macro("pop", (AT,))
+
+    def test_ret_rejects_operands(self):
+        with pytest.raises(AssemblerError):
+            expand_macro("ret", (1,))
+
+
+class TestBehaviour:
+    def test_call_and_return(self):
+        sim = assemble_and_run(
+            """
+            loadi $sp, 0x8000
+            call  fn
+            lex   $1, 7        ; executes after the return
+            lex   $rv, 0
+            sys
+        fn: lex   $0, 42
+            ret
+            """
+        )
+        assert sim.machine.read_reg(0) == 42
+        assert sim.machine.read_reg(1) == 7
+
+    def test_push_pop_roundtrip(self):
+        sim = assemble_and_run(
+            """
+            loadi $sp, 0x8000
+            lex   $0, 11
+            lex   $1, 22
+            push  $0
+            push  $1
+            lex   $0, 0
+            lex   $1, 0
+            pop   $1
+            pop   $0
+            """
+        )
+        assert sim.machine.read_reg(0) == 11
+        assert sim.machine.read_reg(1) == 22
+        assert sim.machine.read_reg(SP) == 0x8000  # balanced
+
+    def test_nested_calls_via_stack(self):
+        """Two-deep call chain saving $ra on the stack."""
+        sim = assemble_and_run(
+            """
+            loadi $sp, 0x8000
+            call  outer
+            lex   $rv, 0
+            sys
+        outer:
+            push  $ra
+            call  inner
+            pop   $ra
+            lex   $2, 2
+            add   $0, $2
+            ret
+        inner:
+            lex   $0, 40
+            ret
+            """
+        )
+        assert sim.machine.read_reg(0) == 42
+
+    def test_recursive_factorial(self):
+        """factorial(6) = 720 with a real recursive call stack."""
+        sim = assemble_and_run(
+            """
+            loadi $sp, 0x8000
+            lex   $0, 6          ; argument
+            call  fact
+            copy  $0, $rv
+            lex   $rv, 1
+            sys                   ; print 720
+            lex   $rv, 0
+            sys
+        fact:
+            brt   $0, recurse
+            lex   $rv, 1          ; fact(0) = 1
+            ret
+        recurse:
+            push  $ra
+            push  $0
+            lex   $1, -1
+            add   $0, $1          ; n - 1
+            call  fact
+            pop   $0              ; restore n
+            pop   $ra
+            mul   $rv, $0         ; fact(n-1) * n  (mul keeps $rv as dest)
+            ret
+            """
+        )
+        assert sim.machine.output == ["720"]
+
+    def test_recursion_on_the_pipeline(self):
+        """Same program, cycle-stepped pipeline: state must agree."""
+        src = """
+            loadi $sp, 0x8000
+            lex   $0, 5
+            call  fact
+            copy  $0, $rv
+            lex   $rv, 0
+            sys
+        fact:
+            brt   $0, recurse
+            lex   $rv, 1
+            ret
+        recurse:
+            push  $ra
+            push  $0
+            lex   $1, -1
+            add   $0, $1
+            call  fact
+            pop   $0
+            pop   $ra
+            mul   $rv, $0
+            ret
+        """
+        functional = assemble_and_run(src, simulator="functional")
+        pipelined = assemble_and_run(src, simulator="pipelined")
+        assert functional.machine.read_reg(0) == 120
+        assert pipelined.machine.read_reg(0) == 120

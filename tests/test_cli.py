@@ -1,0 +1,97 @@
+"""Command-line interface tests (the ``tangled`` console script)."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def asm_file(tmp_path):
+    path = tmp_path / "prog.s"
+    path.write_text(
+        "lex $0, 21\nadd $0, $0\ncopy $1, $0\nlex $rv, 1\nsys\nlex $rv, 0\nsys\n"
+    )
+    return path
+
+
+class TestAsmDis:
+    def test_asm_to_stdout(self, asm_file, capsys):
+        assert main(["asm", str(asm_file)]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert len(out) == 7
+        assert all(len(w) == 4 for w in out)
+
+    def test_asm_to_file_then_dis(self, asm_file, tmp_path, capsys):
+        hexfile = tmp_path / "prog.hex"
+        assert main(["asm", str(asm_file), "-o", str(hexfile)]) == 0
+        capsys.readouterr()
+        assert main(["dis", str(hexfile)]) == 0
+        listing = capsys.readouterr().out
+        assert "lex" in listing and "sys" in listing
+
+    def test_asm_error_exit_code(self, tmp_path, capsys):
+        bad = tmp_path / "bad.s"
+        bad.write_text("frobnicate $0\n")
+        assert main(["asm", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file(self, capsys):
+        assert main(["asm", "/nonexistent.s"]) == 1
+
+
+class TestRun:
+    @pytest.mark.parametrize("sim", ["functional", "multicycle", "pipelined"])
+    def test_run_prints_output_and_registers(self, asm_file, capsys, sim):
+        assert main(["run", str(asm_file), "--sim", sim]) == 0
+        out = capsys.readouterr().out
+        assert "42" in out
+        assert "$0=42" in out
+
+    def test_run_pipeline_options(self, asm_file, capsys):
+        assert main([
+            "run", str(asm_file), "--sim", "pipelined",
+            "--stages", "5", "--no-forwarding",
+        ]) == 0
+        assert "stalls" in capsys.readouterr().out
+
+    def test_run_limit_guard(self, tmp_path, capsys):
+        spin = tmp_path / "spin.s"
+        spin.write_text("spin: br spin\n")
+        assert main(["run", str(spin), "--limit", "100"]) == 1
+
+
+class TestFactor:
+    def test_factor_221(self, capsys):
+        assert main(["factor", "221", "--bits", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "13" in out and "17" in out
+
+    def test_factor_default_bits(self, capsys):
+        assert main(["factor", "15"]) == 0
+        assert "nontrivial factors: [3, 5]" in capsys.readouterr().out
+
+    def test_factor_pattern_backend(self, capsys):
+        assert main(["factor", "35", "--bits", "4", "--pattern", "--chunk-ways", "6"]) == 0
+        assert "5" in capsys.readouterr().out
+
+
+class TestVerilogAndFig10:
+    def test_verilog_qathad(self, capsys):
+        assert main(["verilog", "qathad", "--ways", "8"]) == 0
+        text = capsys.readouterr().out
+        assert "module qathad" in text and "WAYS=8" in text
+
+    def test_verilog_bundle(self, capsys):
+        assert main(["verilog", "all"]) == 0
+        text = capsys.readouterr().out
+        for module in ("qathad", "qatnext", "qatalu"):
+            assert f"module {module}" in text
+
+    def test_fig10(self, capsys):
+        assert main(["fig10", "--sim", "functional"]) == 0
+        out = capsys.readouterr().out
+        assert "$0 = 5" in out and "$1 = 3" in out
+
+    def test_fig10_pipelined_stats(self, capsys):
+        assert main(["fig10"]) == 0
+        assert "cycles" in capsys.readouterr().out

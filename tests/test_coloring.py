@@ -1,0 +1,93 @@
+"""Graph-coloring application tests (cross-checked with networkx)."""
+
+import itertools
+
+import networkx as nx
+import pytest
+
+from repro.apps.coloring import chromatic_number, color_graph
+from repro.errors import ReproError
+
+
+def brute_force_colorings(edges, vertices, k):
+    out = []
+    for assignment in itertools.product(range(k), repeat=len(vertices)):
+        coloring = dict(zip(vertices, assignment))
+        if all(coloring[u] != coloring[v] for u, v in edges):
+            out.append(coloring)
+    return out
+
+
+class TestColorGraph:
+    def test_triangle_3_colors(self):
+        edges = [(0, 1), (1, 2), (0, 2)]
+        solutions = color_graph(edges, 3)
+        assert len(solutions) == 6  # 3! proper colorings of K3
+        for coloring in solutions:
+            for u, v in edges:
+                assert coloring[u] != coloring[v]
+
+    def test_triangle_2_colors_impossible(self):
+        assert color_graph([(0, 1), (1, 2), (0, 2)], 2) == []
+
+    def test_path_2_colors(self):
+        solutions = color_graph([(0, 1), (1, 2)], 2)
+        assert len(solutions) == 2  # alternating colorings
+
+    def test_matches_brute_force(self):
+        edges = [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]
+        vertices = [0, 1, 2, 3]
+        got = color_graph(edges, 3)
+        expected = brute_force_colorings(edges, vertices, 3)
+        assert sorted(got, key=lambda c: tuple(c[v] for v in vertices)) == sorted(
+            expected, key=lambda c: tuple(c[v] for v in vertices)
+        )
+
+    def test_non_power_of_two_palette(self):
+        """3 colors need range constraints (2 bits encode 4 codes)."""
+        solutions = color_graph([(0, 1)], 3)
+        assert len(solutions) == 6  # 3*3 - 3 equal
+        assert all(c[0] < 3 and c[1] < 3 for c in solutions)
+
+    def test_isolated_nodes_via_nodes_param(self):
+        solutions = color_graph([(0, 1)], 2, nodes=[0, 1, 2])
+        assert len(solutions) == 4  # 2 edge colorings x 2 free choices
+
+    def test_networkx_graph_input(self):
+        g = nx.petersen_graph()
+        solutions = color_graph(g.edges(), 3, max_solutions=5)
+        assert solutions  # Petersen graph is 3-chromatic
+        for coloring in solutions:
+            for u, v in g.edges():
+                assert coloring[u] != coloring[v]
+
+    def test_max_solutions_caps_readout(self):
+        solutions = color_graph([(0, 1)], 4, max_solutions=3)
+        assert len(solutions) == 3
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ReproError):
+            color_graph([(0, 0)], 3)
+
+    def test_zero_colors_rejected(self):
+        with pytest.raises(ReproError):
+            color_graph([(0, 1)], 0)
+
+    def test_empty_graph(self):
+        assert color_graph([], 3) == []
+
+
+class TestChromaticNumber:
+    @pytest.mark.parametrize("graph,expected", [
+        (nx.complete_graph(3), 3),
+        (nx.complete_graph(4), 4),
+        (nx.cycle_graph(4), 2),
+        (nx.cycle_graph(5), 3),
+        (nx.petersen_graph(), 3),
+    ])
+    def test_known_graphs(self, graph, expected):
+        assert chromatic_number(graph.edges(), nodes=graph.nodes()) == expected
+
+    def test_budget_exhausted(self):
+        with pytest.raises(ReproError):
+            chromatic_number(nx.complete_graph(5).edges(), max_colors=3)

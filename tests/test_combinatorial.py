@@ -1,0 +1,122 @@
+"""Subset-sum and max-cut applications, cross-checked by brute force."""
+
+import itertools
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.combinatorial import max_cut, subset_sum
+from repro.errors import ReproError
+
+
+def brute_subset_sum(weights, target):
+    out = []
+    for mask in range(1 << len(weights)):
+        if sum(w for i, w in enumerate(weights) if (mask >> i) & 1) == target:
+            out.append([i for i in range(len(weights)) if (mask >> i) & 1])
+    return out
+
+
+def brute_max_cut(edges, vertices):
+    best, arg = -1, []
+    index = {v: i for i, v in enumerate(vertices)}
+    for mask in range(1 << len(vertices)):
+        cut = sum(
+            1 for u, v in edges if ((mask >> index[u]) ^ (mask >> index[v])) & 1
+        )
+        if cut > best:
+            best, arg = cut, [mask]
+        elif cut == best:
+            arg.append(mask)
+    return best, [
+        {v for v in vertices if (mask >> index[v]) & 1} for mask in arg
+    ]
+
+
+class TestSubsetSum:
+    def test_simple_instance(self):
+        solutions = subset_sum([3, 5, 8, 13], 16)
+        assert solutions == brute_subset_sum([3, 5, 8, 13], 16)
+        assert [0, 1, 2] in solutions  # 3 + 5 + 8
+
+    def test_empty_subset_hits_zero(self):
+        assert [] in subset_sum([2, 4], 0)
+
+    def test_unreachable_target(self):
+        assert subset_sum([2, 4, 6], 5) == []
+
+    def test_target_beyond_total(self):
+        assert subset_sum([1, 2], 100) == []
+
+    def test_duplicate_weights_give_multiple_solutions(self):
+        solutions = subset_sum([5, 5, 5], 5)
+        assert len(solutions) == 3
+
+    def test_zero_weights_are_free_choices(self):
+        solutions = subset_sum([0, 7], 7)
+        # element 0 contributes nothing: both subsets containing 7 work
+        assert sorted(map(tuple, solutions)) == [(0, 1), (1,)]
+
+    @settings(max_examples=25)
+    @given(st.lists(st.integers(0, 12), min_size=1, max_size=7), st.integers(0, 40))
+    def test_matches_brute_force(self, weights, target):
+        got = sorted(map(tuple, subset_sum(weights, target)))
+        want = sorted(map(tuple, brute_subset_sum(weights, target)))
+        assert got == want
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            subset_sum([], 1)
+        with pytest.raises(ReproError):
+            subset_sum([1], -2)
+        with pytest.raises(ReproError):
+            subset_sum([-1], 0)
+
+
+class TestMaxCut:
+    def test_triangle(self):
+        best, partitions = max_cut([(0, 1), (1, 2), (0, 2)])
+        assert best == 2
+        assert len(partitions) == 6  # 3 ways x 2 labelings
+
+    def test_square_cycle(self):
+        best, partitions = max_cut([(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert best == 4
+        assert {0, 2} in partitions and {1, 3} in partitions
+
+    def test_bipartite_graph_cuts_everything(self):
+        g = nx.complete_bipartite_graph(2, 3)
+        best, partitions = max_cut(g.edges(), nodes=g.nodes())
+        assert best == g.number_of_edges()
+
+    def test_petersen(self):
+        g = nx.petersen_graph()
+        best, partitions = max_cut(g.edges(), nodes=g.nodes())
+        assert best == 12  # known max cut of the Petersen graph
+        for part in partitions:
+            cut = sum(1 for u, v in g.edges() if (u in part) != (v in part))
+            assert cut == 12
+
+    @settings(max_examples=15)
+    @given(st.data())
+    def test_matches_brute_force(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=6))
+        possible = list(itertools.combinations(range(n), 2))
+        edges = data.draw(
+            st.lists(st.sampled_from(possible), min_size=1, max_size=8, unique=True)
+        )
+        vertices = sorted({v for e in edges for v in e})
+        best, partitions = max_cut(edges)
+        want_best, want_parts = brute_max_cut(edges, vertices)
+        assert best == want_best
+        key = lambda sets: sorted(tuple(sorted(map(repr, s))) for s in sets)
+        assert key(partitions) == key(want_parts)
+
+    def test_empty_graph(self):
+        assert max_cut([]) == (0, [set()])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ReproError):
+            max_cut([(1, 1)])

@@ -1,0 +1,187 @@
+"""Qat emission tests: emitted assembly must compute what the circuit says,
+under every allocator / gate-set / reserved-constant combination."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aob import AoB
+from repro.asm import assemble
+from repro.cpu import FunctionalSimulator
+from repro.errors import CircuitError
+from repro.gates import EmitOptions, GateCircuit, emit_qat, optimize
+from repro.gates.alg import ValueAlgebra
+from repro.gates.regalloc import AllocationError
+
+WAYS = 6
+
+
+def run_emission(emission, ways=WAYS, prologue=()):
+    """Assemble emitted Qat lines (plus halting sys) and execute."""
+    lines = list(prologue) + emission.lines + ["lex\t$rv,0", "sys"]
+    program = assemble("\n".join(lines))
+    sim = FunctionalSimulator(ways=ways)
+    sim.load(program)
+    sim.run()
+    return sim
+
+
+def reserved_prologue():
+    return ["zero\t@0", "one\t@1"] + [f"had\t@{2 + k},{k}" for k in range(16)]
+
+
+def check_emission_matches_circuit(circuit, options, ways=WAYS):
+    emission = emit_qat(circuit, options)
+    prologue = reserved_prologue() if options.reserved_constants else ()
+    sim = run_emission(emission, ways, prologue)
+    alg = ValueAlgebra(ways, AoB)
+    expected = circuit.evaluate(alg)
+    for name, reg in emission.output_regs.items():
+        assert sim.machine.read_qreg(reg) == expected[name], (name, options)
+    return emission
+
+
+def random_circuit(data, num_gates=15):
+    c = GateCircuit()
+    nodes = [c.had(k) for k in range(4)] + [c.const(0), c.const(1)]
+    for _ in range(num_gates):
+        op = data.draw(st.sampled_from(["and", "or", "xor", "not"]))
+        a = data.draw(st.sampled_from(nodes))
+        if op == "not":
+            nodes.append(c.bnot(a))
+        else:
+            b = data.draw(st.sampled_from(nodes))
+            nodes.append(getattr(c, f"b{op}")(a, b))
+    c.mark_output("o", nodes[-1])
+    # a second output exercises liveness-to-end handling
+    c.mark_output("mid", nodes[len(nodes) // 2])
+    return c
+
+
+ALL_OPTIONS = [
+    EmitOptions(),
+    EmitOptions(allocator="recycle"),
+    EmitOptions(reserved_constants=True),
+    EmitOptions(allocator="recycle", reserved_constants=True),
+    EmitOptions(gate_set="irreversible"),
+    EmitOptions(gate_set="irreversible", allocator="recycle"),
+    EmitOptions(gate_set="reversible"),
+    EmitOptions(gate_set="reversible", allocator="recycle"),
+]
+
+
+class TestEmissionCorrectness:
+    @pytest.mark.parametrize("options", ALL_OPTIONS, ids=lambda o: f"{o.gate_set}-{o.allocator}-res{int(o.reserved_constants)}")
+    def test_small_circuit(self, options):
+        c = GateCircuit()
+        h0, h1, h2 = c.had(0), c.had(1), c.had(2)
+        x = c.bxor(c.band(h0, h1), h2)
+        y = c.bnot(c.bor(x, h0))
+        c.mark_output("x", x)
+        c.mark_output("y", y)
+        check_emission_matches_circuit(c, options)
+
+    @settings(max_examples=25)
+    @given(st.data(), st.sampled_from(ALL_OPTIONS))
+    def test_random_circuits(self, data, options):
+        circuit = optimize(random_circuit(data))
+        check_emission_matches_circuit(circuit, options)
+
+    def test_not_preserves_source(self):
+        """The Figure 10 idiom: not of a still-live value copies first."""
+        c = GateCircuit()
+        h = c.had(0)
+        n = c.bnot(h)
+        c.mark_output("n", n)
+        c.mark_output("h", h)  # h stays live past the not
+        for options in ALL_OPTIONS:
+            check_emission_matches_circuit(c, options)
+
+    def test_inputs_require_binding(self):
+        c = GateCircuit()
+        x = c.input("x")
+        c.mark_output("o", c.bnot(x))
+        with pytest.raises(CircuitError):
+            emit_qat(c)
+
+    def test_input_binding_used(self):
+        c = GateCircuit()
+        x = c.input("x")
+        c.mark_output("o", c.bnot(x))
+        emission = emit_qat(c, input_regs={"x": 200})
+        prologue = ["had\t@200,3"]
+        sim = run_emission(emission, prologue=prologue)
+        assert sim.machine.read_qreg(emission.output_regs["o"]) == ~AoB.hadamard(WAYS, 3)
+
+
+class TestAllocators:
+    def test_greedy_never_reuses(self):
+        c = GateCircuit()
+        nodes = [c.had(0)]
+        for _ in range(10):
+            nodes.append(c.bxor(nodes[-1], nodes[0]))
+        c.mark_output("o", nodes[-1])
+        emission = emit_qat(c, EmitOptions(allocator="greedy"))
+        regs = [line.split("@")[1].split(",")[0] for line in emission.lines]
+        dests = [int(r) for r in regs]
+        assert len(set(dests)) == len(dests)  # every dest register fresh
+
+    def test_recycle_uses_fewer(self):
+        from repro.apps.fig10 import build_factor_circuit
+
+        circuit = build_factor_circuit(15, 4, 4)
+        greedy = emit_qat(circuit, EmitOptions(allocator="greedy"))
+        recycle = emit_qat(circuit, EmitOptions(allocator="recycle"))
+        assert recycle.high_water_regs < greedy.high_water_regs
+
+    def test_greedy_exhaustion_raises(self):
+        c = GateCircuit()
+        nodes = [c.had(0), c.had(1)]
+        for _ in range(300):
+            nodes.append(c.bxor(nodes[-1], nodes[-2]))
+        c.mark_output("o", nodes[-1])
+        with pytest.raises(AllocationError):
+            emit_qat(c, EmitOptions(allocator="greedy"))
+
+    def test_recycle_survives_long_chain(self):
+        c = GateCircuit()
+        nodes = [c.had(0), c.had(1)]
+        for _ in range(300):
+            nodes.append(c.bxor(nodes[-1], nodes[-2]))
+        c.mark_output("o", nodes[-1])
+        emission = emit_qat(c, EmitOptions(allocator="recycle"))
+        assert emission.high_water_regs <= 8
+
+
+class TestGateSets:
+    def test_reversible_costs_more(self):
+        from repro.apps.fig10 import build_factor_circuit
+
+        circuit = build_factor_circuit(15, 4, 4)
+        irrev = emit_qat(circuit, EmitOptions(gate_set="irreversible", allocator="recycle"))
+        rev = emit_qat(circuit, EmitOptions(gate_set="reversible", allocator="recycle"))
+        assert rev.instruction_count > irrev.instruction_count
+
+    def test_reversible_uses_only_reversible_ops(self):
+        from repro.apps.fig10 import build_factor_circuit
+
+        circuit = build_factor_circuit(15, 4, 4)
+        emission = emit_qat(circuit, EmitOptions(gate_set="reversible"))
+        allowed = {"zero", "one", "had", "cnot", "ccnot", "not", "swap", "cswap"}
+        for line in emission.lines:
+            assert line.split("\t")[0] in allowed, line
+
+    def test_reserved_constants_emit_no_initializers(self):
+        c = GateCircuit()
+        c.mark_output("o", c.band(c.had(0), c.const(1)))
+        emission = emit_qat(c, EmitOptions(reserved_constants=True))
+        mnemonics = {line.split("\t")[0] for line in emission.lines}
+        assert "had" not in mnemonics and "one" not in mnemonics and "zero" not in mnemonics
+
+    def test_word_count_tracks_two_word_encodings(self):
+        c = GateCircuit()
+        c.mark_output("o", c.band(c.had(0), c.had(1)))
+        emission = emit_qat(c)
+        # had(1 word) x2 + and(2 words) = 4 words, 3 instructions
+        assert emission.instruction_count == 3
+        assert emission.word_count == 4

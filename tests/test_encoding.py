@@ -1,0 +1,146 @@
+"""Instruction encoding: round-trips and error handling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.isa import INSTRUCTIONS, Instr, decode, decode_stream, encode
+
+GPR = st.integers(min_value=0, max_value=15)
+QREG = st.integers(min_value=0, max_value=255)
+IMM4 = st.integers(min_value=0, max_value=15)
+IMM8 = st.integers(min_value=-128, max_value=127)
+IMM8U = st.integers(min_value=0, max_value=255)
+
+
+def instr_strategy():
+    """Random well-formed instruction for any mnemonic."""
+    kind_map = {
+        "d": GPR, "s": GPR, "c": GPR, "a": GPR,
+        "A": QREG, "B": QREG, "C": QREG,
+        "k": IMM4, "o": IMM8,
+    }
+
+    def build(mnemonic):
+        spec = INSTRUCTIONS[mnemonic]
+        ops = []
+        for kind in spec.operands:
+            if kind == "i":
+                ops.append(IMM8U if mnemonic == "lhi" else IMM8)
+            else:
+                ops.append(kind_map[kind])
+        return st.tuples(*ops).map(lambda t: Instr(mnemonic, t))
+
+    return st.sampled_from(sorted(INSTRUCTIONS)).flatmap(build)
+
+
+class TestRoundTrip:
+    @given(instr_strategy())
+    def test_encode_decode_encode_is_stable(self, instr):
+        words = encode(instr)
+        decoded, size = decode(words)
+        assert size == len(words) == instr.spec.words
+        assert encode(decoded) == words
+
+    @given(instr_strategy())
+    def test_decode_preserves_registers(self, instr):
+        decoded, _ = decode(encode(instr))
+        assert decoded.mnemonic == instr.mnemonic
+        spec = instr.spec
+        for kind, mine, theirs in zip(spec.operands, instr.ops, decoded.ops):
+            if kind in "dscaABCk":
+                assert mine == theirs
+            else:  # immediates compare modulo 256 (lex sign-extends anyway)
+                assert (mine - theirs) % 256 == 0
+
+    def test_every_mnemonic_has_an_encoding(self):
+        for mnemonic, spec in INSTRUCTIONS.items():
+            ops = []
+            for kind in spec.operands:
+                ops.append({"d": 1, "s": 2, "c": 3, "a": 4, "A": 5, "B": 6,
+                            "C": 7, "i": 8, "k": 9, "o": 10}[kind])
+            words = encode(Instr(mnemonic, tuple(ops)))
+            assert len(words) == spec.words
+            decoded, _ = decode(words)
+            assert decoded.mnemonic == mnemonic
+
+
+class TestTwoWordInstructions:
+    def test_qat_multi_register_ops_are_two_words(self):
+        """Paper section 2.2: 8-bit Qat register numbers force some Qat
+        instructions to be two 16-bit words long."""
+        for mnemonic in ("qand", "qor", "qxor", "qccnot", "qcswap", "qcnot", "qswap"):
+            assert INSTRUCTIONS[mnemonic].words == 2
+
+    def test_single_register_qat_ops_are_one_word(self):
+        for mnemonic in ("qnot", "qzero", "qone", "qhad", "qmeas", "qnext", "qpop"):
+            assert INSTRUCTIONS[mnemonic].words == 1
+
+    def test_truncated_two_word_decode_raises(self):
+        words = encode(Instr("qand", (1, 2, 3)))
+        with pytest.raises(EncodingError):
+            decode(words[:1])
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(EncodingError):
+            encode(Instr("frobnicate", ()))
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(EncodingError):
+            encode(Instr("add", (1,)))
+
+    def test_register_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instr("add", (16, 0)))
+
+    def test_qat_register_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instr("qnot", (256,)))
+
+    def test_branch_offset_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instr("brt", (0, 128)))
+
+    def test_had_imm_out_of_range(self):
+        with pytest.raises(EncodingError):
+            encode(Instr("qhad", (0, 16)))
+
+    def test_unassigned_major_opcode(self):
+        with pytest.raises(EncodingError):
+            decode([0x6000])
+        with pytest.raises(EncodingError):
+            decode([0xF000])
+
+    def test_bad_sub_opcode(self):
+        with pytest.raises(EncodingError):
+            decode([0x0F00])  # ALU sub 15 unassigned
+        with pytest.raises(EncodingError):
+            decode([0x1F00])
+        with pytest.raises(EncodingError):
+            decode([0x8F00, 0])
+        with pytest.raises(EncodingError):
+            decode([0xAF00])
+
+    def test_decode_past_end(self):
+        with pytest.raises(EncodingError):
+            decode([], 0)
+
+
+class TestDecodeStream:
+    def test_walks_variable_length(self):
+        words = (
+            encode(Instr("lex", (0, 5)))
+            + encode(Instr("qand", (1, 2, 3)))
+            + encode(Instr("qnot", (4,)))
+        )
+        stream = decode_stream(words)
+        assert [(a, i.mnemonic) for a, i in stream] == [
+            (0, "lex"), (1, "qand"), (3, "qnot"),
+        ]
+
+    def test_count_limits(self):
+        words = encode(Instr("sys", ())) * 5
+        assert len(decode_stream(words, count=3)) == 3

@@ -1,0 +1,35 @@
+"""Smoke tests: every example script runs clean and prints its headline."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+CASES = {
+    "quickstart.py": "[0, 1, 3, 5, 15]",
+    "factoring_on_hardware.py": "$0 = 5, $1 = 3",
+    "sat_in_superposition.py": "satisfying assignments found in ONE pass",
+    "pipeline_explorer.py": "stage by stage",
+    "beyond_the_hardware_limit.py": "(641, 769)",
+    "graph_coloring.py": "chromatic number",
+}
+
+
+@pytest.mark.parametrize("script,expected", sorted(CASES.items()))
+def test_example_runs(script, expected):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr
+    assert expected in result.stdout
+
+
+def test_every_example_is_covered():
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(CASES), "update CASES when adding examples"

@@ -1,0 +1,222 @@
+"""Property tests: every instruction's executor vs a pure-Python model.
+
+For each Table 1/3 instruction, hypothesis drives random architectural
+state through both the real executor and an independent one-line Python
+model of the table's functionality column.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aob import AoB
+from repro.bf16 import (
+    bf16_add,
+    bf16_from_int,
+    bf16_mul,
+    bf16_neg,
+    bf16_recip,
+    bf16_to_int,
+)
+from repro.cpu import MachineState
+from repro.cpu.exec_core import execute
+from repro.isa import Instr
+
+WAYS = 6
+VAL16 = st.integers(min_value=0, max_value=0xFFFF)
+REG = st.integers(min_value=0, max_value=15)
+
+
+def fresh_machine(reg_values):
+    m = MachineState(ways=WAYS)
+    for i, v in enumerate(reg_values):
+        m.write_reg(i, v)
+    return m
+
+
+def sext8(v):
+    v &= 0xFF
+    return v | 0xFF00 if v & 0x80 else v
+
+
+def signed(v):
+    return v - 0x10000 if v >= 0x8000 else v
+
+
+# (mnemonic, model(d_val, s_val) -> new d) for all two-register ALU ops
+TWO_REG_MODELS = {
+    "add": lambda d, s: (d + s) & 0xFFFF,
+    "and": lambda d, s: d & s,
+    "or": lambda d, s: d | s,
+    "xor": lambda d, s: d ^ s,
+    "copy": lambda d, s: s,
+    "mul": lambda d, s: (d * s) & 0xFFFF,
+    "slt": lambda d, s: 1 if signed(d) < signed(s) else 0,
+    "addf": bf16_add,
+    "mulf": bf16_mul,
+}
+
+ONE_REG_MODELS = {
+    "neg": lambda d: (-d) & 0xFFFF,
+    "not": lambda d: (~d) & 0xFFFF,
+    "negf": bf16_neg,
+    "recip": bf16_recip,
+    "float": bf16_from_int,
+    "int": bf16_to_int,
+}
+
+
+class TestTangledSemantics:
+    @settings(max_examples=60)
+    @given(st.sampled_from(sorted(TWO_REG_MODELS)), REG, REG, st.lists(VAL16, min_size=16, max_size=16))
+    def test_two_register_ops(self, mnemonic, d, s, regs):
+        m = fresh_machine(regs)
+        dv, sv = m.read_reg(d), m.read_reg(s)
+        execute(m, Instr(mnemonic, (d, s)))
+        if d == s:
+            expected = TWO_REG_MODELS[mnemonic](dv, dv)
+        else:
+            expected = TWO_REG_MODELS[mnemonic](dv, sv)
+        assert m.read_reg(d) == expected
+        # no other register changed
+        for i in range(16):
+            if i != d:
+                assert m.read_reg(i) == regs[i]
+
+    @settings(max_examples=60)
+    @given(st.sampled_from(sorted(ONE_REG_MODELS)), REG, st.lists(VAL16, min_size=16, max_size=16))
+    def test_one_register_ops(self, mnemonic, d, regs):
+        m = fresh_machine(regs)
+        dv = m.read_reg(d)
+        execute(m, Instr(mnemonic, (d,)))
+        assert m.read_reg(d) == ONE_REG_MODELS[mnemonic](dv)
+
+    @settings(max_examples=60)
+    @given(REG, st.integers(-128, 127), st.lists(VAL16, min_size=16, max_size=16))
+    def test_lex_lhi(self, d, imm, regs):
+        m = fresh_machine(regs)
+        execute(m, Instr("lex", (d, imm)))
+        assert m.read_reg(d) == sext8(imm)
+        before = m.read_reg(d)
+        execute(m, Instr("lhi", (d, (imm + 77) & 0xFF)))
+        assert m.read_reg(d) == (before & 0xFF) | (((imm + 77) & 0xFF) << 8)
+
+    @settings(max_examples=60)
+    @given(REG, REG, VAL16, st.lists(VAL16, min_size=16, max_size=16))
+    def test_load_store(self, d, s, value, regs):
+        from hypothesis import assume
+
+        assume(d != s)
+        m = fresh_machine(regs)
+        m.write_reg(d, value)
+        execute(m, Instr("store", (d, s)))
+        addr = m.read_reg(s)
+        assert m.read_mem(addr) == value
+        m.write_reg(d, 0)
+        execute(m, Instr("load", (d, s)))
+        assert m.read_reg(d) == value
+
+    @given(VAL16, VAL16)
+    def test_store_load_aliased_address(self, value, addr):
+        """store $r,$r writes the register's value at its own address."""
+        m = fresh_machine([0] * 16)
+        m.write_reg(3, addr)
+        execute(m, Instr("store", (3, 3)))
+        assert m.read_mem(addr) == addr
+        execute(m, Instr("load", (3, 3)))
+        assert m.read_reg(3) == addr
+
+    @settings(max_examples=60)
+    @given(VAL16, st.integers(-20, 20))
+    def test_shift_model(self, value, amount):
+        m = fresh_machine([value, amount & 0xFFFF] + [0] * 14)
+        execute(m, Instr("shift", (0, 1)))
+        if amount >= 16 or amount <= -16:
+            expected = 0
+        elif amount >= 0:
+            expected = (value << amount) & 0xFFFF
+        else:
+            expected = value >> (-amount)
+        assert m.read_reg(0) == expected
+
+    @settings(max_examples=40)
+    @given(REG, st.integers(-100, 100), VAL16)
+    def test_branches_model(self, c, offset, cond):
+        for mnemonic in ("brt", "brf"):
+            m = fresh_machine([0] * 16)
+            m.write_reg(c, cond)
+            m.pc = 500
+            execute(m, Instr(mnemonic, (c, offset)))
+            taken = (cond != 0) if mnemonic == "brt" else (cond == 0)
+            expected = (501 + offset) & 0xFFFF if taken else 501
+            assert m.pc == expected
+
+    @given(VAL16)
+    def test_jumpr_model(self, target):
+        m = fresh_machine([target] + [0] * 15)
+        execute(m, Instr("jumpr", (0,)))
+        assert m.pc == target
+
+
+class TestQatSemantics:
+    @settings(max_examples=40)
+    @given(st.data())
+    def test_three_register_gates(self, data):
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+        a, b, c = (data.draw(st.integers(0, 7)) for _ in range(3))
+        m = MachineState(ways=WAYS)
+        vals = {}
+        for q in range(8):
+            v = AoB.random(WAYS, rng)
+            m.write_qreg(q, v)
+            vals[q] = v
+        for mnemonic, model in (
+            ("qand", lambda x, y: x & y),
+            ("qor", lambda x, y: x | y),
+            ("qxor", lambda x, y: x ^ y),
+        ):
+            m2 = MachineState(ways=WAYS)
+            for q, v in vals.items():
+                m2.write_qreg(q, v)
+            execute(m2, Instr(mnemonic, (a, b, c)))
+            assert m2.read_qreg(a) == model(vals[b], vals[c])
+            for q in range(8):
+                if q != a:
+                    assert m2.read_qreg(q) == vals[q]
+
+    @settings(max_examples=40)
+    @given(st.data())
+    def test_reversible_gates(self, data):
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+        m = MachineState(ways=WAYS)
+        vals = [AoB.random(WAYS, rng) for _ in range(3)]
+        for q, v in enumerate(vals):
+            m.write_qreg(q, v)
+        execute(m, Instr("qccnot", (0, 1, 2)))
+        assert m.read_qreg(0) == vals[0] ^ (vals[1] & vals[2])
+        execute(m, Instr("qccnot", (0, 1, 2)))  # involution
+        assert m.read_qreg(0) == vals[0]
+        execute(m, Instr("qcswap", (0, 1, 2)))
+        ea, eb = vals[0].cswap(vals[1], vals[2])
+        assert m.read_qreg(0) == ea and m.read_qreg(1) == eb
+
+    @settings(max_examples=40)
+    @given(st.data())
+    def test_measurement_instructions(self, data):
+        rng = np.random.default_rng(data.draw(st.integers(0, 2**32 - 1)))
+        value = AoB.random(WAYS, rng, p=0.1)
+        start = data.draw(st.integers(0, (1 << WAYS) - 1))
+        m = MachineState(ways=WAYS)
+        m.write_qreg(5, value)
+        m.write_reg(0, start)
+        execute(m, Instr("qmeas", (0, 5)))
+        assert m.read_reg(0) == value.meas(start)
+        m.write_reg(1, start)
+        execute(m, Instr("qnext", (1, 5)))
+        assert m.read_reg(1) == value.next(start)
+        m.write_reg(2, start)
+        execute(m, Instr("qpop", (2, 5)))
+        assert m.read_reg(2) == value.pop_after(start)
+        # and the register is untouched (non-destructive)
+        assert m.read_qreg(5) == value

@@ -1,0 +1,123 @@
+"""FIG10 experiment: the literal paper listing and the compiler that
+regenerates equivalent programs."""
+
+import pytest
+
+from repro.aob import AoB
+from repro.apps import (
+    FIG10_SOURCE,
+    compile_factor_program,
+    fig10_program,
+    run_factor_program,
+)
+from repro.apps.fig10 import build_factor_circuit
+from repro.errors import ReproError
+from repro.gates import EmitOptions
+from repro.gates.alg import ValueAlgebra
+
+
+class TestLiteralListing:
+    def test_source_has_the_papers_90_instructions(self):
+        """Figure 10 is 3 columns x 30 rows: 83 Qat gate/initializer
+        operations plus the 7-instruction hand-written readout."""
+        lines = [
+            line.split(";")[0].strip()
+            for line in FIG10_SOURCE.splitlines()
+            if line.split(";")[0].strip()
+        ]
+        assert len(lines) == 90
+        gate_ops = [l for l in lines if l.split()[1].startswith("@")]
+        assert len(gate_ops) == 83
+        assert len(lines) - len(gate_ops) == 7
+
+    def test_greedy_allocation_uses_registers_0_to_80(self):
+        assert "@80" in FIG10_SOURCE
+        assert "@81" not in FIG10_SOURCE
+
+    @pytest.mark.parametrize("simulator", ["functional", "multicycle", "pipelined"])
+    def test_factors_15_on_every_simulator(self, simulator):
+        """'the complete Tangled/Qat code to place the prime factors of
+        15 in registers $0 and $1' -- $0=5, $1=3."""
+        _, regs = run_factor_program(fig10_program(), ways=8, simulator=simulator)
+        assert regs == (5, 3)
+
+    def test_also_works_at_full_16_way(self):
+        """The author versions implement 16-way; the channel arithmetic
+        is unchanged."""
+        _, regs = run_factor_program(fig10_program(), ways=16)
+        assert regs == (5, 3)
+
+    def test_e_register_contents(self):
+        """@80 ends holding e: 1 exactly at channels 31, 53, 83, 241."""
+        sim, _ = run_factor_program(fig10_program(), ways=8, simulator="functional")
+        e = sim.machine.read_qreg(80)
+        assert list(e.iter_ones()) == [31, 53, 83, 241]
+
+    def test_copy_idiom_preserved(self):
+        """'or @80,@79,@79 is simply making a copy of @79 into @80 so
+        that the not will not destroy the value in @79'."""
+        sim, _ = run_factor_program(fig10_program(), ways=8, simulator="functional")
+        seventy_nine = sim.machine.read_qreg(79)
+        eighty = sim.machine.read_qreg(80)
+        assert eighty == ~seventy_nine
+
+    def test_intermediates_all_preserved(self):
+        """The greedy scheme keeps every intermediate value live: each of
+        @0..@80 is non-trivially populated at the end."""
+        sim, _ = run_factor_program(fig10_program(), ways=8, simulator="functional")
+        h = [AoB.hadamard(8, k) for k in range(8)]
+        assert sim.machine.read_qreg(0) == h[3]
+        assert sim.machine.read_qreg(2) == h[3] & h[5]
+
+    def test_matches_word_level_result(self):
+        """The listing's e agrees with the Figure 9 word-level circuit."""
+        sim, _ = run_factor_program(fig10_program(), ways=8, simulator="functional")
+        circuit = build_factor_circuit(15, 4, 4, optimized=False)
+        expected = circuit.evaluate(ValueAlgebra(8, AoB))["e"]
+        assert sim.machine.read_qreg(80) == expected
+
+
+class TestCompiledEquivalents:
+    @pytest.mark.parametrize("options", [
+        EmitOptions(),
+        EmitOptions(allocator="recycle"),
+        EmitOptions(allocator="recycle", reserved_constants=True),
+        EmitOptions(gate_set="reversible", allocator="recycle"),
+    ], ids=["greedy", "recycle", "reserved", "reversible"])
+    def test_compiled_program_factors_15(self, options):
+        compiled = compile_factor_program(15, 4, 4, options)
+        _, regs = run_factor_program(compiled.program, ways=8)
+        assert regs == (5, 3)
+
+    def test_compiled_close_to_paper_size(self):
+        """Greedy compilation lands near the paper's 80 Qat operations."""
+        compiled = compile_factor_program(15, 4, 4, EmitOptions())
+        assert 60 <= compiled.qat_instructions <= 100
+        assert 60 <= compiled.high_water_regs <= 100
+
+    def test_other_semiprimes(self):
+        for n, bits, factors in ((21, 4, (7, 3)), (35, 4, (7, 5))):
+            compiled = compile_factor_program(n, bits, bits)
+            _, regs = run_factor_program(compiled.program, ways=2 * bits)
+            assert sorted(regs) == sorted(factors)
+
+    def test_221_needs_ten_ways(self):
+        compiled = compile_factor_program(221, 5, 5, EmitOptions(allocator="recycle"))
+        _, regs = run_factor_program(compiled.program, ways=10)
+        assert sorted(regs) == [13, 17]
+
+    def test_oversized_rejected(self):
+        with pytest.raises(ReproError):
+            compile_factor_program(999, 4, 4)
+
+    def test_unknown_simulator_rejected(self):
+        with pytest.raises(ReproError):
+            run_factor_program(fig10_program(), simulator="fpga")
+
+    def test_unoptimized_matches_optimized(self):
+        a = compile_factor_program(15, 4, 4, optimized=False)
+        b = compile_factor_program(15, 4, 4, optimized=True)
+        _, ra = run_factor_program(a.program, ways=8)
+        _, rb = run_factor_program(b.program, ways=8)
+        assert ra == rb == (5, 3)
+        assert b.gate_count <= a.gate_count

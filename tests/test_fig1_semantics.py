@@ -1,0 +1,59 @@
+"""FIG1 experiment: the paper's Figure 1 / section 1.1 worked examples.
+
+Two two-way entangled pbits with AoB vectors {0,1,0,1} and {0,0,1,1}
+encode the decimal values {0,1,2,3} as four equiprobable values; the
+vectors {0,0,1,0} and {0,0,1,1} encode {0,0,3,2} giving P(0)=50%,
+P(1)=0%, P(2)=25%, P(3)=25%.
+"""
+
+from repro.aob import AoB
+from repro.pbp import PbpContext
+
+
+class TestFigure1Channels:
+    def test_channel_pairings(self):
+        """Channel 0 pairs {0,0}, 1 pairs {1,0}, 2 pairs {0,1}, 3 pairs {1,1}."""
+        lo = AoB.from_bits([0, 1, 0, 1])
+        hi = AoB.from_bits([0, 0, 1, 1])
+        pairs = [(lo.meas(e), hi.meas(e)) for e in range(4)]
+        assert pairs == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_hadamard_is_the_figure1_pair(self):
+        """H(0) and H(1) are exactly the Figure 1 vectors."""
+        assert AoB.hadamard(2, 0) == AoB.from_bits([0, 1, 0, 1])
+        assert AoB.hadamard(2, 1) == AoB.from_bits([0, 0, 1, 1])
+
+    def test_equiprobable_two_bit_value(self):
+        """The pair encodes {0,1,2,3}, each with probability 1/4."""
+        ctx = PbpContext(ways=2)
+        value = ctx.pint_h(2, 0b11)
+        assert value.distribution() == {0: 0.25, 1: 0.25, 2: 0.25, 3: 0.25}
+
+    def test_skewed_distribution(self):
+        """Vectors {0,0,1,0} / {0,0,1,1} encode {0,0,3,2}:
+        50% 0, 0% 1, 25% 2, 25% 3 (the section 1.1 example)."""
+        ctx = PbpContext(ways=2)
+        lo = AoB.from_bits([0, 0, 1, 0])
+        hi = AoB.from_bits([0, 0, 1, 1])
+        value = ctx.pint_from_values([lo, hi])
+        dist = value.distribution()
+        assert dist == {0: 0.5, 2: 0.25, 3: 0.25}
+        assert 1 not in dist
+
+    def test_per_channel_values(self):
+        """The same example read channel-by-channel: {0,0,3,2}."""
+        ctx = PbpContext(ways=2)
+        value = ctx.pint_from_values(
+            [AoB.from_bits([0, 0, 1, 0]), AoB.from_bits([0, 0, 1, 1])]
+        )
+        assert [value.at(e) for e in range(4)] == [0, 0, 3, 2]
+
+    def test_probability_in_parts_per_2e(self):
+        """Probabilities are measured in integral parts per 2^E."""
+        ctx = PbpContext(ways=2)
+        value = ctx.pint_from_values(
+            [AoB.from_bits([0, 0, 1, 0]), AoB.from_bits([0, 0, 1, 1])]
+        )
+        counts = value.counts()
+        assert counts == {0: 2, 2: 1, 3: 1}
+        assert sum(counts.values()) == 4

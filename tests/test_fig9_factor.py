@@ -1,0 +1,97 @@
+"""FIG9 experiment: the word-level prime-factoring algorithm."""
+
+import pytest
+
+from repro.apps import (
+    factor_channels,
+    factor_pairs,
+    factor_word_level,
+    figure9_demo,
+)
+from repro.errors import ReproError
+
+
+class TestPaperExample:
+    def test_figure9_prints_0_1_3_5_15(self):
+        """'When the non-destructive measurement of f is made, the values
+        0, 1, 3, 5, and 15 are printed.'"""
+        assert figure9_demo() == [0, 1, 3, 5, 15]
+
+    def test_pairs_for_15(self):
+        result = factor_word_level(15, 4, 4)
+        assert result.pairs == [(1, 15), (3, 5), (5, 3), (15, 1)]
+        assert result.nontrivial == [3, 5]
+
+    def test_channels_of_the_pairs(self):
+        """Channel k encodes (k % 16, k // 16): the factor pairs of 15 sit
+        at channels 31, 53, 83 and 241."""
+        result = factor_word_level(15, 4, 4)
+        channels = sorted(result.e.bits[0].iter_ones())
+        assert channels == [31, 53, 83, 241]
+
+    def test_superposition_survives_measurement(self):
+        """Section 2.7: everything is still measurable afterwards."""
+        result = factor_word_level(15, 4, 4)
+        assert result.b.measure() == list(range(16))
+        assert result.e.bits[0].popcount() == 4
+
+
+class TestGeneralFactoring:
+    @pytest.mark.parametrize("n,bits,expected", [
+        (21, 4, [3, 7]),
+        (35, 4, [5, 7]),
+        (33, 4, [3, 11]),
+        (77, 5, [7, 11]),
+        (221, 5, [13, 17]),
+    ])
+    def test_semiprimes(self, n, bits, expected):
+        result = factor_word_level(n, bits, bits)
+        assert result.nontrivial == expected
+
+    def test_prime_has_only_trivial_factors(self):
+        result = factor_word_level(13, 4, 4)
+        assert result.nontrivial == []
+        assert result.pairs == [(1, 13), (13, 1)]
+
+    def test_perfect_square(self):
+        result = factor_word_level(49, 4, 4)
+        assert result.pairs == [(7, 7)]
+
+    def test_number_with_many_factors(self):
+        result = factor_word_level(12, 4, 4)
+        assert result.pairs == [(1, 12), (2, 6), (3, 4), (4, 3), (6, 2), (12, 1)]
+
+    def test_measured_values_match_paper_structure(self):
+        """f = e*b gives 0 plus every b that divides n (including 1, n)."""
+        result = factor_word_level(21, 5, 5)
+        assert result.measured == [0, 1, 3, 7, 21]
+
+    def test_oversized_n_rejected(self):
+        with pytest.raises(ReproError):
+            factor_word_level(300, 4, 4)
+
+
+class TestReadoutVariants:
+    def test_factor_channels_matches_word_level(self):
+        assert factor_channels(15, 4, 4) == factor_word_level(15, 4, 4).pairs
+
+    def test_factor_pairs_values_where(self):
+        assert factor_pairs(15, 4, 4) == [(1, 15), (3, 5), (5, 3), (15, 1)]
+
+    def test_asymmetric_widths(self):
+        assert factor_channels(39, 4, 6) == [(1, 39), (3, 13), (13, 3)]
+
+
+class TestPatternBackend:
+    def test_fig9_on_compressed_substrate(self):
+        result = factor_word_level(15, 4, 4, backend="pattern", chunk_ways=6)
+        assert result.measured == [0, 1, 3, 5, 15]
+        assert result.nontrivial == [3, 5]
+
+    def test_beyond_hardware_entanglement(self):
+        """S12: factoring with >16-way entanglement via RE chunks --
+        1013 * 1019 needs 22-way."""
+        result = factor_channels(1013 * 1019, 11, 11, backend="pattern", chunk_ways=12)
+        assert (1013, 1019) in result and (1019, 1013) in result
+        nontrivial = {p for pair in result for p in pair if p > 1}
+        assert nontrivial == {1013, 1019}

@@ -1,0 +1,131 @@
+"""GateCircuit IR: construction, evaluation, analysis."""
+
+import pytest
+
+from repro.aob import AoB
+from repro.errors import CircuitError
+from repro.gates import GateCircuit
+from repro.gates.alg import ValueAlgebra
+
+
+@pytest.fixture
+def alg():
+    return ValueAlgebra(4, AoB)
+
+
+class TestConstruction:
+    def test_leaves(self):
+        c = GateCircuit()
+        assert c.const(0) == 0
+        assert c.const(1) == 1
+        assert c.had(3) == 2
+        assert c.input("x") == 3
+        assert len(c) == 4
+
+    def test_bad_const(self):
+        with pytest.raises(CircuitError):
+            GateCircuit().const(2)
+
+    def test_bad_had_k(self):
+        with pytest.raises(CircuitError):
+            GateCircuit().had(16)
+
+    def test_dangling_arg_rejected(self):
+        c = GateCircuit()
+        a = c.const(0)
+        with pytest.raises(CircuitError):
+            c.band(a, 99)
+
+    def test_bad_output_rejected(self):
+        c = GateCircuit()
+        with pytest.raises(CircuitError):
+            c.mark_output("y", 5)
+
+
+class TestAnalysis:
+    def test_gate_count_excludes_leaves(self):
+        c = GateCircuit()
+        a, b = c.had(0), c.had(1)
+        c.band(a, b)
+        assert c.gate_count() == 1
+        assert len(c) == 3
+
+    def test_depth(self):
+        c = GateCircuit()
+        a, b = c.had(0), c.had(1)
+        x = c.bxor(a, b)
+        y = c.band(x, a)
+        c.mark_output("y", y)
+        assert c.depth() == 2
+
+    def test_depth_only_counts_outputs(self):
+        c = GateCircuit()
+        a = c.had(0)
+        deep = a
+        for _ in range(5):
+            deep = c.bnot(deep)
+        c.mark_output("shallow", c.bnot(a))
+        assert c.depth() == 1
+
+    def test_live_nodes(self):
+        c = GateCircuit()
+        a, b = c.had(0), c.had(1)
+        live = c.band(a, b)
+        c.bor(a, b)  # dead
+        c.mark_output("o", live)
+        assert c.live_nodes() == {a, b, live}
+
+    def test_op_histogram(self):
+        c = GateCircuit()
+        a, b = c.had(0), c.had(1)
+        c.band(a, b)
+        c.band(b, a)
+        c.bnot(a)
+        hist = c.op_histogram()
+        assert hist["and"] == 2 and hist["not"] == 1 and hist["had"] == 2
+
+
+class TestEvaluation:
+    def test_evaluates_gates(self, alg):
+        c = GateCircuit()
+        h0, h1 = c.had(0), c.had(1)
+        c.mark_output("and", c.band(h0, h1))
+        c.mark_output("xor", c.bxor(h0, h1))
+        c.mark_output("not", c.bnot(h0))
+        out = c.evaluate(alg)
+        assert out["and"] == AoB.hadamard(4, 0) & AoB.hadamard(4, 1)
+        assert out["xor"] == AoB.hadamard(4, 0) ^ AoB.hadamard(4, 1)
+        assert out["not"] == ~AoB.hadamard(4, 0)
+
+    def test_evaluates_consts(self, alg):
+        c = GateCircuit()
+        c.mark_output("zero", c.const(0))
+        c.mark_output("one", c.const(1))
+        out = c.evaluate(alg)
+        assert out["zero"] == AoB.zeros(4)
+        assert out["one"] == AoB.ones(4)
+
+    def test_inputs_supplied(self, alg):
+        c = GateCircuit()
+        x = c.input("x")
+        c.mark_output("nx", c.bnot(x))
+        out = c.evaluate(alg, {"x": AoB.hadamard(4, 2)})
+        assert out["nx"] == ~AoB.hadamard(4, 2)
+
+    def test_missing_input_raises(self, alg):
+        c = GateCircuit()
+        x = c.input("x")
+        c.mark_output("x", x)
+        with pytest.raises(CircuitError):
+            c.evaluate(alg)
+
+    def test_same_circuit_on_pattern_backend(self):
+        from repro.pattern import ChunkStore, PatternVector
+
+        store = ChunkStore(6)
+        alg = ValueAlgebra(8, PatternVector, store)
+        c = GateCircuit()
+        h = c.had(7)
+        c.mark_output("o", c.bnot(h))
+        out = c.evaluate(alg)
+        assert out["o"].to_aob() == ~AoB.hadamard(8, 7)

@@ -1,0 +1,174 @@
+"""Arithmetic circuit library vs plain integer arithmetic.
+
+Every operation is checked over *all* entanglement channels: the
+superposed result must equal the classical function applied channel-wise.
+"""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aob import AoB
+from repro.gates import library
+from repro.gates.alg import ValueAlgebra
+
+
+def alg_and_inputs(ways, width, base=0):
+    """Hadamard word over channel sets base..base+width-1, plus the
+    channel-wise classical values."""
+    alg = ValueAlgebra(ways, AoB)
+    bits = [alg.had(base + i) for i in range(width)]
+    values = [(e >> base) & ((1 << width) - 1) for e in range(1 << ways)]
+    return alg, bits, values
+
+
+def read_word(bits, channel):
+    return sum(bit.meas(channel) << i for i, bit in enumerate(bits))
+
+
+class TestFullAdder:
+    def test_truth_table(self):
+        alg = ValueAlgebra(3, AoB)
+        a, b, c = alg.had(0), alg.had(1), alg.had(2)
+        total, carry = library.full_adder(alg, a, b, c)
+        for e in range(8):
+            bits = (e & 1) + ((e >> 1) & 1) + ((e >> 2) & 1)
+            assert total.meas(e) == bits & 1
+            assert carry.meas(e) == bits >> 1
+
+
+class TestRippleAdd:
+    @given(st.integers(min_value=1, max_value=4))
+    def test_all_pairs(self, width):
+        ways = 2 * width
+        alg = ValueAlgebra(ways, AoB)
+        a = [alg.had(i) for i in range(width)]
+        b = [alg.had(width + i) for i in range(width)]
+        total, carry = library.ripple_add(alg, a, b)
+        mask = (1 << width) - 1
+        for e in range(1 << ways):
+            va, vb = e & mask, (e >> width) & mask
+            assert read_word(total, e) == (va + vb) & mask
+            assert carry.meas(e) == (va + vb) >> width
+
+    def test_carry_in(self):
+        alg, a, _ = alg_and_inputs(4, 2, 0)
+        _, b, _ = ValueAlgebra, None, None
+        b = [alg.had(2 + i) for i in range(2)]
+        total, _ = library.ripple_add(alg, a, b, carry_in=alg.const(1))
+        for e in range(16):
+            assert read_word(total, e) == ((e & 3) + (e >> 2) + 1) & 3
+
+    def test_width_mismatch(self):
+        alg = ValueAlgebra(2, AoB)
+        with pytest.raises(ValueError):
+            library.ripple_add(alg, [alg.const(0)], [alg.const(0)] * 2)
+
+    def test_empty_rejected(self):
+        alg = ValueAlgebra(2, AoB)
+        with pytest.raises(ValueError):
+            library.ripple_add(alg, [], [])
+
+
+class TestRippleSub:
+    @given(st.integers(min_value=1, max_value=4))
+    def test_all_pairs(self, width):
+        ways = 2 * width
+        alg = ValueAlgebra(ways, AoB)
+        a = [alg.had(i) for i in range(width)]
+        b = [alg.had(width + i) for i in range(width)]
+        diff, borrow = library.ripple_sub(alg, a, b)
+        mask = (1 << width) - 1
+        for e in range(1 << ways):
+            va, vb = e & mask, (e >> width) & mask
+            assert read_word(diff, e) == (va - vb) & mask
+            assert borrow.meas(e) == int(va < vb)
+
+
+class TestMultiply:
+    @given(st.integers(min_value=1, max_value=3), st.integers(min_value=1, max_value=3))
+    def test_all_pairs_full_width(self, wa, wb):
+        ways = wa + wb
+        alg = ValueAlgebra(ways, AoB)
+        a = [alg.had(i) for i in range(wa)]
+        b = [alg.had(wa + i) for i in range(wb)]
+        product = library.multiply(alg, a, b)
+        assert len(product) == wa + wb
+        for e in range(1 << ways):
+            va, vb = e & ((1 << wa) - 1), e >> wa
+            assert read_word(product, e) == va * vb
+
+    def test_truncated_width(self):
+        alg = ValueAlgebra(4, AoB)
+        a = [alg.had(i) for i in range(2)]
+        b = [alg.had(2 + i) for i in range(2)]
+        product = library.multiply(alg, a, b, out_width=2)
+        for e in range(16):
+            assert read_word(product, e) == ((e & 3) * (e >> 2)) & 3
+
+
+class TestComparisons:
+    @given(st.integers(min_value=1, max_value=4))
+    def test_equals(self, width):
+        ways = 2 * width
+        alg = ValueAlgebra(ways, AoB)
+        a = [alg.had(i) for i in range(width)]
+        b = [alg.had(width + i) for i in range(width)]
+        eq = library.equals(alg, a, b)
+        mask = (1 << width) - 1
+        for e in range(1 << ways):
+            assert eq.meas(e) == int((e & mask) == (e >> width))
+
+    @given(st.integers(min_value=1, max_value=4), st.data())
+    def test_equals_const(self, width, data):
+        value = data.draw(st.integers(min_value=0, max_value=(1 << width) - 1))
+        alg = ValueAlgebra(width, AoB)
+        a = [alg.had(i) for i in range(width)]
+        eq = library.equals_const(alg, a, value)
+        for e in range(1 << width):
+            assert eq.meas(e) == int(e == value)
+
+    def test_equals_const_rejects_oversized(self):
+        alg = ValueAlgebra(2, AoB)
+        with pytest.raises(ValueError):
+            library.equals_const(alg, [alg.const(0)] * 2, 4)
+
+    @given(st.integers(min_value=1, max_value=4))
+    def test_less_than(self, width):
+        ways = 2 * width
+        alg = ValueAlgebra(ways, AoB)
+        a = [alg.had(i) for i in range(width)]
+        b = [alg.had(width + i) for i in range(width)]
+        lt = library.less_than(alg, a, b)
+        mask = (1 << width) - 1
+        for e in range(1 << ways):
+            assert lt.meas(e) == int((e & mask) < (e >> width))
+
+
+class TestMux:
+    def test_selects_per_channel(self):
+        alg = ValueAlgebra(3, AoB)
+        sel = alg.had(2)
+        t = [alg.had(0)]
+        f = [alg.had(1)]
+        out = library.mux(alg, sel, t, f)
+        for e in range(8):
+            expected = (e >> 0) & 1 if (e >> 2) & 1 else (e >> 1) & 1
+            assert out[0].meas(e) == expected
+
+    def test_width_mismatch(self):
+        alg = ValueAlgebra(2, AoB)
+        with pytest.raises(ValueError):
+            library.mux(alg, alg.const(1), [alg.const(0)], [alg.const(0)] * 2)
+
+
+class TestLogicalOps:
+    def test_all_ops(self):
+        alg = ValueAlgebra(4, AoB)
+        a = [alg.had(0), alg.had(1)]
+        b = [alg.had(2), alg.had(3)]
+        for op, fn in (("and", lambda x, y: x & y), ("or", lambda x, y: x | y), ("xor", lambda x, y: x ^ y)):
+            out = library.logical_ops(alg, a, b, op)
+            for e in range(16):
+                va, vb = e & 3, e >> 2
+                assert read_word(out, e) == fn(va, vb)

@@ -1,0 +1,87 @@
+"""The benchmark harness's experiment functions produce valid rows.
+
+(The bench files assert shapes under --benchmark-only; these tests keep
+the cheap experiments inside the plain test suite too, so `pytest tests/`
+alone exercises the full reproduction pipeline.)
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+import harness  # noqa: E402
+
+
+class TestExperimentRows:
+    def test_fig1(self):
+        rows = harness.experiment_fig1()
+        assert rows[0]["P(0)"] == 0.25
+        assert rows[1] == {
+            "vectors": "{0,0,1,0},{0,0,1,1}",
+            "P(0)": 0.5, "P(1)": 0.0, "P(2)": 0.25, "P(3)": 0.25,
+        }
+
+    def test_table2(self):
+        rows = harness.experiment_table2()
+        assert {r["macro"] for r in rows} >= {"br lab", "jump lab"}
+        assert all(r["words"] >= r["instructions"] for r in rows)
+
+    def test_fig7(self):
+        rows = harness.experiment_fig7()
+        gates = [r["generator_gates"] for r in rows]
+        assert gates == sorted(gates)
+
+    def test_fig8(self):
+        rows = harness.experiment_fig8()
+        for row in rows:
+            assert row["depth_2input_or"] >= row["depth_wide_or"]
+
+    def test_fig10(self):
+        rows = harness.experiment_fig10()
+        assert all((r["$0"], r["$1"]) == (5, 3) for r in rows)
+        pipelined = next(r for r in rows if r["simulator"] == "pipelined")
+        multicycle = next(r for r in rows if r["simulator"] == "multicycle")
+        assert pipelined["cycles"] < multicycle["cycles"]
+
+    def test_s5(self):
+        rows = harness.experiment_s5()
+        by = {r["variant"]: r for r in rows}
+        assert (
+            by["recycling allocator"]["registers"]
+            < by["paper greedy (Fig 10 style)"]["registers"]
+        )
+
+    def test_s5_regfile(self):
+        rows = harness.experiment_s5_regfile()
+        assert rows[0]["overhead_vs_2R1W"] == 1.0
+
+    def test_s31_teams(self):
+        rows = harness.experiment_s31_teams()
+        assert len(rows) == 8
+        assert all(r["fig10_correct"] == "yes" for r in rows)
+
+    def test_lcpc17(self):
+        rows = harness.experiment_lcpc17()
+        assert all(r["optimized_gates"] <= r["raw_gates"] for r in rows)
+
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": "xy"}, {"a": 22, "b": "z"}]
+        text = harness.format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(map(len, lines))) == 1  # all rows same width
+
+    def test_format_table_empty(self):
+        assert harness.format_table([]) == "(no rows)"
+
+    def test_registry_covers_all_experiments(self):
+        names = {fn.__name__ for fn in harness.ALL_EXPERIMENTS.values()}
+        module_fns = {
+            n for n in dir(harness)
+            if n.startswith("experiment_") and n != "experiment_qvp_endtoend"
+        }
+        # every experiment_* function is registered (endtoend included too)
+        assert names >= module_fns - {"experiment_qvp_endtoend"}

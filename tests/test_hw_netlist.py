@@ -1,0 +1,124 @@
+"""Structural netlist: construction, analysis, batch evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CircuitError
+from repro.hw import Netlist
+
+
+class TestConstruction:
+    def test_inputs_and_consts_are_free(self):
+        net = Netlist()
+        net.input("a")
+        net.const(True)
+        assert net.gate_count() == 0
+        assert len(net) == 2
+
+    def test_duplicate_input_rejected(self):
+        net = Netlist()
+        net.input("a")
+        with pytest.raises(CircuitError):
+            net.input("a")
+
+    def test_input_bus_naming(self):
+        net = Netlist()
+        bus = net.input_bus("x", 3)
+        assert len(bus) == 3
+
+    def test_empty_reduce_rejected(self):
+        net = Netlist()
+        with pytest.raises(CircuitError):
+            net.reduce_or([], wide=True)
+
+
+class TestAnalysis:
+    def test_depth_of_chain(self):
+        net = Netlist()
+        a = net.input("a")
+        x = a
+        for _ in range(5):
+            x = net.g_not(x)
+        net.mark_output("o", [x])
+        assert net.depth() == 5
+
+    def test_wide_reduce_depth_one(self):
+        net = Netlist()
+        bus = net.input_bus("x", 16)
+        net.mark_output("o", [net.reduce_or(bus, wide=True)])
+        assert net.depth() == 1
+        assert net.gate_count() == 1
+
+    def test_tree_reduce_depth_log(self):
+        net = Netlist()
+        bus = net.input_bus("x", 16)
+        net.mark_output("o", [net.reduce_or(bus, wide=False)])
+        assert net.depth() == 4
+        assert net.gate_count() == 15
+
+    def test_mux_gate_cost(self):
+        net = Netlist()
+        s, a, b = net.input("s"), net.input("a"), net.input("b")
+        net.mark_output("o", [net.g_mux(s, a, b)])
+        assert net.gate_count() == 4  # not + 2 and + or
+
+    def test_histogram(self):
+        net = Netlist()
+        a, b = net.input("a"), net.input("b")
+        net.g_and(a, b)
+        net.g_xor(a, b)
+        net.g_xor(b, a)
+        hist = net.gate_histogram()
+        assert hist == {"and": 1, "xor": 2}
+
+
+class TestEvaluation:
+    def test_gate_truth_tables(self):
+        net = Netlist()
+        a, b = net.input("a"), net.input("b")
+        net.mark_output("and", [net.g_and(a, b)])
+        net.mark_output("or", [net.g_or(a, b)])
+        net.mark_output("xor", [net.g_xor(a, b)])
+        net.mark_output("not", [net.g_not(a)])
+        va = np.array([0, 0, 1, 1], dtype=bool)
+        vb = np.array([0, 1, 0, 1], dtype=bool)
+        out = net.evaluate({"a": va, "b": vb})
+        assert np.array_equal(out["and"][0], va & vb)
+        assert np.array_equal(out["or"][0], va | vb)
+        assert np.array_equal(out["xor"][0], va ^ vb)
+        assert np.array_equal(out["not"][0], ~va)
+
+    def test_mux_semantics(self):
+        net = Netlist()
+        s, a, b = net.input("s"), net.input("a"), net.input("b")
+        net.mark_output("o", [net.g_mux(s, a, b)])
+        lanes = {
+            "s": np.array([0, 0, 1, 1], dtype=bool),
+            "a": np.array([1, 1, 1, 0], dtype=bool),
+            "b": np.array([0, 1, 0, 1], dtype=bool),
+        }
+        out = net.evaluate(lanes)["o"][0]
+        assert list(out.astype(int)) == [0, 1, 1, 0]
+
+    def test_wide_vs_tree_reduce_agree(self):
+        rngs = np.random.default_rng(7)
+        bits = rngs.random((10, 32)) < 0.2
+        for wide in (True, False):
+            net = Netlist()
+            bus = net.input_bus("x", 10)
+            net.mark_output("o", [net.reduce_or(bus, wide=wide)])
+            out = net.evaluate({f"x[{i}]": bits[i] for i in range(10)})
+            assert np.array_equal(out["o"][0], bits.any(axis=0))
+
+    def test_missing_input_raises(self):
+        net = Netlist()
+        a = net.input("a")
+        net.mark_output("o", [net.g_not(a)])
+        with pytest.raises(CircuitError):
+            net.evaluate({})
+
+    def test_const_evaluation(self):
+        net = Netlist()
+        net.mark_output("o", [net.const(True), net.const(False)])
+        out = net.evaluate({})
+        assert out["o"][0].all() and not out["o"][1].any()

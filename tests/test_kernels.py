@@ -1,0 +1,103 @@
+"""Raw kernel tests: invariants the CPU register file relies on."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aob import AoB, kernels
+from repro.utils.bits import top_mask, words_for_bits
+
+
+def random_words(rng, ways):
+    nbits = 1 << ways
+    words = rng.integers(0, 1 << 63, words_for_bits(nbits)).astype(np.uint64)
+    words[-1] &= top_mask(nbits)
+    return words
+
+
+class TestTopBitInvariant:
+    """Every kernel must keep bits above nbits zero."""
+
+    @pytest.mark.parametrize("ways", [0, 1, 3, 5, 6, 7])
+    def test_not_masks_top(self, ways, rng):
+        nbits = 1 << ways
+        a = random_words(rng, ways)
+        out = np.empty_like(a)
+        kernels.k_not(a, out, nbits)
+        assert (out[-1] & ~top_mask(nbits)) == 0
+
+    @pytest.mark.parametrize("ways", [0, 1, 3, 5, 6, 7])
+    def test_one_masks_top(self, ways):
+        nbits = 1 << ways
+        out = np.empty(words_for_bits(nbits), dtype=np.uint64)
+        kernels.k_one(out, nbits)
+        assert (out[-1] & ~top_mask(nbits)) == 0
+        assert kernels.k_popcount(out) == nbits
+
+    def test_not_in_place_aliasing(self, rng):
+        """The CPU uses k_not with out aliasing the input row."""
+        a = random_words(rng, 8)
+        expected = (~AoB(8, a.copy())).words
+        kernels.k_not(a, a, 256)
+        assert np.array_equal(a, expected)
+
+
+class TestSwapKernels:
+    def test_swap_exchanges(self, rng):
+        a, b = random_words(rng, 7), random_words(rng, 7)
+        ca, cb = a.copy(), b.copy()
+        kernels.k_swap(a, b)
+        assert np.array_equal(a, cb) and np.array_equal(b, ca)
+
+    def test_cswap_masked(self, rng):
+        a, b = random_words(rng, 7), random_words(rng, 7)
+        ctrl = random_words(rng, 7)
+        ea = (a & ~ctrl) | (b & ctrl)
+        eb = (b & ~ctrl) | (a & ctrl)
+        kernels.k_cswap(a, b, ctrl)
+        assert np.array_equal(a, ea) and np.array_equal(b, eb)
+
+
+class TestMeasKernels:
+    @given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+    def test_meas_hadamard(self, channel):
+        words = AoB.hadamard(16, 7).words
+        assert kernels.k_meas(words, channel, 1 << 16) == (channel >> 7) & 1
+
+    def test_next_spanning_words(self):
+        """A 1 several words past the start channel is still found."""
+        bits = np.zeros(512, dtype=np.uint8)
+        bits[300] = 1
+        words = AoB.from_bits(bits).words
+        assert kernels.k_next(words, 5, 512) == 300
+
+    def test_next_in_same_word(self):
+        bits = np.zeros(512, dtype=np.uint8)
+        bits[7] = 1
+        words = AoB.from_bits(bits).words
+        assert kernels.k_next(words, 5, 512) == 7
+        assert kernels.k_next(words, 7, 512) == 0
+
+    def test_pop_after_boundaries(self):
+        words = AoB.ones(9).words
+        assert kernels.k_pop_after(words, 0, 512) == 511
+        assert kernels.k_pop_after(words, 510, 512) == 1
+        assert kernels.k_pop_after(words, 511, 512) == 0
+        assert kernels.k_pop_after(words, 100000, 512) == 0
+
+    def test_all_on_partial_word(self):
+        assert kernels.k_all(AoB.ones(3).words, 8)
+        assert not kernels.k_all(AoB.hadamard(3, 0).words, 8)
+
+    def test_all_on_multi_word(self):
+        assert kernels.k_all(AoB.ones(8).words, 256)
+        almost = AoB.ones(8).to_bool_array()
+        almost[100] = False
+        assert not kernels.k_all(AoB.from_bits(almost.astype(int)).words, 256)
+
+    def test_any_empty_vs_one_bit(self):
+        assert not kernels.k_any(AoB.zeros(10).words)
+        bits = np.zeros(1024, dtype=np.uint8)
+        bits[1023] = 1
+        assert kernels.k_any(AoB.from_bits(bits).words)

@@ -1,0 +1,166 @@
+"""Gate-level optimizer: identities, CSE, DCE, and semantic preservation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.aob import AoB
+from repro.gates import GateCircuit, optimize
+from repro.gates.alg import ValueAlgebra
+from repro.gates.optimizer import (
+    eliminate_common_subexpressions,
+    eliminate_dead_gates,
+    fold_constants,
+)
+
+
+def random_circuit(data, num_gates=20, ways=4):
+    """Build a random circuit over H(0..3) leaves."""
+    c = GateCircuit()
+    nodes = [c.had(k) for k in range(4)] + [c.const(0), c.const(1)]
+    for _ in range(num_gates):
+        op = data.draw(st.sampled_from(["and", "or", "xor", "not"]))
+        a = data.draw(st.sampled_from(nodes))
+        if op == "not":
+            nodes.append(c.bnot(a))
+        else:
+            b = data.draw(st.sampled_from(nodes))
+            nodes.append(getattr(c, f"b{op}" if op != "not" else op)(a, b))
+    c.mark_output("o", nodes[-1])
+    return c
+
+
+class TestFoldConstants:
+    def _single(self, build):
+        c = GateCircuit()
+        build(c)
+        return fold_constants(c)
+
+    def test_and_with_zero(self):
+        c = GateCircuit()
+        h = c.had(0)
+        c.mark_output("o", c.band(h, c.const(0)))
+        out = fold_constants(c)
+        assert out.gate_count() == 0
+        assert out.nodes[out.outputs["o"]].op == "const0"
+
+    def test_and_with_one(self):
+        c = GateCircuit()
+        h = c.had(0)
+        c.mark_output("o", c.band(h, c.const(1)))
+        out = fold_constants(c)
+        assert out.nodes[out.outputs["o"]].op == "had"
+
+    def test_xor_self_is_zero(self):
+        c = GateCircuit()
+        h = c.had(0)
+        c.mark_output("o", c.bxor(h, h))
+        out = fold_constants(c)
+        assert out.nodes[out.outputs["o"]].op == "const0"
+
+    def test_xor_with_one_becomes_not(self):
+        c = GateCircuit()
+        h = c.had(0)
+        c.mark_output("o", c.bxor(h, c.const(1)))
+        out = fold_constants(c)
+        assert out.nodes[out.outputs["o"]].op == "not"
+
+    def test_or_with_one(self):
+        c = GateCircuit()
+        h = c.had(0)
+        c.mark_output("o", c.bor(c.const(1), h))
+        out = fold_constants(c)
+        assert out.nodes[out.outputs["o"]].op == "const1"
+
+    def test_double_not_cancels(self):
+        c = GateCircuit()
+        h = c.had(0)
+        c.mark_output("o", c.bnot(c.bnot(h)))
+        out = fold_constants(c)
+        assert out.nodes[out.outputs["o"]].op == "had"
+
+    def test_not_of_const(self):
+        c = GateCircuit()
+        c.mark_output("o", c.bnot(c.const(0)))
+        out = fold_constants(c)
+        assert out.nodes[out.outputs["o"]].op == "const1"
+
+    def test_idempotent_and(self):
+        c = GateCircuit()
+        h = c.had(2)
+        c.mark_output("o", c.band(h, h))
+        out = fold_constants(c)
+        assert out.nodes[out.outputs["o"]].op == "had"
+
+
+class TestCse:
+    def test_merges_identical(self):
+        c = GateCircuit()
+        a, b = c.had(0), c.had(1)
+        x = c.band(a, b)
+        y = c.band(a, b)
+        c.mark_output("o", c.bxor(x, y))
+        out = eliminate_common_subexpressions(out_in := c)
+        hist = out.op_histogram()
+        assert hist["and"] == 1
+
+    def test_commutative_canonicalization(self):
+        c = GateCircuit()
+        a, b = c.had(0), c.had(1)
+        x = c.band(a, b)
+        y = c.band(b, a)
+        c.mark_output("o", c.bxor(x, y))
+        out = eliminate_common_subexpressions(c)
+        assert out.op_histogram()["and"] == 1
+
+    def test_merges_duplicate_leaves(self):
+        c = GateCircuit()
+        h1, h2 = c.had(3), c.had(3)
+        c.mark_output("o", c.bxor(h1, h2))
+        out = eliminate_common_subexpressions(c)
+        assert out.op_histogram()["had"] == 1
+
+
+class TestDce:
+    def test_removes_unreachable(self):
+        c = GateCircuit()
+        a, b = c.had(0), c.had(1)
+        c.band(a, b)  # dead
+        c.mark_output("o", c.bxor(a, b))
+        out = eliminate_dead_gates(c)
+        assert "and" not in out.op_histogram()
+
+    def test_keeps_all_outputs(self):
+        c = GateCircuit()
+        a, b = c.had(0), c.had(1)
+        c.mark_output("x", c.band(a, b))
+        c.mark_output("y", c.bor(a, b))
+        out = eliminate_dead_gates(c)
+        assert set(out.outputs) == {"x", "y"}
+        assert out.gate_count() == 2
+
+
+class TestOptimizeEquivalence:
+    @given(st.data())
+    def test_optimization_preserves_semantics(self, data):
+        circuit = random_circuit(data)
+        optimized = optimize(circuit)
+        alg = ValueAlgebra(4, AoB)
+        assert circuit.evaluate(alg) == optimized.evaluate(alg)
+
+    @given(st.data())
+    def test_optimization_never_grows(self, data):
+        circuit = random_circuit(data)
+        optimized = optimize(circuit)
+        assert optimized.gate_count() <= circuit.gate_count()
+
+    def test_reduces_the_factor_circuit(self):
+        """The LCPC'17-style claim: gate-level optimization shrinks real
+        circuits substantially."""
+        from repro.apps.fig10 import build_factor_circuit
+
+        raw = build_factor_circuit(15, 4, 4, optimized=False)
+        opt = build_factor_circuit(15, 4, 4, optimized=True)
+        assert opt.gate_count() < raw.gate_count()
+        alg = ValueAlgebra(8, AoB)
+        assert raw.evaluate(alg) == opt.evaluate(alg)

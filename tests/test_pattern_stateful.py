@@ -1,0 +1,103 @@
+"""Stateful model-based testing: PatternVector vs dense AoB.
+
+A hypothesis rule machine drives random sequences of construction, gate,
+and measurement operations against the compressed substrate and a dense
+AoB model simultaneously -- any divergence at any point fails.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.aob import AoB
+from repro.pattern import ChunkStore, PatternVector
+
+WAYS = 8
+CHUNK = 6
+
+
+class PatternVsDense(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.store = ChunkStore(CHUNK)
+        # parallel slots: (PatternVector, AoB)
+        self.slots: list[tuple[PatternVector, AoB]] = [
+            (PatternVector.zeros(WAYS, self.store), AoB.zeros(WAYS)),
+            (PatternVector.ones(WAYS, self.store), AoB.ones(WAYS)),
+        ]
+        self.rng = np.random.default_rng(1234)
+
+    slot_idx = st.integers(min_value=0, max_value=30)
+
+    def _slot(self, i: int) -> tuple[PatternVector, AoB]:
+        return self.slots[i % len(self.slots)]
+
+    @rule(k=st.integers(min_value=0, max_value=10))
+    def make_hadamard(self, k):
+        self.slots.append(
+            (PatternVector.hadamard(WAYS, k, self.store), AoB.hadamard(WAYS, k))
+        )
+
+    @rule()
+    def make_random(self):
+        dense = AoB.random(WAYS, self.rng)
+        self.slots.append((PatternVector.from_aob(dense, store=self.store), dense))
+
+    @rule(i=slot_idx, j=slot_idx, op=st.sampled_from(["and", "or", "xor"]))
+    def binary_gate(self, i, j, op):
+        pv_a, a = self._slot(i)
+        pv_b, b = self._slot(j)
+        fn = {"and": lambda x, y: x & y, "or": lambda x, y: x | y, "xor": lambda x, y: x ^ y}[op]
+        self.slots.append((fn(pv_a, pv_b), fn(a, b)))
+
+    @rule(i=slot_idx)
+    def not_gate(self, i):
+        pv, a = self._slot(i)
+        self.slots.append((~pv, ~a))
+
+    @rule(i=slot_idx, j=slot_idx, k=slot_idx)
+    def ccnot_gate(self, i, j, k):
+        pv_a, a = self._slot(i)
+        pv_b, b = self._slot(j)
+        pv_c, c = self._slot(k)
+        self.slots.append((pv_a.ccnot(pv_b, pv_c), a.ccnot(b, c)))
+
+    @rule(i=slot_idx, j=slot_idx, k=slot_idx)
+    def cswap_gate(self, i, j, k):
+        pv_a, a = self._slot(i)
+        pv_b, b = self._slot(j)
+        pv_c, c = self._slot(k)
+        px, py = pv_a.cswap(pv_b, pv_c)
+        x, y = a.cswap(b, c)
+        self.slots.append((px, x))
+        self.slots.append((py, y))
+
+    @rule(i=slot_idx, channel=st.integers(min_value=0, max_value=(1 << WAYS) - 1))
+    def measurements_agree(self, i, channel):
+        pv, a = self._slot(i)
+        assert pv.meas(channel) == a.meas(channel)
+        assert pv.next(channel) == a.next(channel)
+        assert pv.pop_after(channel) == a.pop_after(channel)
+
+    @invariant()
+    def newest_slot_expands_correctly(self):
+        pv, a = self.slots[-1]
+        assert pv.to_aob() == a
+        assert pv.popcount() == a.popcount()
+        assert pv.any() == a.any()
+        assert pv.all() == a.all()
+
+    @invariant()
+    def runs_are_canonical(self):
+        pv, _ = self.slots[-1]
+        symbols = [sym for sym, _count in pv.runs]
+        # normalization guarantees no two adjacent runs share a symbol
+        assert all(x != y for x, y in zip(symbols, symbols[1:]))
+        assert sum(count for _s, count in pv.runs) == pv.num_chunks
+
+
+PatternVsDense.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestPatternVsDense = PatternVsDense.TestCase

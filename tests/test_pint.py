@@ -1,0 +1,275 @@
+"""Pint arithmetic: channel-wise equivalence with Python integers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import EntanglementError
+from repro.pbp import PbpContext
+
+
+def two_words(ways_each=3):
+    """Context with two disjoint Hadamard words a (low channels) and b."""
+    ctx = PbpContext(ways=2 * ways_each)
+    a = ctx.pint_h(ways_each, (1 << ways_each) - 1)
+    b = ctx.pint_h(ways_each, ((1 << ways_each) - 1) << ways_each)
+    return ctx, a, b
+
+
+def channel_values(ways_each):
+    mask = (1 << ways_each) - 1
+    for e in range(1 << (2 * ways_each)):
+        yield e, e & mask, e >> ways_each
+
+
+class TestArithmetic:
+    def test_add_wraps(self):
+        _, a, b = two_words()
+        s = a + b
+        for e, va, vb in channel_values(3):
+            assert s.at(e) == (va + vb) & 7
+
+    def test_add_expand_keeps_carry(self):
+        _, a, b = two_words()
+        s = a.add_expand(b)
+        assert s.width == 4
+        for e, va, vb in channel_values(3):
+            assert s.at(e) == va + vb
+
+    def test_sub_wraps(self):
+        _, a, b = two_words()
+        d = a - b
+        for e, va, vb in channel_values(3):
+            assert d.at(e) == (va - vb) & 7
+
+    def test_mul_full_width(self):
+        _, a, b = two_words()
+        p = a * b
+        assert p.width == 6
+        for e, va, vb in channel_values(3):
+            assert p.at(e) == va * vb
+
+    def test_mixed_width_add(self):
+        ctx = PbpContext(ways=5)
+        a = ctx.pint_h(3, 0b00111)
+        b = ctx.pint_h(2, 0b11000)
+        s = a + b
+        assert s.width == 3
+        for e in range(32):
+            assert s.at(e) == ((e & 7) + (e >> 3)) & 7
+
+    def test_shift_left(self):
+        ctx = PbpContext(ways=3)
+        a = ctx.pint_h(3, 0b111)
+        shifted = a << 2
+        assert shifted.width == 5
+        for e in range(8):
+            assert shifted.at(e) == e << 2
+
+
+class TestComparisons:
+    def test_eq(self):
+        _, a, b = two_words()
+        e_bit = a.eq(b)
+        for e, va, vb in channel_values(3):
+            assert e_bit.at(e) == int(va == vb)
+
+    def test_eq_const(self):
+        ctx = PbpContext(ways=4)
+        a = ctx.pint_h(4, 0xF)
+        bit = a.eq_const(11)
+        for e in range(16):
+            assert bit.at(e) == int(e == 11)
+
+    def test_ne(self):
+        _, a, b = two_words()
+        bit = a.ne(b)
+        for e, va, vb in channel_values(3):
+            assert bit.at(e) == int(va != vb)
+
+    def test_lt(self):
+        _, a, b = two_words()
+        bit = a.lt(b)
+        for e, va, vb in channel_values(3):
+            assert bit.at(e) == int(va < vb)
+
+    def test_le_gt_ge(self):
+        _, a, b = two_words()
+        le, gt, ge = a.le(b), a.gt(b), a.ge(b)
+        for e, va, vb in channel_values(3):
+            assert le.at(e) == int(va <= vb)
+            assert gt.at(e) == int(va > vb)
+            assert ge.at(e) == int(va >= vb)
+
+    def test_min_max(self):
+        _, a, b = two_words()
+        lo, hi = a.min(b), a.max(b)
+        for e, va, vb in channel_values(3):
+            assert lo.at(e) == min(va, vb)
+            assert hi.at(e) == max(va, vb)
+
+    def test_min_max_mixed_width(self):
+        ctx = PbpContext(ways=5)
+        a = ctx.pint_h(3, 0b00111)
+        b = ctx.pint_h(2, 0b11000)
+        lo = a.min(b)
+        for e in range(32):
+            assert lo.at(e) == min(e & 7, e >> 3)
+
+    def test_square(self):
+        ctx = PbpContext(ways=4)
+        a = ctx.pint_h(4, 0xF)
+        sq = a.square()
+        for e in range(16):
+            assert sq.at(e) == e * e
+
+
+class TestBitwise:
+    def test_and_or_xor_not(self):
+        _, a, b = two_words()
+        for e, va, vb in channel_values(3):
+            assert (a & b).at(e) == (va & vb)
+            assert (a | b).at(e) == (va | vb)
+            assert (a ^ b).at(e) == (va ^ vb)
+            assert (~a).at(e) == (~va) & 7
+
+    def test_bitwise_needs_same_width(self):
+        ctx = PbpContext(ways=4)
+        a = ctx.pint_h(3, 0b0111)
+        b = ctx.pint_h(1, 0b1000)
+        with pytest.raises(EntanglementError):
+            a & b
+
+    def test_mux(self):
+        ctx, a, b = two_words(2)
+        sel = a.eq(b)  # 1 where equal
+        out = sel.mux(a, b)
+        for e, va, vb in channel_values(2):
+            assert out.at(e) == (va if va == vb else vb)
+
+    def test_mux_needs_single_pbit(self):
+        ctx, a, b = two_words(2)
+        with pytest.raises(EntanglementError):
+            a.mux(a, b)
+
+
+class TestChannelTracking:
+    def test_product_unions_channels(self):
+        """Figure 9: b*c over disjoint sets is entangled over the union."""
+        ctx, a, b = two_words(3)
+        assert (a * b).channels == 0b111111
+
+    def test_constant_has_no_channels(self):
+        ctx = PbpContext(ways=4)
+        assert ctx.pint_mk(4, 5).channels == 0
+
+    def test_cross_context_rejected(self):
+        c1, c2 = PbpContext(ways=4), PbpContext(ways=4)
+        a = c1.pint_mk(2, 1)
+        b = c2.pint_mk(2, 1)
+        with pytest.raises(EntanglementError):
+            a + b
+
+
+class TestShareChannelCaution:
+    def test_same_channels_give_squares(self):
+        """Section 4.1: had b and c used the same entanglement channels,
+        the multiplication would compute 4-way entangled squares."""
+        ctx = PbpContext(ways=4)
+        b = ctx.pint_h(4, 0xF)
+        squares = b * b
+        assert sorted(squares.measure()) == sorted({e * e for e in range(16)})
+        for e in range(16):
+            assert squares.at(e) == e * e
+
+
+class TestSignedViews:
+    @staticmethod
+    def _signed(v, width):
+        return v - (1 << width) if v >> (width - 1) else v
+
+    def test_negate(self):
+        ctx = PbpContext(ways=4)
+        a = ctx.pint_h(4, 0xF)
+        n = a.negate()
+        for e in range(16):
+            assert n.at(e) == (-e) & 0xF
+
+    def test_abs(self):
+        ctx = PbpContext(ways=4)
+        a = ctx.pint_h(4, 0xF)
+        result = a.abs()
+        for e in range(16):
+            signed = self._signed(e, 4)
+            assert result.at(e) == abs(signed) & 0xF  # -8 wraps to 8 = 0x8
+
+    def test_sign_bit(self):
+        ctx = PbpContext(ways=3)
+        a = ctx.pint_h(3, 0b111)
+        s = a.sign_bit()
+        for e in range(8):
+            assert s.at(e) == e >> 2
+
+    def test_lt_signed(self):
+        _, a, b = two_words()
+        bit = a.lt_signed(b)
+        for e, va, vb in channel_values(3):
+            assert bit.at(e) == int(self._signed(va, 3) < self._signed(vb, 3))
+
+    def test_lt_signed_mixed_width(self):
+        ctx = PbpContext(ways=5)
+        a = ctx.pint_h(3, 0b00111)  # 3-bit signed: -4..3
+        b = ctx.pint_h(2, 0b11000)  # 2-bit signed: -2..1
+        bit = a.lt_signed(b)
+        for e in range(32):
+            va = self._signed(e & 7, 3)
+            vb = self._signed(e >> 3, 2)
+            assert bit.at(e) == int(va < vb)
+
+    def test_sign_extended(self):
+        ctx = PbpContext(ways=3)
+        a = ctx.pint_h(3, 0b111)
+        wide = a.sign_extended(6)
+        for e in range(8):
+            assert self._signed(wide.at(e), 6) == self._signed(e, 3)
+
+    def test_sign_extended_rejects_truncation(self):
+        ctx = PbpContext(ways=3)
+        with pytest.raises(EntanglementError):
+            ctx.pint_h(3, 0b111).sign_extended(2)
+
+
+class TestResize:
+    def test_zero_extend(self):
+        ctx = PbpContext(ways=3)
+        a = ctx.pint_h(3, 0b111)
+        wide = a.resized(6)
+        for e in range(8):
+            assert wide.at(e) == e
+
+    def test_truncate(self):
+        ctx = PbpContext(ways=3)
+        a = ctx.pint_h(3, 0b111)
+        narrow = a.resized(2)
+        for e in range(8):
+            assert narrow.at(e) == e & 3
+
+    def test_bad_width(self):
+        ctx = PbpContext(ways=3)
+        with pytest.raises(ValueError):
+            ctx.pint_mk(2, 1).resized(0)
+
+
+class TestPatternBackendParity:
+    @settings(max_examples=10)
+    @given(st.integers(min_value=0, max_value=7), st.integers(min_value=0, max_value=7))
+    def test_same_results_both_backends(self, x, y):
+        dense = PbpContext(ways=6, backend="aob")
+        compressed = PbpContext(ways=6, backend="pattern", chunk_ways=6)
+        results = []
+        for ctx in (dense, compressed):
+            a = ctx.pint_h(3, 0b000111)
+            b = ctx.pint_h(3, 0b111000)
+            p = (a * b).eq_const((x * y) & 63)
+            results.append(sorted(p.bits[0].iter_ones()))
+        assert results[0] == results[1]

@@ -1,0 +1,144 @@
+"""Larger Tangled assembly programs: whole-ISA integration workloads."""
+
+import numpy as np
+import pytest
+
+from repro.asm import assemble
+from repro.bf16 import bf16_from_float, bf16_to_float
+from repro.cpu import FunctionalSimulator, PipelinedSimulator
+
+from tests.conftest import assemble_and_run
+
+
+class TestDotProduct:
+    """bfloat16 dot product over memory arrays: loads, FP, loop control."""
+
+    def _program(self, xs, ys):
+        n = len(xs)
+        data_x = ", ".join(str(bf16_from_float(v)) for v in xs)
+        data_y = ", ".join(str(bf16_from_float(v)) for v in ys)
+        return f"""
+            loadi $1, xvec        ; x pointer
+            loadi $2, yvec        ; y pointer
+            loadi $3, {n}         ; count
+            lex   $0, 0           ; accumulator (bf16 +0.0)
+        loop:
+            load  $4, $1          ; x[i]
+            load  $5, $2          ; y[i]
+            mulf  $4, $5
+            addf  $0, $4
+            lex   $6, 1
+            add   $1, $6
+            add   $2, $6
+            lex   $6, -1
+            add   $3, $6
+            brt   $3, loop
+            lex   $rv, 0
+            sys
+        xvec:   .word {data_x}
+        yvec:   .word {data_y}
+        """
+
+    def test_small_dot_product(self):
+        xs = [1.5, 2.0, -0.5, 4.0]
+        ys = [2.0, 0.25, 8.0, 0.5]
+        sim = assemble_and_run(self._program(xs, ys))
+        got = bf16_to_float(sim.machine.read_reg(0))
+        assert got == pytest.approx(sum(x * y for x, y in zip(xs, ys)), rel=0.05)
+
+    def test_matches_on_pipeline(self):
+        xs = [0.5, -1.5, 3.0]
+        ys = [4.0, 2.0, 1.0]
+        func = assemble_and_run(self._program(xs, ys), simulator="functional")
+        pipe = assemble_and_run(self._program(xs, ys), simulator="pipelined")
+        assert func.machine.read_reg(0) == pipe.machine.read_reg(0)
+
+    def test_reciprocal_normalization(self):
+        """Divide by the first element using recip + mulf."""
+        sim = assemble_and_run(
+            f"""
+            loadi $0, {bf16_from_float(10.0)}
+            loadi $1, {bf16_from_float(4.0)}
+            copy  $2, $1
+            recip $2
+            mulf  $0, $2          ; 10 / 4
+            """
+        )
+        assert bf16_to_float(sim.machine.read_reg(0)) == pytest.approx(2.5, rel=0.02)
+
+
+class TestMemsetAndSum:
+    def test_fill_then_sum(self):
+        sim = assemble_and_run(
+            """
+            loadi $1, 0x400       ; base
+            lex   $2, 16          ; count
+            lex   $0, 5           ; fill value
+        fill:
+            store $0, $1
+            lex   $3, 1
+            add   $1, $3
+            lex   $3, -1
+            add   $2, $3
+            brt   $2, fill
+            loadi $1, 0x400
+            lex   $2, 16
+            lex   $4, 0           ; sum
+        total:
+            load  $3, $1
+            add   $4, $3
+            lex   $3, 1
+            add   $1, $3
+            lex   $3, -1
+            add   $2, $3
+            brt   $2, total
+            copy  $0, $4
+            """
+        )
+        assert sim.machine.read_reg(0) == 80
+
+
+class TestHistogramOfQatChannels:
+    def test_population_via_pop_matches_loop(self):
+        """pop $d,@a in one instruction vs a next-walk loop: same answer."""
+        sim = assemble_and_run(
+            """
+            had   @0, 1
+            had   @1, 3
+            and   @2, @0, @1
+            lex   $0, 0
+            pop   $0, @2          ; count after channel 0
+            lex   $1, 0
+            meas  $1, @2
+            add   $0, $1          ; full population in $0
+            ; now the slow way with a next walk into $2
+            lex   $2, 0
+            lex   $3, 0
+            meas  $3, @2
+            add   $2, $3
+            lex   $3, 0
+        walk:
+            next  $3, @2
+            brf   $3, done
+            lex   $4, 1
+            add   $2, $4
+            br    walk
+        done:
+            """
+        , ways=8)
+        assert sim.machine.read_reg(0) == sim.machine.read_reg(2) == 64
+
+    def test_self_modifying_code_on_functional_sim(self):
+        """The functional model re-decodes every step, so a program may
+        patch itself (the pipelined model would prefetch; see docs)."""
+        sim = assemble_and_run(
+            """
+            loadi $1, patch
+            loadi $0, 0x2007      ; encoding of lex $0, 7
+            store $0, $1
+        patch:
+            lex   $0, 99          ; overwritten before execution
+            """,
+            simulator="functional",
+        )
+        assert sim.machine.read_reg(0) == 7

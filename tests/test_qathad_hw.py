@@ -1,0 +1,59 @@
+"""FIG7 experiment: the qathad generator netlist and its cost model."""
+
+import numpy as np
+import pytest
+
+from repro.aob import AoB
+from repro.hw import build_had_netlist, had_cost
+
+
+def evaluate_had(net, ways, k, hbits):
+    inputs = {f"h[{b}]": np.array([(k >> b) & 1], dtype=bool) for b in range(hbits)}
+    return net.evaluate(inputs)["aob"][:, 0]
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize("ways", [1, 2, 3, 4, 5])
+    @pytest.mark.parametrize("wide", [True, False])
+    def test_matches_aob_hadamard(self, ways, wide):
+        net = build_had_netlist(ways, wide=wide)
+        hbits = max(4, (ways - 1).bit_length()) if ways > 1 else 4
+        for k in range(min(16, 2 ** hbits)):
+            out = evaluate_had(net, ways, k, hbits)
+            ref = AoB.hadamard(ways, k).to_bool_array()
+            assert np.array_equal(out, ref), (ways, k)
+
+    def test_rejects_bad_ways(self):
+        with pytest.raises(ValueError):
+            build_had_netlist(0)
+
+
+class TestCostModel:
+    @pytest.mark.parametrize("ways", [2, 3, 4, 5, 6])
+    @pytest.mark.parametrize("wide", [True, False])
+    def test_gate_count_matches_netlist(self, ways, wide):
+        cost = had_cost(ways, wide=wide)
+        net = build_had_netlist(ways, wide=wide)
+        assert cost["gates"] == net.gate_count()
+
+    @pytest.mark.parametrize("ways", [3, 4, 5, 6])
+    def test_depth_matches_netlist_wide(self, ways):
+        assert had_cost(ways, wide=True)["depth"] == build_had_netlist(ways, wide=True).depth()
+
+    def test_gate_count_grows_exponentially(self):
+        """The OR network spans ways * 2^(ways-1) inputs -- why section 5
+        prefers reserved constant registers."""
+        g8 = had_cost(8)["or_inputs"]
+        g16 = had_cost(16)["or_inputs"]
+        assert g16 / g8 == (16 * (1 << 15)) / (8 * (1 << 7))
+
+    def test_constant_register_alternative_is_linear(self):
+        """Constant registers cost 2^ways bits of storage, far below the
+        generator's gate count at full scale."""
+        cost = had_cost(16)
+        assert cost["constant_register_bits"] == 1 << 16
+        assert cost["gates"] > cost["constant_register_bits"] / 2
+
+    def test_rejects_bad_ways(self):
+        with pytest.raises(ValueError):
+            had_cost(0)

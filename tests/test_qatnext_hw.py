@@ -1,0 +1,81 @@
+"""FIG8 experiment: the qatnext netlist, its cost model, and the
+O(WAYS) vs O(WAYS^2) delay shape."""
+
+import numpy as np
+import pytest
+
+from repro.aob import AoB
+from repro.hw import build_next_netlist, next_cost
+
+
+def evaluate_next(net, ways, aob_bits, s_vals):
+    n = 1 << ways
+    inputs = {f"aob[{i}]": aob_bits[i] for i in range(n)}
+    for b in range(ways):
+        inputs[f"s[{b}]"] = ((s_vals >> b) & 1).astype(bool)
+    out = net.evaluate(inputs)["r"]
+    return (out.astype(np.uint32) << np.arange(ways, dtype=np.uint32)[:, None]).sum(axis=0)
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize("ways", [1, 2, 3, 4, 5])
+    @pytest.mark.parametrize("wide", [True, False])
+    def test_matches_isa_next(self, ways, wide, rng):
+        net = build_next_netlist(ways, wide=wide)
+        n = 1 << ways
+        lanes = 100
+        aob_bits = rng.random((n, lanes)) < 0.25
+        s_vals = rng.integers(0, n, lanes)
+        got = evaluate_next(net, ways, aob_bits, s_vals)
+        for lane in range(lanes):
+            a = AoB.from_bits(aob_bits[:, lane].astype(int))
+            assert got[lane] == a.next(int(s_vals[lane])), (ways, wide, lane)
+
+    def test_exhaustive_tiny(self):
+        """Every (aob, s) pair at 2-way."""
+        net = build_next_netlist(2, wide=True)
+        for pattern in range(16):
+            bits = [(pattern >> i) & 1 for i in range(4)]
+            a = AoB.from_bits(bits)
+            aob_bits = np.array(bits, dtype=bool).reshape(4, 1)
+            for s in range(4):
+                got = evaluate_next(net, 2, aob_bits, np.array([s]))
+                assert got[0] == a.next(s)
+
+    def test_rejects_bad_ways(self):
+        with pytest.raises(ValueError):
+            build_next_netlist(0)
+
+
+class TestCostModel:
+    @pytest.mark.parametrize("ways", [1, 2, 3, 4, 5, 6, 7])
+    @pytest.mark.parametrize("wide", [True, False])
+    def test_matches_built_netlist_exactly(self, ways, wide):
+        net = build_next_netlist(ways, wide=wide)
+        cost = next_cost(ways, wide=wide)
+        assert cost["gates"] == net.gate_count()
+        assert cost["depth"] == net.depth()
+
+    def test_full_scale_evaluates_instantly(self):
+        cost = next_cost(16, wide=True)
+        assert cost["aob_bits"] == 65536
+        assert cost["gates"] > 1_000_000  # barrel shifter dominates
+
+    def test_wide_or_depth_is_linear(self):
+        """Section 3.3: O(WAYS) gate delays with wide OR-reduction."""
+        depths = [next_cost(w, wide=True)["depth"] for w in range(4, 17)]
+        increments = [b - a for a, b in zip(depths, depths[1:])]
+        # constant increment per added way = linear depth
+        assert max(increments) - min(increments) <= 1
+
+    def test_narrow_or_depth_is_quadratic(self):
+        """...but approaches O(WAYS^2) with trees of 2-input ORs."""
+        depths = [next_cost(w, wide=False)["depth"] for w in range(4, 17)]
+        increments = [b - a for a, b in zip(depths, depths[1:])]
+        # increment itself grows by 1 per way: quadratic total
+        deltas = [b - a for a, b in zip(increments, increments[1:])]
+        assert all(d == 1 for d in deltas)
+
+    def test_narrow_always_deeper_beyond_trivial(self):
+        for w in range(3, 17):
+            assert next_cost(w, wide=False)["depth"] > next_cost(w, wide=True)["depth"]

@@ -1,0 +1,194 @@
+"""FIG2-5 experiment: the quantum baseline's gate and measurement
+semantics, and the contrast with PBP's non-destructive measurement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.quantum import QuantumSimulator
+
+
+def probs(sim):
+    return sim.probabilities()
+
+
+class TestInitialization:
+    def test_starts_in_zero(self):
+        sim = QuantumSimulator(3)
+        assert probs(sim)[0] == 1.0
+
+    def test_reset_to_basis_state(self):
+        sim = QuantumSimulator(3)
+        sim.reset(5)
+        assert probs(sim)[5] == 1.0
+
+    def test_reset_range_checked(self):
+        with pytest.raises(ReproError):
+            QuantumSimulator(2).reset(4)
+
+    def test_qubit_count_limits(self):
+        with pytest.raises(ReproError):
+            QuantumSimulator(0)
+        with pytest.raises(ReproError):
+            QuantumSimulator(25)
+
+
+class TestGates:
+    def test_x_flips(self):
+        sim = QuantumSimulator(2)
+        sim.x(0)
+        assert probs(sim)[1] == 1.0
+        sim.x(1)
+        assert probs(sim)[3] == 1.0
+
+    def test_h_creates_superposition(self):
+        sim = QuantumSimulator(1)
+        sim.h(0)
+        assert np.allclose(probs(sim), [0.5, 0.5])
+
+    def test_h_is_its_own_inverse(self):
+        """Figure 2's note: the Hadamard is its own inverse."""
+        sim = QuantumSimulator(1)
+        sim.x(0)
+        sim.h(0)
+        sim.h(0)
+        assert np.allclose(probs(sim), [0.0, 1.0])
+
+    def test_cnot_truth_table(self):
+        for control_val in (0, 1):
+            sim = QuantumSimulator(2)
+            if control_val:
+                sim.x(1)  # control is qubit 1
+            sim.cnot(0, 1)
+            expected = (control_val << 1) | control_val
+            assert probs(sim)[expected] == 1.0
+
+    def test_bell_state_entanglement(self):
+        sim = QuantumSimulator(2)
+        sim.h(0)
+        sim.cnot(1, 0)
+        p = probs(sim)
+        assert np.allclose(p[[0, 3]], 0.5) and np.allclose(p[[1, 2]], 0.0)
+
+    def test_ccnot_requires_both_controls(self):
+        for c1 in (0, 1):
+            for c2 in (0, 1):
+                sim = QuantumSimulator(3)
+                if c1:
+                    sim.x(1)
+                if c2:
+                    sim.x(2)
+                sim.ccnot(0, 1, 2)
+                expected = (c2 << 2) | (c1 << 1) | (c1 & c2)
+                assert probs(sim)[expected] == 1.0
+
+    def test_swap(self):
+        sim = QuantumSimulator(2)
+        sim.x(0)
+        sim.swap(0, 1)
+        assert probs(sim)[2] == 1.0
+
+    def test_cswap_conditional(self):
+        sim = QuantumSimulator(3)
+        sim.x(0)
+        sim.cswap(0, 1, 2)  # control (qubit 2) is 0: no swap
+        assert probs(sim)[1] == 1.0
+        sim.x(2)
+        sim.cswap(0, 1, 2)  # control now 1: swap
+        assert probs(sim)[0b110] == 1.0
+
+    def test_gates_are_involutions(self, rng):
+        sim = QuantumSimulator(3, rng)
+        sim.h(0)
+        sim.h(1)
+        state = sim.state.copy()
+        for apply_twice in (
+            lambda: sim.x(2),
+            lambda: sim.cnot(2, 0),
+            lambda: sim.ccnot(2, 0, 1),
+            lambda: sim.swap(0, 2),
+            lambda: sim.cswap(0, 1, 2),
+        ):
+            apply_twice()
+            apply_twice()
+            assert np.allclose(sim.state, state)
+
+    def test_distinct_qubits_enforced(self):
+        sim = QuantumSimulator(2)
+        with pytest.raises(ReproError):
+            sim.cnot(0, 0)
+        with pytest.raises(ReproError):
+            sim.swap(1, 1)
+
+    def test_norm_preserved(self, rng):
+        sim = QuantumSimulator(4, rng)
+        for k in range(4):
+            sim.h(k)
+        sim.ccnot(0, 1, 2)
+        sim.cswap(1, 2, 3)
+        assert np.isclose(np.linalg.norm(sim.state), 1.0)
+
+
+class TestDestructiveMeasurement:
+    def test_measurement_collapses(self, rng):
+        """Figure 5: after measuring, the superposition is gone."""
+        sim = QuantumSimulator(1, rng)
+        sim.h(0)
+        outcome = sim.measure(0)
+        assert probs(sim)[outcome] == pytest.approx(1.0)
+
+    def test_entangled_partner_locks(self, rng):
+        """Measuring one half of a Bell pair fixes the other."""
+        sim = QuantumSimulator(2, rng)
+        sim.h(0)
+        sim.cnot(1, 0)
+        a = sim.measure(0)
+        b = sim.measure(1)
+        assert a == b
+
+    def test_repeated_measurement_is_stable(self, rng):
+        sim = QuantumSimulator(3, rng)
+        for k in range(3):
+            sim.h(k)
+        first = sim.measure_all()
+        assert sim.measure_all() == first  # collapsed: no new information
+
+    def test_one_value_per_run(self, rng):
+        """Section 2.7: 'only one [answer] can be examined per run' --
+        unlike PBP, which reads the whole distribution non-destructively."""
+        from repro.pbp import PbpContext
+
+        counts = {1: 1, 3: 1, 5: 1, 15: 1}
+        sim = QuantumSimulator(4, rng)
+        sim.prepare_distribution(counts)
+        outcome = sim.measure_all()
+        assert outcome in counts
+        assert probs(sim)[outcome] == pytest.approx(1.0)  # others lost
+        # PBP: the same distribution yields every value in one pass.
+        ctx = PbpContext(ways=4)
+        b = ctx.pint_h(4, 0xF)
+        values = b.measure()
+        assert values == list(range(16))  # all present, value intact
+
+    def test_probability_of_one(self, rng):
+        sim = QuantumSimulator(2, rng)
+        sim.h(1)
+        assert sim.probability_of_one(1) == pytest.approx(0.5)
+        assert sim.probability_of_one(0) == pytest.approx(0.0)
+
+    def test_sampling_follows_distribution(self, rng):
+        counts = {0: 3, 7: 1}
+        outcomes = []
+        for _ in range(400):
+            sim = QuantumSimulator(3, rng)
+            sim.prepare_distribution(counts)
+            outcomes.append(sim.measure_all())
+        frac = outcomes.count(0) / len(outcomes)
+        assert 0.65 < frac < 0.85  # expect 0.75
+
+    def test_prepare_distribution_validation(self, rng):
+        sim = QuantumSimulator(2, rng)
+        with pytest.raises(ReproError):
+            sim.prepare_distribution({})
+        with pytest.raises(ReproError):
+            sim.prepare_distribution({9: 1})

@@ -1,0 +1,51 @@
+"""Register-file port cost model (sections 2.5 / 5)."""
+
+import pytest
+
+from repro.hw import regfile_cost
+from repro.hw.regfile import port_ablation_table
+
+
+class TestRegfileCost:
+    def test_defaults_are_qat_scale(self):
+        cost = regfile_cost()
+        assert cost.regs == 256 and cost.bits == 65536
+        assert cost.read_ports == 2 and cost.write_ports == 1
+
+    def test_more_read_ports_cost_more(self):
+        assert regfile_cost(read_ports=3).gates > regfile_cost(read_ports=2).gates
+
+    def test_more_write_ports_cost_more(self):
+        assert regfile_cost(write_ports=2).gates > regfile_cost(write_ports=1).gates
+
+    def test_mux_depth_logarithmic(self):
+        assert regfile_cost(regs=256).mux_depth == 16
+        assert regfile_cost(regs=16).mux_depth == 8
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            regfile_cost(regs=1)
+        with pytest.raises(ValueError):
+            regfile_cost(read_ports=0)
+
+    def test_as_dict(self):
+        d = regfile_cost().as_dict()
+        assert set(d) == {"regs", "bits", "read_ports", "write_ports", "gates", "mux_depth"}
+
+
+class TestPortAblation:
+    def test_table_shape(self):
+        rows = port_ablation_table()
+        assert [r["config"].split(" ")[0] for r in rows] == ["2R1W", "3R1W", "3R2W"]
+
+    def test_overheads_monotonic(self):
+        """Each added port costs real area -- the paper's rationale for
+        dropping ccnot/cswap/swap from the ISA."""
+        rows = port_ablation_table()
+        overheads = [r["overhead_vs_2R1W"] for r in rows]
+        assert overheads[0] == 1.0
+        assert overheads[0] < overheads[1] < overheads[2]
+
+    def test_3r2w_is_substantially_larger(self):
+        rows = port_ablation_table()
+        assert rows[2]["overhead_vs_2R1W"] > 1.5

@@ -1,0 +1,150 @@
+"""Reversible (quantum-style) arithmetic circuit tests.
+
+The circuits use only the Figure 2-3 gate set, so on basis states they
+are classical reversible evaluators -- exhaustively checkable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.quantum import (
+    QuantumSimulator,
+    ReversibleCircuit,
+    build_quantum_factor_circuit,
+    controlled_cuccaro_add,
+    cuccaro_add,
+    run_factoring,
+)
+
+
+def run_on_basis(circ: ReversibleCircuit, basis: int) -> int:
+    sim = QuantumSimulator(circ.num_qubits)
+    sim.reset(basis)
+    circ.apply(sim)
+    return int(np.argmax(sim.probabilities()))
+
+
+def pack(pairs):
+    """[(value, qubits)] -> basis index."""
+    basis = 0
+    for value, qubits in pairs:
+        for i, q in enumerate(qubits):
+            basis |= ((value >> i) & 1) << q
+    return basis
+
+
+def unpack(basis, qubits):
+    return sum(((basis >> q) & 1) << i for i, q in enumerate(qubits))
+
+
+class TestCuccaroAdder:
+    @pytest.mark.parametrize("width", [1, 2, 3])
+    def test_exhaustive_addition(self, width):
+        a = list(range(width))
+        b = list(range(width, 2 * width))
+        anc = 2 * width
+        circ = ReversibleCircuit(2 * width + 1)
+        cuccaro_add(circ, a, b, anc)
+        mask = (1 << width) - 1
+        for va in range(1 << width):
+            for vb in range(1 << width):
+                out = run_on_basis(circ, pack([(va, a), (vb, b)]))
+                assert unpack(out, b) == (va + vb) & mask
+                assert unpack(out, a) == va  # operand restored
+                assert (out >> anc) & 1 == 0  # ancilla restored
+
+    def test_carry_out(self):
+        width = 2
+        a, b = [0, 1], [2, 3]
+        anc, carry = 4, 5
+        circ = ReversibleCircuit(6)
+        cuccaro_add(circ, a, b, anc, carry_out=carry)
+        for va in range(4):
+            for vb in range(4):
+                out = run_on_basis(circ, pack([(va, a), (vb, b)]))
+                assert (out >> carry) & 1 == (va + vb) >> 2
+
+    def test_is_reversible(self):
+        """Applying the adder then its mirror restores the input."""
+        circ = ReversibleCircuit(5)
+        cuccaro_add(circ, [0, 1], [2, 3], 4)
+        inverse = ReversibleCircuit(5)
+        for gate in reversed(circ.gates):
+            inverse.gates.append(gate)  # each gate is an involution
+        basis = pack([(2, [0, 1]), (3, [2, 3])])
+        out = run_on_basis(circ, basis)
+        sim = QuantumSimulator(5)
+        sim.reset(out)
+        inverse.apply(sim)
+        assert int(np.argmax(sim.probabilities())) == basis
+
+    def test_width_mismatch(self):
+        circ = ReversibleCircuit(4)
+        with pytest.raises(ReproError):
+            cuccaro_add(circ, [0], [1, 2], 3)
+        with pytest.raises(ReproError):
+            cuccaro_add(circ, [], [], 0)
+
+
+class TestControlledAdder:
+    def test_exhaustive_with_control(self):
+        width = 2
+        a, b = [0, 1], [2, 3]
+        anc, ctl, tof = 4, 5, 6
+        circ = ReversibleCircuit(7)
+        controlled_cuccaro_add(circ, a, b, anc, control=ctl, toffoli_anc=tof)
+        for control_val in (0, 1):
+            for va in range(4):
+                for vb in range(4):
+                    basis = pack([(va, a), (vb, b), (control_val, [ctl])])
+                    out = run_on_basis(circ, basis)
+                    expected = (va + vb) & 3 if control_val else vb
+                    assert unpack(out, b) == expected, (control_val, va, vb)
+                    assert unpack(out, a) == va
+                    assert (out >> tof) & 1 == 0  # shared ancilla restored
+
+
+class TestQuantumFactorCircuit:
+    def test_predicate_exhaustive_2x2(self):
+        fc = build_quantum_factor_circuit(6, 2, 2, superpose=False)
+        flip = (~6) & 0xF
+        for vb in range(4):
+            for vc in range(4):
+                out = run_on_basis(fc.circuit, pack([(vb, fc.b), (vc, fc.c)]))
+                assert unpack(out, fc.product) ^ flip == vb * vc
+                assert (out >> fc.flag) & 1 == int(vb * vc == 6)
+                assert unpack(out, fc.b) == vb  # inputs preserved
+                assert unpack(out, fc.c) == vc
+
+    def test_sampling_finds_only_true_factors(self, rng):
+        fc = build_quantum_factor_circuit(6, 2, 2)
+        hits = set()
+        for _ in range(60):
+            b, c, flag = run_factoring(fc, rng)
+            if flag:
+                assert b * c == 6
+                hits.add((b, c))
+        assert hits == {(2, 3), (3, 2)}
+
+    def test_flag_probability_matches_answer_count(self):
+        """P(flag=1) = #factor-pairs / 2^(bits_b + bits_c)."""
+        fc = build_quantum_factor_circuit(6, 2, 2)
+        sim = QuantumSimulator(fc.num_qubits)
+        fc.circuit.apply(sim)
+        assert sim.probability_of_one(fc.flag) == pytest.approx(2 / 16)
+
+    def test_gate_budget_is_toffoli_dominated(self):
+        fc = build_quantum_factor_circuit(6, 2, 2)
+        counts = fc.circuit.gate_count()
+        assert counts["ccnot"] > 50  # vs 7 PBP gate ops for the same predicate
+
+    def test_oversized_n_rejected(self):
+        with pytest.raises(ReproError):
+            build_quantum_factor_circuit(99, 2, 2)
+
+    def test_circuit_vs_simulator_size_check(self):
+        fc = build_quantum_factor_circuit(6, 2, 2)
+        small = QuantumSimulator(3)
+        with pytest.raises(ReproError):
+            fc.circuit.apply(small)

@@ -1,0 +1,77 @@
+"""Coupon-collector analysis for the QVP experiment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.quantum import (
+    QuantumSimulator,
+    expected_runs_to_see_all,
+    runs_to_collect_all,
+)
+
+
+class TestExpectedRuns:
+    def test_single_outcome(self):
+        assert expected_runs_to_see_all([1.0]) == pytest.approx(1.0)
+
+    def test_uniform_two(self):
+        # classic: E = 3 for a fair coin
+        assert expected_runs_to_see_all([0.5, 0.5]) == pytest.approx(3.0)
+
+    def test_uniform_n_matches_harmonic_formula(self):
+        for n in (3, 4, 6):
+            expected = n * sum(1 / k for k in range(1, n + 1))
+            assert expected_runs_to_see_all([1 / n] * n) == pytest.approx(expected)
+
+    def test_skew_increases_runs(self):
+        uniform = expected_runs_to_see_all([0.25] * 4)
+        skewed = expected_runs_to_see_all([0.85, 0.05, 0.05, 0.05])
+        assert skewed > uniform
+
+    def test_zero_probabilities_ignored(self):
+        assert expected_runs_to_see_all([0.5, 0.5, 0.0]) == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            expected_runs_to_see_all([0.0])
+
+    def test_too_many_outcomes_rejected(self):
+        with pytest.raises(ReproError):
+            expected_runs_to_see_all([1 / 25] * 25)
+
+
+class TestMonteCarlo:
+    def test_matches_analytic_on_average(self, rng):
+        counts = {0: 1, 1: 1, 2: 1, 3: 1}
+
+        def prepare():
+            sim = QuantumSimulator(2)
+            sim.prepare_distribution(counts)
+            return sim
+
+        runs = [runs_to_collect_all(prepare, 4, rng) for _ in range(300)]
+        analytic = expected_runs_to_see_all([0.25] * 4)
+        assert abs(np.mean(runs) - analytic) < 1.0
+
+    def test_every_run_needs_fresh_preparation(self, rng):
+        """Each quantum run re-prepares: measurement destroyed the state."""
+        preparations = []
+
+        def prepare():
+            sim = QuantumSimulator(2)
+            sim.prepare_distribution({0: 1, 1: 1})
+            preparations.append(1)
+            return sim
+
+        runs = runs_to_collect_all(prepare, 2, rng)
+        assert len(preparations) == runs >= 2
+
+    def test_budget_guard(self, rng):
+        def prepare():
+            sim = QuantumSimulator(2)
+            sim.prepare_distribution({0: 1})
+            return sim
+
+        with pytest.raises(ReproError):
+            runs_to_collect_all(prepare, 2, rng, max_runs=10)

@@ -1,0 +1,131 @@
+"""SAT / function-inversion search applications."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import invert_function, solve_sat
+from repro.errors import ReproError
+
+
+def brute_force_sat(clauses, num_vars):
+    out = []
+    for assignment in range(1 << num_vars):
+        ok = True
+        for clause in clauses:
+            if not any(
+                ((assignment >> (abs(l) - 1)) & 1) == (1 if l > 0 else 0)
+                for l in clause
+            ):
+                ok = False
+                break
+        if ok:
+            out.append(assignment)
+    return out
+
+
+class TestSolveSat:
+    def test_simple_formula(self):
+        clauses = [[1, 2], [-1, 3], [-2, -3]]
+        assert solve_sat(clauses, 3) == brute_force_sat(clauses, 3)
+
+    def test_unsatisfiable(self):
+        clauses = [[1], [-1]]
+        assert solve_sat(clauses, 1) == []
+
+    def test_tautology(self):
+        assert solve_sat([], 2) == [0, 1, 2, 3]
+
+    def test_unit_clauses_force_assignment(self):
+        assert solve_sat([[1], [-2], [3]], 3) == [0b101]
+
+    @settings(max_examples=25)
+    @given(st.data())
+    def test_matches_brute_force(self, data):
+        num_vars = data.draw(st.integers(min_value=1, max_value=6))
+        literals = st.integers(min_value=1, max_value=num_vars).flatmap(
+            lambda v: st.sampled_from([v, -v])
+        )
+        clauses = data.draw(
+            st.lists(st.lists(literals, min_size=1, max_size=3), min_size=0, max_size=6)
+        )
+        assert solve_sat(clauses, num_vars) == brute_force_sat(clauses, num_vars)
+
+    def test_all_solutions_from_one_pass(self):
+        """Every satisfying assignment, not a sample of them."""
+        clauses = [[1, 2, 3]]
+        assert len(solve_sat(clauses, 3)) == 7
+
+    def test_pattern_backend(self):
+        clauses = [[1, 2], [-1, 3], [-2, -3]]
+        dense = solve_sat(clauses, 3)
+        compressed = solve_sat(clauses, 8, backend="pattern", chunk_ways=6)
+        # extra unconstrained variables multiply the solution count
+        assert len(compressed) == len(brute_force_sat(clauses, 8))
+
+    def test_errors(self):
+        with pytest.raises(ReproError):
+            solve_sat([[]], 2)
+        with pytest.raises(ReproError):
+            solve_sat([[5]], 2)
+        with pytest.raises(ReproError):
+            solve_sat([], 0)
+
+
+class TestCompileSat:
+    def test_compiled_formula_runs_on_hardware(self):
+        from repro.apps.search import compile_sat
+        from repro.cpu import PipelinedSimulator
+
+        clauses = [[1, 2], [-1, 3], [-2, -3]]
+        program, reg = compile_sat(clauses, 3)
+        sim = PipelinedSimulator(ways=3)
+        sim.load(program)
+        sim.run()
+        result = sim.machine.read_qreg(reg)
+        assert sorted(result.iter_ones()) == brute_force_sat(clauses, 3)
+
+    def test_matches_direct_solver(self):
+        from repro.apps.search import compile_sat
+        from repro.cpu import FunctionalSimulator
+
+        clauses = [[1, 2, 3], [-2], [1, -3]]
+        program, reg = compile_sat(clauses, 4)
+        sim = FunctionalSimulator(ways=4)
+        sim.load(program)
+        sim.run()
+        assert sorted(sim.machine.read_qreg(reg).iter_ones()) == solve_sat(clauses, 4)
+
+    def test_validation(self):
+        from repro.apps.search import compile_sat
+
+        with pytest.raises(ReproError):
+            compile_sat([[]], 2)
+        with pytest.raises(ReproError):
+            compile_sat([[9]], 2)
+
+
+class TestInvertFunction:
+    def test_parity_preimages(self):
+        def odd_parity(alg, bits):
+            acc = bits[0]
+            for b in bits[1:]:
+                acc = alg.bxor(acc, b)
+            return acc
+
+        result = invert_function(odd_parity, 4)
+        assert result == [x for x in range(16) if bin(x).count("1") % 2 == 1]
+
+    def test_majority(self):
+        def majority(alg, bits):
+            a, b, c = bits
+            return alg.bor(alg.bor(alg.band(a, b), alg.band(a, c)), alg.band(b, c))
+
+        result = invert_function(majority, 3)
+        assert result == [3, 5, 6, 7]
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ReproError):
+            invert_function(lambda alg, bits: bits[0], 0)

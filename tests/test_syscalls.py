@@ -1,0 +1,113 @@
+"""System-call convention tests."""
+
+import pytest
+
+from repro.cpu import FunctionalSimulator, PipelinedSimulator, SyscallHandler
+from repro.asm import assemble
+
+from tests.conftest import assemble_and_run
+
+
+class TestServices:
+    def test_halt(self):
+        sim = assemble_and_run("lex $rv, 0\nsys\n")
+        assert sim.machine.halted
+
+    def test_unknown_service_halts(self):
+        sim = assemble_and_run("lex $rv, 99\nsys\n")
+        assert sim.machine.halted
+
+    def test_print_int_signed(self):
+        sim = assemble_and_run(
+            "lex $0, -42\nlex $rv, 1\nsys\nlex $rv, 0\nsys\n"
+        )
+        assert sim.machine.output == ["-42"]
+
+    def test_print_char(self):
+        sim = assemble_and_run(
+            "lex $0, 65\nlex $rv, 2\nsys\nlex $rv, 0\nsys\n"
+        )
+        assert sim.machine.output == ["A"]
+
+    def test_read_cycles_on_pipeline(self):
+        """Service 3 exposes the cycle counter on simulators that have one."""
+        sim = PipelinedSimulator(ways=6)
+        sim.load(assemble(
+            "lex $rv, 3\nsys\ncopy $1, $0\nlex $rv, 0\nsys\n"
+        ))
+        sim.run()
+        assert 0 < sim.machine.read_reg(1) <= sim.stats.cycles
+
+    def test_read_cycles_without_source_halts(self):
+        """The functional simulator has no clock: service 3 falls back to
+        halting."""
+        sim = assemble_and_run("lex $rv, 3\nsys\nlex $0, 1\n")
+        assert sim.machine.halted
+        assert sim.machine.read_reg(0) == 0
+
+
+class TestPrintString:
+    def test_hello_world(self):
+        sim = assemble_and_run(
+            """
+            loadi $0, message
+            lex   $rv, 4
+            sys
+            lex   $rv, 0
+            sys
+        message:
+            .string "hello, tangled"
+            """
+        )
+        assert sim.machine.output == ["hello, tangled"]
+
+    def test_escapes(self):
+        sim = assemble_and_run(
+            'loadi $0, msg\nlex $rv, 4\nsys\nlex $rv, 0\nsys\n'
+            'msg: .string "a\\nb"\n'
+        )
+        assert sim.machine.output == ["a\nb"]
+
+    def test_empty_string(self):
+        sim = assemble_and_run(
+            'loadi $0, msg\nlex $rv, 4\nsys\nlex $rv, 0\nsys\nmsg: .string ""\n'
+        )
+        assert sim.machine.output == [""]
+
+    def test_unquoted_rejected(self):
+        from repro.asm import assemble
+        from repro.errors import AssemblerError
+
+        with pytest.raises(AssemblerError):
+            assemble(".string hello\n")
+
+    def test_runaway_unterminated_string_is_bounded(self):
+        """A missing terminator cannot hang the machine."""
+        from repro.asm import assemble
+        from repro.cpu import FunctionalSimulator
+
+        sim = FunctionalSimulator(ways=6)
+        sim.machine.mem[:] = 65  # 'A' everywhere, no terminator
+        program = assemble("lex $0, 0\nlex $rv, 4\nsys\nlex $rv, 0\nsys\n")
+        # overlay the program at 0 (overwrites some 'A's -- fine)
+        sim.load(program)
+        sim.run()
+        assert len(sim.machine.output[0]) <= 4096
+
+
+class TestCustomHandlers:
+    def test_registered_service(self):
+        handler = SyscallHandler()
+        handler.register(7, lambda m: m.write_reg(5, 1234))
+        sim = FunctionalSimulator(ways=6, syscalls=handler)
+        sim.load(assemble("lex $rv, 7\nsys\nlex $rv, 0\nsys\n"))
+        sim.run()
+        assert sim.machine.read_reg(5) == 1234
+
+    def test_custom_overrides_builtin(self):
+        handler = SyscallHandler()
+        handler.register(1, lambda m: m.output.append("custom"))
+        sim = FunctionalSimulator(ways=6, syscalls=handler)
+        sim.load(assemble("lex $rv, 1\nsys\nlex $rv, 0\nsys\n"))
+        sim.run()
+        assert sim.machine.output == ["custom"]

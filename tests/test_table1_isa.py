@@ -1,0 +1,186 @@
+"""TAB1 experiment: semantics of every Table 1 base instruction.
+
+Each test drives the functional simulator with a tiny assembled program
+and checks the architectural effect against the table's functionality
+column.
+"""
+
+import pytest
+
+from repro.bf16 import bf16_from_float, bf16_to_float
+from repro.isa import INSTRUCTIONS, TANGLED_MNEMONICS
+
+from tests.conftest import assemble_and_run
+
+
+def reg(sim, n):
+    return sim.machine.read_reg(n)
+
+
+class TestTable1Inventory:
+    def test_all_24_instructions_present(self):
+        """Table 1 lists exactly 24 base instructions."""
+        assert len(TANGLED_MNEMONICS) == 24
+
+    def test_descriptions_match_table(self):
+        assert INSTRUCTIONS["slt"].description == "set less than"
+        assert INSTRUCTIONS["recip"].description == "bfloat16 reciprocal"
+        assert INSTRUCTIONS["lex"].description == "load sign extended"
+
+
+class TestIntegerAlu:
+    def test_add(self):
+        sim = assemble_and_run("lex $0, 30\nlex $1, 12\nadd $0, $1\n")
+        assert reg(sim, 0) == 42
+
+    def test_add_wraps_16_bits(self):
+        sim = assemble_and_run("loadi $0, 0xFFFF\nlex $1, 2\nadd $0, $1\n")
+        assert reg(sim, 0) == 1
+
+    def test_and_or_xor_not(self):
+        sim = assemble_and_run(
+            "loadi $0, 0x0F0F\nloadi $1, 0x00FF\n"
+            "copy $2, $0\nand $2, $1\n"
+            "copy $3, $0\nor  $3, $1\n"
+            "copy $4, $0\nxor $4, $1\n"
+            "copy $5, $0\nnot $5\n"
+        )
+        assert reg(sim, 2) == 0x000F
+        assert reg(sim, 3) == 0x0FFF
+        assert reg(sim, 4) == 0x0FF0
+        assert reg(sim, 5) == 0xF0F0
+
+    def test_copy(self):
+        sim = assemble_and_run("lex $3, 7\ncopy $9, $3\n")
+        assert reg(sim, 9) == 7
+
+    def test_mul_low_16(self):
+        sim = assemble_and_run("loadi $0, 300\nloadi $1, 300\nmul $0, $1\n")
+        assert reg(sim, 0) == (300 * 300) & 0xFFFF
+
+    def test_neg(self):
+        sim = assemble_and_run("lex $0, 5\nneg $0\n")
+        assert reg(sim, 0) == (-5) & 0xFFFF
+
+    def test_slt_signed(self):
+        sim = assemble_and_run(
+            "lex $0, -1\nlex $1, 1\nslt $0, $1\n"  # -1 < 1 -> 1
+            "lex $2, 1\nlex $3, -1\nslt $2, $3\n"  # 1 < -1 -> 0
+        )
+        assert reg(sim, 0) == 1
+        assert reg(sim, 2) == 0
+
+    def test_shift_left(self):
+        sim = assemble_and_run("lex $0, 3\nlex $1, 4\nshift $0, $1\n")
+        assert reg(sim, 0) == 48
+
+    def test_shift_right_with_negative_amount(self):
+        sim = assemble_and_run("loadi $0, 0x8000\nlex $1, -15\nshift $0, $1\n")
+        assert reg(sim, 0) == 1
+
+    def test_shift_overflow_amount_gives_zero(self):
+        sim = assemble_and_run("lex $0, 1\nlex $1, 16\nshift $0, $1\n")
+        assert reg(sim, 0) == 0
+
+
+class TestImmediates:
+    def test_lex_sign_extends(self):
+        sim = assemble_and_run("lex $0, -2\nlex $1, 100\n")
+        assert reg(sim, 0) == 0xFFFE
+        assert reg(sim, 1) == 100
+
+    def test_lhi_preserves_low_byte(self):
+        sim = assemble_and_run("lex $0, 0x34\nlhi $0, 0x12\n")
+        assert reg(sim, 0) == 0x1234
+
+    def test_lex_lhi_pair_builds_any_value(self):
+        sim = assemble_and_run("loadi $0, 0xBEEF\n")
+        assert reg(sim, 0) == 0xBEEF
+
+
+class TestMemory:
+    def test_store_then_load(self):
+        sim = assemble_and_run(
+            "loadi $1, 0x200\nlex $0, 77\nstore $0, $1\nload $2, $1\n"
+        )
+        assert reg(sim, 2) == 77
+        assert sim.machine.read_mem(0x200) == 77
+
+    def test_load_uses_address_register(self):
+        sim = assemble_and_run(
+            "loadi $1, 0x300\nloadi $0, 1234\nstore $0, $1\n"
+            "loadi $2, 0x300\nload $3, $2\n"
+        )
+        assert reg(sim, 3) == 1234
+
+
+class TestControlFlow:
+    def test_brt_taken_and_not_taken(self):
+        sim = assemble_and_run(
+            "lex $0, 1\nbrt $0, skip\nlex $1, 99\nskip:\nlex $2, 5\n"
+        )
+        assert reg(sim, 1) == 0  # skipped
+        assert reg(sim, 2) == 5
+
+    def test_brf_taken_when_zero(self):
+        sim = assemble_and_run(
+            "lex $0, 0\nbrf $0, skip\nlex $1, 99\nskip:\nlex $2, 5\n"
+        )
+        assert reg(sim, 1) == 0
+
+    def test_jumpr(self):
+        sim = assemble_and_run(
+            "loadi $3, target\njumpr $3\nlex $0, 99\ntarget:\nlex $1, 7\n"
+        )
+        assert reg(sim, 0) == 0
+        assert reg(sim, 1) == 7
+
+    def test_loop_counts(self):
+        sim = assemble_and_run(
+            "lex $0, 5\nlex $1, 0\nloop:\nadd $1, $0\nlex $2, -1\n"
+            "add $0, $2\nbrt $0, loop\n"
+        )
+        assert reg(sim, 1) == 15
+
+
+class TestFloatingPoint:
+    def test_addf(self):
+        a, b = bf16_from_float(1.5), bf16_from_float(2.25)
+        sim = assemble_and_run(f"loadi $0, {a}\nloadi $1, {b}\naddf $0, $1\n")
+        assert bf16_to_float(reg(sim, 0)) == 3.75
+
+    def test_mulf(self):
+        a, b = bf16_from_float(3.0), bf16_from_float(0.5)
+        sim = assemble_and_run(f"loadi $0, {a}\nloadi $1, {b}\nmulf $0, $1\n")
+        assert bf16_to_float(reg(sim, 0)) == 1.5
+
+    def test_negf(self):
+        a = bf16_from_float(2.0)
+        sim = assemble_and_run(f"loadi $0, {a}\nnegf $0\n")
+        assert bf16_to_float(reg(sim, 0)) == -2.0
+
+    def test_recip(self):
+        a = bf16_from_float(4.0)
+        sim = assemble_and_run(f"loadi $0, {a}\nrecip $0\n")
+        assert bf16_to_float(reg(sim, 0)) == 0.25
+
+    def test_float_int_roundtrip(self):
+        sim = assemble_and_run("lex $0, 100\nfloat $0\nint $0\n")
+        assert reg(sim, 0) == 100
+
+    def test_float_of_negative(self):
+        sim = assemble_and_run("lex $0, -3\nfloat $0\n")
+        assert bf16_to_float(reg(sim, 0)) == -3.0
+
+
+class TestSys:
+    def test_sys_halts(self):
+        sim = assemble_and_run("lex $rv, 0\nsys\nlex $0, 99\n")
+        assert reg(sim, 0) == 0
+        assert sim.machine.halted
+
+    def test_sys_print_int(self):
+        sim = assemble_and_run(
+            "lex $0, -5\nlex $rv, 1\nsys\nlex $rv, 0\nsys\n"
+        )
+        assert sim.machine.output == ["-5"]

@@ -1,0 +1,102 @@
+"""TAB2 experiment: the pseudo-instructions (assembler macros)."""
+
+import pytest
+
+from repro.asm.macros import LabelRef, PendingInstr, expand_macro
+from repro.errors import AssemblerError
+from repro.isa.registers import AT
+
+from tests.conftest import assemble_and_run
+
+
+class TestExpansions:
+    def test_br_expands_to_brf_brt_pair(self):
+        seq = expand_macro("br", (LabelRef("x"),))
+        assert [p.mnemonic for p in seq] == ["brf", "brt"]
+
+    def test_jump_uses_assembler_temporary(self):
+        seq = expand_macro("jump", (LabelRef("x"),))
+        assert [p.mnemonic for p in seq] == ["lex", "lhi", "jumpr"]
+        assert all(p.ops[0] == AT for p in seq)
+
+    def test_jumpf_guards_with_brt(self):
+        seq = expand_macro("jumpf", (3, LabelRef("x")))
+        assert seq[0].mnemonic == "brt"
+        assert seq[0].ops == (3, 3)  # skip the 3-word jump
+
+    def test_jumpt_guards_with_brf(self):
+        seq = expand_macro("jumpt", (3, LabelRef("x")))
+        assert seq[0].mnemonic == "brf"
+
+    def test_loadi_small_value_single_lex(self):
+        assert [p.mnemonic for p in expand_macro("loadi", (0, 42))] == ["lex"]
+        assert [p.mnemonic for p in expand_macro("loadi", (0, -100))] == ["lex"]
+
+    def test_loadi_large_value_pair(self):
+        assert [p.mnemonic for p in expand_macro("loadi", (0, 0x1234))] == ["lex", "lhi"]
+
+    def test_loadi_range_checked(self):
+        with pytest.raises(AssemblerError):
+            expand_macro("loadi", (0, 1 << 16))
+
+    def test_operand_counts_checked(self):
+        with pytest.raises(AssemblerError):
+            expand_macro("br", ())
+        with pytest.raises(AssemblerError):
+            expand_macro("jumpf", (1,))
+
+    def test_unknown_macro(self):
+        with pytest.raises(AssemblerError):
+            expand_macro("bogus", ())
+
+
+class TestBehaviour:
+    def test_br_always_branches(self):
+        """PC += offset regardless of any register value."""
+        for init in ("lex $0, 0", "lex $0, 1"):
+            sim = assemble_and_run(
+                f"{init}\nbr over\nlex $1, 99\nover:\nlex $2, 1\n"
+            )
+            assert sim.machine.read_reg(1) == 0
+            assert sim.machine.read_reg(2) == 1
+
+    def test_jump_reaches_distant_label(self):
+        filler = "\n".join("lex $3, 0" for _ in range(300))
+        sim = assemble_and_run(
+            f"jump far\n{filler}\nfar:\nlex $1, 7\n"
+        )
+        assert sim.machine.read_reg(1) == 7
+
+    def test_jumpf_jumps_when_false(self):
+        sim = assemble_and_run(
+            "lex $0, 0\njumpf $0, away\nlex $1, 99\naway:\nlex $2, 1\n"
+        )
+        assert sim.machine.read_reg(1) == 0
+
+    def test_jumpf_falls_through_when_true(self):
+        sim = assemble_and_run(
+            "lex $0, 1\njumpf $0, away\nlex $1, 55\naway:\nlex $2, 1\n"
+        )
+        assert sim.machine.read_reg(1) == 55
+
+    def test_jumpt_jumps_when_true(self):
+        sim = assemble_and_run(
+            "lex $0, 1\njumpt $0, away\nlex $1, 99\naway:\nlex $2, 1\n"
+        )
+        assert sim.machine.read_reg(1) == 0
+
+    def test_jumpt_falls_through_when_false(self):
+        sim = assemble_and_run(
+            "lex $0, 0\njumpt $0, away\nlex $1, 55\naway:\nlex $2, 1\n"
+        )
+        assert sim.machine.read_reg(1) == 55
+
+    @pytest.mark.parametrize("value", [0, 1, -1, 127, 128, -128, -129, 0x7FFF, 0x8000, 0xFFFF])
+    def test_loadi_immediate_values(self, value):
+        sim = assemble_and_run(f"loadi $4, {value}\n")
+        assert sim.machine.read_reg(4) == value & 0xFFFF
+
+    def test_loadi_label(self):
+        sim = assemble_and_run("loadi $4, here\nhere:\nlex $0, 1\n")
+        # 'here' follows the 2-word loadi expansion
+        assert sim.machine.read_reg(4) == 2

@@ -1,0 +1,45 @@
+"""Pipeline recording/rendering tests."""
+
+from repro.asm import assemble
+from repro.cpu import PipelineConfig, PipelinedSimulator
+from repro.cpu.visualize import record_pipeline
+
+
+def record(src, **cfg):
+    sim = PipelinedSimulator(ways=6, config=PipelineConfig(**cfg))
+    sim.load(assemble(src + "\nlex $rv, 0\nsys\n"))
+    return record_pipeline(sim), sim
+
+
+class TestRecording:
+    def test_straight_line_fills_stages(self):
+        rec, sim = record("lex $0, 1\nlex $1, 2\nlex $2, 3")
+        assert len(rec.rows) == sim.stats.cycles
+        # steady state: every stage occupied by a lex
+        mid = rec.rows[3]
+        assert mid["EX"] == "lex"
+
+    def test_bubble_appears_on_stall(self):
+        rec, _ = record("lex $0, 5\nadd $0, $0", forwarding=False)
+        # some cycle has a bubble in EX while ID holds the add
+        assert any(r["EX"] == "-" and r["ID"] == "add" for r in rec.rows)
+
+    def test_two_word_fetch_marked(self):
+        rec, _ = record("had @0, 1\nand @1, @0, @0")
+        assert any(r["IF"].startswith("qand") and r["IF"].endswith("*") for r in rec.rows)
+
+    def test_five_stage_has_mem_column(self):
+        rec, _ = record("lex $0, 1", stages=5)
+        assert rec.stages == ("IF", "ID", "EX", "MEM", "WB")
+        assert any(r["MEM"] == "lex" for r in rec.rows)
+
+    def test_render_contains_cycle_numbers(self):
+        rec, _ = record("lex $0, 1")
+        text = rec.render()
+        assert text.splitlines()[0].startswith("cycle")
+        assert "lex" in text
+
+    def test_render_slicing(self):
+        rec, _ = record("lex $0, 1\nlex $1, 2\nlex $2, 3")
+        text = rec.render(first=1, count=2)
+        assert len(text.splitlines()) == 3  # header + 2 rows
