@@ -13,13 +13,20 @@ the quantities here are the ones its text argues about: instruction and
 register counts, gate counts and logic depth, CPI and stall behaviour,
 compression ratios, and measurement-model contrasts.  Shapes (who wins,
 by what factor, where crossovers sit) are the reproduction targets.
+
+All wall-clock timing goes through one pathway: the module-level
+``OBS`` telemetry registry (:mod:`repro.obs`) via :func:`_timed`.  Every
+measurement therefore also accumulates into named histograms, and
+``main()`` installs ``OBS`` globally so the simulators' own telemetry
+(pipeline stats, Qat op counts) lands in the same registry the tables
+are printed from.
 """
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
+
+from repro import obs
 
 from repro.aob import AoB
 from repro.apps import (
@@ -51,6 +58,24 @@ from repro.quantum import (
 )
 
 Row = dict
+
+#: Shared telemetry registry: the harness's single timing pathway.
+#: Tracing is off (metrics only) so timing the benches stays cheap.
+OBS = obs.Telemetry(enabled=True, tracing=False)
+
+
+def _timed(name: str, fn, reps: int = 1):
+    """Run ``fn`` ``reps`` times under the ``OBS`` timer.
+
+    Returns ``(last_result, mean_seconds)``; the total duration also
+    lands in histogram ``name``, so repeated experiments build up
+    percentile summaries instead of discarding their timings.
+    """
+    result = None
+    with OBS.timer(name) as timing:
+        for _ in range(reps):
+            result = fn()
+    return result, timing.elapsed / reps
 
 
 # ---------------------------------------------------------------------------
@@ -167,11 +192,7 @@ def experiment_table3(ways: int = 16) -> list[Row]:
     }
     rows = []
     for label, fn in ops.items():
-        reps = 50
-        start = time.perf_counter()
-        for _ in range(reps):
-            fn()
-        elapsed = (time.perf_counter() - start) / reps
+        _, elapsed = _timed(f"tab3.{label}", fn, reps=50)
         rows.append(
             {
                 "op": label,
@@ -197,9 +218,7 @@ def experiment_fig6(ways: int = 8) -> list[Row]:
     ):
         sim = make()
         sim.load(program)
-        start = time.perf_counter()
-        sim.run()
-        elapsed = time.perf_counter() - start
+        _, elapsed = _timed(f"fig6.{label}", sim.run)
         rows.append(
             {
                 "simulator": label,
@@ -263,9 +282,10 @@ def experiment_fig9() -> list[Row]:
     ]
     rows = []
     for n, bb, bc, backend, chunk in cases:
-        start = time.perf_counter()
-        pairs = factor_channels(n, bb, bc, backend=backend, chunk_ways=chunk)
-        elapsed = time.perf_counter() - start
+        pairs, elapsed = _timed(
+            f"fig9.n{n}",
+            lambda: factor_channels(n, bb, bc, backend=backend, chunk_ways=chunk),
+        )
         nontrivial = sorted({p for pair in pairs for p in pair if p not in (1, n)})
         rows.append(
             {
@@ -398,9 +418,8 @@ def experiment_s12() -> list[Row]:
         dense_bytes = (1 << ways) // 8
         h = PatternVector.hadamard(ways, ways - 1, store)
         g = PatternVector.hadamard(ways, 0, store)
-        start = time.perf_counter()
-        result = h ^ g
-        op_us = (time.perf_counter() - start) * 1e6
+        result, elapsed = _timed(f"s12.xor.w{ways}", lambda: h ^ g)
+        op_us = elapsed * 1e6
         compressed_chunks = result.storage_chunks()
         rows.append(
             {
@@ -417,9 +436,10 @@ def experiment_s12() -> list[Row]:
     # RE win is specific to the structured patterns PBP programs produce.
     rng = np.random.default_rng(12)
     irregular = PatternVector.from_aob(AoB.random(20, rng), store=store)
-    start = time.perf_counter()
-    result = irregular ^ PatternVector.hadamard(20, 0, store)
-    op_us = (time.perf_counter() - start) * 1e6
+    result, elapsed = _timed(
+        "s12.xor.random", lambda: irregular ^ PatternVector.hadamard(20, 0, store)
+    )
+    op_us = elapsed * 1e6
     rows.append(
         {
             "ways": 20,
@@ -444,18 +464,21 @@ def experiment_s27() -> list[Row]:
     rng = np.random.default_rng(7)
     for ways in (8, 12, 16):
         a = AoB.random(ways, rng, p=0.001)
-        start = time.perf_counter()
-        reps = 20
-        for _ in range(reps):
-            any_fast = a.next(0) != 0 or bool(a.meas(0))
-        fast_us = (time.perf_counter() - start) / reps * 1e6
-        start = time.perf_counter()
-        any_slow = False
-        for e in range(1 << ways):
-            if a.meas(e):
-                any_slow = True
-                break
-        slow_us = (time.perf_counter() - start) * 1e6
+        any_fast, fast_s = _timed(
+            f"s27.next.w{ways}",
+            lambda: a.next(0) != 0 or bool(a.meas(0)),
+            reps=20,
+        )
+        fast_us = fast_s * 1e6
+
+        def enumerate_any():
+            for e in range(1 << ways):
+                if a.meas(e):
+                    return True
+            return False
+
+        any_slow, slow_s = _timed(f"s27.meas.w{ways}", enumerate_any)
+        slow_us = slow_s * 1e6
         assert any_fast == any_slow == a.any()
         rows.append(
             {
@@ -718,13 +741,20 @@ def format_table(rows: list[Row]) -> str:
 def main() -> None:
     print("Tangled/Qat reproduction -- experiment harness")
     print("=" * 64)
-    sanity = figure9_demo()
-    print(f"Figure 9 sanity check: pint_measure(f) = {sanity}\n")
-    for title, fn in ALL_EXPERIMENTS.items():
-        print(title)
-        print("-" * len(title))
-        print(format_table(fn()))
-        print()
+    # Route simulator/kernel/chunkstore telemetry into the same registry
+    # the timing helpers use: one measurement pathway for everything.
+    obs.install(OBS)
+    try:
+        sanity = figure9_demo()
+        print(f"Figure 9 sanity check: pint_measure(f) = {sanity}\n")
+        for title, fn in ALL_EXPERIMENTS.items():
+            print(title)
+            print("-" * len(title))
+            print(format_table(fn()))
+            print()
+    finally:
+        obs.disable()
+    print(OBS.report())
 
 
 if __name__ == "__main__":

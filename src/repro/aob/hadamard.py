@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs import runtime as _obs
 from repro.utils.bits import WORD_BITS, hadamard_word, top_mask, words_for_bits
 
 
@@ -40,6 +41,10 @@ def hadamard_words(ways: int, k: int) -> np.ndarray:
         raise ValueError(f"ways must be non-negative, got {ways}")
     if k < 0:
         raise ValueError(f"k must be non-negative, got {k}")
+    if _obs.active:
+        telemetry = _obs.current()
+        telemetry.metrics.counter("qat.had_patterns").inc()
+        telemetry.metrics.counter("qat.aob_bits").add(1 << ways)
     nbits = 1 << ways
     nwords = words_for_bits(nbits)
     if k >= ways:

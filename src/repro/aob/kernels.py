@@ -22,6 +22,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.aob.hadamard import hadamard_words
+from repro.obs import runtime as _obs
 from repro.utils.bits import WORD_BITS, ctz64, top_mask
 
 __all__ = [
@@ -45,27 +46,40 @@ __all__ = [
 ]
 
 
+def _volume(op: str, words: int) -> None:
+    """AoB-bit-volume accounting; call only when ``_obs.active``."""
+    _obs.current().qat_kernel(op, words)
+
+
 # ---------------------------------------------------------------------------
 # Logic gates (irreversible: and / or / xor / not)
 # ---------------------------------------------------------------------------
 
 def k_and(a: np.ndarray, b: np.ndarray, out: np.ndarray) -> None:
     """``out = AND(a, b)`` -- Table 3 ``and @a,@b,@c``."""
+    if _obs.active:
+        _volume("and", out.size)
     np.bitwise_and(a, b, out=out)
 
 
 def k_or(a: np.ndarray, b: np.ndarray, out: np.ndarray) -> None:
     """``out = OR(a, b)`` -- Table 3 ``or @a,@b,@c``."""
+    if _obs.active:
+        _volume("or", out.size)
     np.bitwise_or(a, b, out=out)
 
 
 def k_xor(a: np.ndarray, b: np.ndarray, out: np.ndarray) -> None:
     """``out = XOR(a, b)`` -- Table 3 ``xor @a,@b,@c``."""
+    if _obs.active:
+        _volume("xor", out.size)
     np.bitwise_xor(a, b, out=out)
 
 
 def k_not(a: np.ndarray, out: np.ndarray, nbits: int) -> None:
     """``out = NOT(a)`` (Pauli-X analogue) -- Table 3 ``not @a``."""
+    if _obs.active:
+        _volume("not", out.size)
     np.bitwise_not(a, out=out)
     out[-1] &= top_mask(nbits)
 
@@ -76,11 +90,15 @@ def k_not(a: np.ndarray, out: np.ndarray, nbits: int) -> None:
 
 def k_cnot(dest: np.ndarray, ctrl: np.ndarray) -> None:
     """Controlled NOT: ``dest ^= ctrl`` (its own inverse)."""
+    if _obs.active:
+        _volume("cnot", dest.size)
     np.bitwise_xor(dest, ctrl, out=dest)
 
 
 def k_ccnot(dest: np.ndarray, b: np.ndarray, c: np.ndarray) -> None:
     """Toffoli gate: ``dest ^= AND(b, c)``."""
+    if _obs.active:
+        _volume("ccnot", dest.size)
     np.bitwise_xor(dest, b & c, out=dest)
 
 
@@ -90,6 +108,8 @@ def k_ccnot(dest: np.ndarray, b: np.ndarray, c: np.ndarray) -> None:
 
 def k_swap(a: np.ndarray, b: np.ndarray) -> None:
     """Exchange two AoB values in place."""
+    if _obs.active:
+        _volume("swap", a.size)
     tmp = a.copy()
     a[:] = b
     b[:] = tmp
@@ -102,6 +122,8 @@ def k_cswap(a: np.ndarray, b: np.ndarray, ctrl: np.ndarray) -> None:
     "billiard-ball conservancy" the paper notes: the multiset of bits
     crossing the gate is unchanged.
     """
+    if _obs.active:
+        _volume("cswap", a.size)
     diff = (a ^ b) & ctrl
     np.bitwise_xor(a, diff, out=a)
     np.bitwise_xor(b, diff, out=b)
@@ -113,17 +135,23 @@ def k_cswap(a: np.ndarray, b: np.ndarray, ctrl: np.ndarray) -> None:
 
 def k_zero(out: np.ndarray) -> None:
     """Constant pbit 0: every entanglement channel holds 0."""
+    if _obs.active:
+        _volume("zero", out.size)
     out.fill(0)
 
 
 def k_one(out: np.ndarray, nbits: int) -> None:
     """Constant pbit 1: every entanglement channel holds 1."""
+    if _obs.active:
+        _volume("one", out.size)
     out.fill(np.uint64(0xFFFF_FFFF_FFFF_FFFF))
     out[-1] &= top_mask(nbits)
 
 
 def k_had(out: np.ndarray, k: int, ways: int) -> None:
     """Standard entangled superposition ``H(k)`` (section 2.3, Figure 7)."""
+    if _obs.active:
+        _volume("had", out.size)
     out[:] = hadamard_words(ways, k)
 
 
@@ -138,6 +166,8 @@ def k_meas(words: np.ndarray, d: int, nbits: int) -> int:
     implementation that simply ignores address bits above the top
     (a 16-bit ``$d`` exactly indexes a 16-way AoB).
     """
+    if _obs.active:
+        _volume("meas", 1)  # a single-word bit probe, not a full sweep
     d &= nbits - 1
     return int((words[d >> 6] >> np.uint64(d & (WORD_BITS - 1))) & np.uint64(1))
 
@@ -150,6 +180,8 @@ def k_next(words: np.ndarray, d: int, nbits: int) -> int:
     candidate word and the scan for a non-zero word is a vectorized
     ``argmax`` over the remainder.
     """
+    if _obs.active:
+        _volume("next", words.size)
     start = d + 1
     if start >= nbits:
         return 0
@@ -175,6 +207,8 @@ def k_pop_after(words: np.ndarray, d: int, nbits: int) -> int:
     instruction counts only channels *after* ``d``; POP = ``pop`` after 0
     plus ``meas`` of channel 0.
     """
+    if _obs.active:
+        _volume("pop", words.size)
     start = d + 1
     if start >= nbits:
         return 0
@@ -190,6 +224,8 @@ def k_pop_after(words: np.ndarray, d: int, nbits: int) -> int:
 
 def k_popcount(words: np.ndarray) -> int:
     """Total number of 1 bits (the LCPC'20 POP reduction)."""
+    if _obs.active:
+        _volume("popcount", words.size)
     if words.size == 0:
         return 0
     return int(np.bitwise_count(words).sum())
@@ -197,11 +233,15 @@ def k_popcount(words: np.ndarray) -> int:
 
 def k_any(words: np.ndarray) -> bool:
     """ANY reduction: true iff some channel holds 1 (LCPC'20 semantics)."""
+    if _obs.active:
+        _volume("any", words.size)
     return bool(words.any())
 
 
 def k_all(words: np.ndarray, nbits: int) -> bool:
     """ALL reduction: true iff every channel holds 1."""
+    if _obs.active:
+        _volume("all", words.size)
     full = np.uint64(0xFFFF_FFFF_FFFF_FFFF)
     if words.size == 1:
         return bool(words[0] == top_mask(nbits))

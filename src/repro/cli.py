@@ -5,12 +5,17 @@ Installed as the ``tangled`` console script::
     tangled asm  program.s [-o program.hex]     assemble to hex words
     tangled dis  program.hex                    disassemble
     tangled run  program.s [--sim pipelined]    assemble + execute
+    tangled run  program.s --stats              ... plus a telemetry report
+    tangled run  program.s --trace-out t.json   ... plus a Chrome trace
     tangled factor 221 --bits 5                 PBP prime factoring
     tangled verilog qatnext --ways 8            emit the Figure 7/8 Verilog
-    tangled fig10                               run the paper's listing
+    tangled fig10 [--stats]                     run the paper's listing
 
 Every subcommand prints to stdout and exits non-zero on error, so the
-tools compose in shell pipelines.
+tools compose in shell pipelines.  ``--stats``/``--trace-out`` route the
+whole execution through :mod:`repro.obs`: the report covers pipeline
+CPI/stalls, Qat op and AoB-bit volume, and chunkstore compression; the
+trace file loads in ``chrome://tracing`` or https://ui.perfetto.dev.
 """
 
 from __future__ import annotations
@@ -26,6 +31,37 @@ def _read_source(path: str) -> str:
         return sys.stdin.read()
     with open(path, encoding="utf-8") as handle:
         return handle.read()
+
+
+class _TelemetryScope:
+    """Enable telemetry for one command when ``--stats``/``--trace-out``
+    were given; print the report and write the trace on exit."""
+
+    def __init__(self, args: argparse.Namespace):
+        self.stats = getattr(args, "stats", False)
+        self.trace_out = getattr(args, "trace_out", None)
+        self.telemetry = None
+
+    def __enter__(self):
+        if self.stats or self.trace_out:
+            from repro import obs
+
+            self.telemetry = obs.enable()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if self.telemetry is None:
+            return False
+        from repro import obs
+
+        obs.disable()
+        if exc_type is None:
+            if self.stats:
+                print(self.telemetry.report())
+            if self.trace_out:
+                self.telemetry.write_chrome_trace(self.trace_out)
+                print(f"chrome trace -> {self.trace_out}")
+        return False
 
 
 def cmd_asm(args: argparse.Namespace) -> int:
@@ -71,24 +107,25 @@ def cmd_run(args: argparse.Namespace) -> int:
             config=PipelineConfig(stages=args.stages, forwarding=not args.no_forwarding),
         )
     sim.load(program)
-    sim.run(args.limit)
-    machine = sim.machine
-    for chunk in machine.output:
-        sys.stdout.write(chunk)
-    if machine.output:
-        print()
-    print("registers:", " ".join(f"${i}={machine.read_reg(i)}" for i in range(8)))
-    if args.sim == "multicycle":
-        print(f"cycles: {sim.cycles}  cpi: {sim.cpi:.3f}")
-    elif args.sim == "pipelined":
-        stats = sim.stats.as_dict()
-        print(
-            f"cycles: {stats['cycles']}  cpi: {stats['cpi']}  "
-            f"stalls: {stats['stall_data']} data, {stats['fetch_extra']} fetch, "
-            f"{stats['branch_flushes']} flushes"
-        )
-    else:
-        print(f"instructions: {machine.instret}")
+    with _TelemetryScope(args):
+        sim.run(args.limit)
+        machine = sim.machine
+        for chunk in machine.output:
+            sys.stdout.write(chunk)
+        if machine.output:
+            print()
+        print("registers:", " ".join(f"${i}={machine.read_reg(i)}" for i in range(8)))
+        if args.sim == "multicycle":
+            print(f"cycles: {sim.cycles}  cpi: {sim.cpi:.3f}")
+        elif args.sim == "pipelined":
+            stats = sim.stats.as_dict()
+            print(
+                f"cycles: {stats['cycles']}  cpi: {stats['cpi']}  "
+                f"stalls: {stats['stall_data']} data, {stats['fetch_extra']} fetch, "
+                f"{stats['branch_flushes']} flushes"
+            )
+        else:
+            print(f"instructions: {machine.instret}")
     return 0
 
 
@@ -130,13 +167,14 @@ def cmd_verilog(args: argparse.Namespace) -> int:
 def cmd_fig10(args: argparse.Namespace) -> int:
     from repro.apps import fig10_program, run_factor_program
 
-    sim, (r0, r1) = run_factor_program(
-        fig10_program(), ways=args.ways, simulator=args.sim
-    )
-    print(f"Figure 10 on the {args.sim} simulator ({args.ways}-way Qat):")
-    print(f"  $0 = {r0}   $1 = {r1}")
-    if args.sim == "pipelined":
-        print(f"  {sim.stats.as_dict()}")
+    with _TelemetryScope(args):
+        sim, (r0, r1) = run_factor_program(
+            fig10_program(), ways=args.ways, simulator=args.sim
+        )
+        print(f"Figure 10 on the {args.sim} simulator ({args.ways}-way Qat):")
+        print(f"  $0 = {r0}   $1 = {r1}")
+        if args.sim == "pipelined":
+            print(f"  {sim.stats.as_dict()}")
     return 0
 
 
@@ -164,6 +202,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-forwarding", action="store_true")
     p.add_argument("--limit", type=int, default=1_000_000,
                    help="step/cycle budget")
+    p.add_argument("--stats", action="store_true",
+                   help="print a telemetry report (CPI, stalls, Qat ops, ...)")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="write a Chrome trace_event JSON file "
+                        "(chrome://tracing / Perfetto)")
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("factor", help="PBP prime factoring")
@@ -183,6 +226,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sim", choices=("functional", "multicycle", "pipelined"),
                    default="pipelined")
     p.add_argument("--ways", type=int, default=8)
+    p.add_argument("--stats", action="store_true",
+                   help="print a telemetry report (CPI, stalls, Qat ops, ...)")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="write a Chrome trace_event JSON file")
     p.set_defaults(func=cmd_fig10)
     return parser
 

@@ -16,6 +16,7 @@ inline (and in DESIGN.md):
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass
 
 from repro.aob import kernels
@@ -29,6 +30,7 @@ from repro.bf16 import (
 )
 from repro.errors import SimulatorError
 from repro.isa.instructions import INSTRUCTIONS, Instr
+from repro.obs import runtime as _obs
 
 
 @dataclass
@@ -157,6 +159,15 @@ def execute(machine, instr: Instr, syscalls=None) -> Effects:
     read_s = machine.read_reg_signed
     write = machine.write_reg
 
+    # Telemetry: time Qat coprocessor ops, count syscalls.  One branch
+    # per instruction when observability is off (the default).
+    _t0 = 0
+    if _obs.active:
+        if m[0] == "q":
+            _t0 = _time.perf_counter_ns()
+        elif m == "sys":
+            _obs.current().metrics.counter("cpu.syscalls").inc()
+
     if m == "add":
         write(ops[0], read(ops[0]) + read(ops[1]))
     elif m == "addf":
@@ -260,4 +271,6 @@ def execute(machine, instr: Instr, syscalls=None) -> Effects:
     eff.next_pc = pc_next
     machine.pc = pc_next
     machine.instret += 1
+    if _t0 and _obs.active:
+        _obs.current().qat_executed(m, _t0)
     return eff

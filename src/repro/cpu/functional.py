@@ -14,6 +14,8 @@ from repro.cpu.syscalls import SyscallHandler
 from repro.errors import HaltedError, SimulatorError
 from repro.isa.encoding import decode
 from repro.isa.instructions import Instr
+from repro.obs import runtime as _obs
+from repro.obs.spans import NULL_SPAN
 
 
 class FunctionalSimulator:
@@ -55,12 +57,21 @@ class FunctionalSimulator:
         """Run until ``sys``-halt; returns instructions executed.
 
         Raises :class:`SimulatorError` if the step budget is exhausted
-        (runaway program).
+        (runaway program).  When telemetry is installed (``repro.obs``)
+        the run is wrapped in a ``cpu.run`` span and the retired
+        instruction count lands on the ``cpu.instructions`` counter.
         """
+        telemetry = _obs.current() if _obs.active else None
         steps = 0
-        while not self.machine.halted:
-            if steps >= max_steps:
-                raise SimulatorError(f"exceeded {max_steps} steps without halting")
-            self.step()
-            steps += 1
+        with (telemetry.span("cpu.run", cat="cpu", sim="functional")
+              if telemetry is not None else NULL_SPAN):
+            while not self.machine.halted:
+                if steps >= max_steps:
+                    raise SimulatorError(
+                        f"exceeded {max_steps} steps without halting"
+                    )
+                self.step()
+                steps += 1
+        if telemetry is not None:
+            telemetry.metrics.counter("cpu.instructions").add(steps)
         return steps

@@ -38,6 +38,8 @@ from repro.cpu.syscalls import SyscallHandler
 from repro.errors import EncodingError, HaltedError, SimulatorError
 from repro.isa.encoding import decode
 from repro.isa.instructions import Instr
+from repro.obs import runtime as _obs
+from repro.obs.spans import PID_PIPELINE
 
 
 @dataclass
@@ -100,6 +102,9 @@ class _InFlight:
     reads_qreg: frozenset = frozenset()
     writes_qreg: frozenset = frozenset()
     is_load: bool = False
+    # (stage label, entry cycle) pairs, populated only while telemetry
+    # tracing is active; None keeps the default path allocation-free.
+    stage_entries: list | None = None
 
 
 _IF, _ID, _EX = 0, 1, 2
@@ -124,6 +129,13 @@ class PipelinedSimulator:
         self._pipe: list[_InFlight | None] = [None] * nstages
         self._fetch_pc = 0
         self._fetch_current: _InFlight | None = None
+        # Set by run() while an installed telemetry instance is tracing;
+        # every per-cycle hook is guarded on this being non-None.
+        self._obs = None
+        self._stage_names = (
+            ("IF", "ID", "EX", "WB") if nstages == 4
+            else ("IF", "ID", "EX", "MEM", "WB")
+        )
 
     # -- program loading ---------------------------------------------------------
 
@@ -147,7 +159,10 @@ class PipelinedSimulator:
         except EncodingError:
             # Wrong-path fetch of data; becomes an error only if executed.
             self._fetch_pc = (pc + 1) & 0xFFFF
-            return _InFlight(pc=pc, instr=None, words=1, fetch_left=1)
+            rec = _InFlight(pc=pc, instr=None, words=1, fetch_left=1)
+            if self._obs is not None:
+                rec.stage_entries = [("IF", self.stats.cycles)]
+            return rec
         self._fetch_pc = (pc + words) & 0xFFFF
         stat = static_effects(instr)
         ex_left = 1
@@ -157,7 +172,7 @@ class PipelinedSimulator:
         ):
             # Two result writes through a single Qat write port.
             ex_left = 2
-        return _InFlight(
+        rec = _InFlight(
             pc=pc,
             instr=instr,
             words=words,
@@ -169,6 +184,9 @@ class PipelinedSimulator:
             writes_qreg=stat.writes_qreg,
             is_load=stat.is_load,
         )
+        if self._obs is not None:
+            rec.stage_entries = [("IF", self.stats.cycles)]
+        return rec
 
     # -- hazards ------------------------------------------------------------------------
 
@@ -209,12 +227,23 @@ class PipelinedSimulator:
             raise HaltedError("machine is halted")
         pipe = self._pipe
         nstages = self.config.stages
+        obs = self._obs
         self.stats.cycles += 1
 
         # WB: retire (instruction leaves the pipe).
         tail = pipe[nstages - 1]
         if tail is not None and tail.instr is not None:
             self.stats.retired += 1
+            if obs is not None and tail.stage_entries is not None:
+                self._emit_stage_spans(tail)
+
+        if obs is not None and (self.stats.cycles & 63) == 0 and self.stats.retired:
+            obs.tracer.sample(
+                "pipeline.cpi",
+                self.stats.cycles / self.stats.retired,
+                ts_ns=self.stats.cycles * 1000,
+                pid=PID_PIPELINE,
+            )
 
         # EX occupancy: a multi-cycle EX holds everything upstream.
         ex_rec = pipe[_EX]
@@ -226,6 +255,14 @@ class PipelinedSimulator:
                 pipe[s] = None  # EX keeps its instruction; a bubble moves on
             else:
                 pipe[s] = pipe[s - 1]
+                if (
+                    obs is not None
+                    and pipe[s] is not None
+                    and pipe[s].stage_entries is not None
+                ):
+                    pipe[s].stage_entries.append(
+                        (self._stage_names[s], self.stats.cycles)
+                    )
 
         redirected = False
         if ex_busy:
@@ -245,6 +282,12 @@ class PipelinedSimulator:
             else:
                 pipe[_EX] = id_rec
                 pipe[_ID] = None
+                if (
+                    obs is not None
+                    and id_rec is not None
+                    and id_rec.stage_entries is not None
+                ):
+                    id_rec.stage_entries.append(("EX", self.stats.cycles))
 
             # Execute on EX entry (all architectural state changes happen
             # here, in program order).
@@ -282,6 +325,8 @@ class PipelinedSimulator:
         ):
             pipe[_ID] = self._fetch_current
             self._fetch_current = None
+            if obs is not None and pipe[_ID].stage_entries is not None:
+                pipe[_ID].stage_entries.append(("ID", self.stats.cycles))
 
         # IF: progress the in-flight fetch / start the next one.
         if not redirected:
@@ -297,18 +342,63 @@ class PipelinedSimulator:
             if rec.fetch_left > 0:
                 self.stats.fetch_extra += 1
 
+    # -- telemetry -----------------------------------------------------------------------------
+
+    def _emit_stage_spans(self, rec: _InFlight) -> None:
+        """Emit one cycle-domain span per stage the retired ``rec`` occupied."""
+        tracer = self._obs.tracer
+        entries = rec.stage_entries
+        label = rec.instr.render() if rec.instr is not None else f"?@{rec.pc:04x}"
+        now = self.stats.cycles
+        for i, (stage, start) in enumerate(entries):
+            end = entries[i + 1][1] if i + 1 < len(entries) else now
+            tracer.complete(
+                label,
+                ts_ns=start * 1000,
+                dur_ns=max(end - start, 1) * 1000,
+                cat="stage",
+                pid=PID_PIPELINE,
+                tid=stage,
+                pc=f"{rec.pc:#06x}",
+            )
+
     # -- driving -------------------------------------------------------------------------------
 
     def run(self, max_cycles: int = 10_000_000) -> PipelineStats:
-        """Run to ``sys``-halt; returns the cycle statistics."""
+        """Run to ``sys``-halt; returns the cycle statistics.
+
+        While a telemetry instance is installed (``repro.obs``), the run
+        is wrapped in a ``pipeline.run`` span, per-stage occupancy is
+        traced on the cycle timebase, and the final
+        :class:`PipelineStats` are published into the metric registry.
+        """
+        telemetry = _obs.current() if _obs.active else None
+        self._obs = telemetry if (telemetry is not None and telemetry.tracing) else None
+        try:
+            if telemetry is not None:
+                with telemetry.span(
+                    "pipeline.run",
+                    cat="cpu",
+                    stages=self.config.stages,
+                    forwarding=self.config.forwarding,
+                ):
+                    self._run_to_halt(max_cycles)
+            else:
+                self._run_to_halt(max_cycles)
+        finally:
+            self._obs = None
+        # Every executed instruction would drain to WB; count them all so
+        # CPI is consistent with the functional instruction count.
+        self.stats.retired = self.machine.instret
+        if telemetry is not None:
+            telemetry.publish_pipeline(self.stats)
+        return self.stats
+
+    def _run_to_halt(self, max_cycles: int) -> None:
         while not self.machine.halted:
             if self.stats.cycles >= max_cycles:
                 raise SimulatorError(f"exceeded {max_cycles} cycles without halting")
             self.cycle()
-        # Every executed instruction would drain to WB; count them all so
-        # CPI is consistent with the functional instruction count.
-        self.stats.retired = self.machine.instret
-        return self.stats
 
     @property
     def cpi(self) -> float:

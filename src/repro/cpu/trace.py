@@ -27,14 +27,27 @@ class TraceEntry:
 
 @dataclass
 class ExecutionTrace:
-    """Collects executed instructions (optionally capped)."""
+    """Collects executed instructions (optionally capped).
+
+    When ``limit`` is hit, further instructions are *counted* rather than
+    stored: ``dropped`` says how many, ``truncated`` flags the condition,
+    and :meth:`render` appends an explicit marker -- a capped trace can
+    never be mistaken for a complete one.
+    """
 
     limit: int | None = None
     entries: list[TraceEntry] = field(default_factory=list)
+    dropped: int = 0
+
+    @property
+    def truncated(self) -> bool:
+        """True iff at least one instruction was not stored."""
+        return self.dropped > 0
 
     def record(self, pc: int, instr: Instr, effects, machine) -> None:
         """Called by the simulator after each instruction."""
         if self.limit is not None and len(self.entries) >= self.limit:
+            self.dropped += 1
             return
         self.entries.append(TraceEntry(pc, instr, effects.taken_branch))
 
@@ -47,8 +60,14 @@ class ExecutionTrace:
         return counts
 
     def render(self) -> str:
-        """The whole trace as text."""
-        return "\n".join(entry.render() for entry in self.entries)
+        """The whole trace as text, with an explicit truncation marker."""
+        lines = [entry.render() for entry in self.entries]
+        if self.truncated:
+            lines.append(
+                f"... truncated: {self.dropped} more instruction(s) "
+                f"executed but not recorded (limit={self.limit})"
+            )
+        return "\n".join(lines)
 
     def __len__(self) -> int:
         return len(self.entries)

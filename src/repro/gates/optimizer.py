@@ -16,7 +16,10 @@ mutated -- a new :class:`~repro.gates.ir.GateCircuit` is returned.
 
 from __future__ import annotations
 
+import time
+
 from repro.gates.ir import GateCircuit, Node
+from repro.obs import runtime as _obs
 
 _COMMUTATIVE = ("and", "or", "xor")
 
@@ -177,14 +180,51 @@ def eliminate_dead_gates(circuit: GateCircuit) -> GateCircuit:
     return new
 
 
+_PASSES = (
+    ("fold", fold_constants),
+    ("cse", eliminate_common_subexpressions),
+    ("dce", eliminate_dead_gates),
+)
+
+
+def _run_pass(telemetry, name: str, fn, circuit: GateCircuit) -> GateCircuit:
+    """Apply one pass, recording its timing and gates eliminated."""
+    if telemetry is None:
+        return fn(circuit)
+    before = len(circuit.nodes)
+    start = time.perf_counter_ns()
+    try:
+        result = fn(circuit)
+    finally:
+        dur_ns = time.perf_counter_ns() - start
+        if telemetry.tracing:
+            telemetry.tracer.complete(
+                f"gates.optimize.{name}", ts_ns=start, dur_ns=dur_ns,
+                cat="gates", tid="gates",
+            )
+    telemetry.metrics.histogram("gates.optimize.pass_seconds").observe(
+        dur_ns / 1e9
+    )
+    eliminated = before - len(result.nodes)
+    if eliminated > 0:
+        telemetry.metrics.counter("gates.eliminated").add(eliminated)
+        telemetry.metrics.counter(f"gates.eliminated.{name}").add(eliminated)
+    return result
+
+
 def optimize(circuit: GateCircuit, max_rounds: int = 8) -> GateCircuit:
-    """Run fold / CSE / dead-code passes to a fixpoint."""
+    """Run fold / CSE / dead-code passes to a fixpoint.
+
+    With telemetry installed (``repro.obs``), each pass is traced as a
+    ``gates.optimize.*`` span and eliminated-gate counts accumulate on
+    the ``gates.eliminated`` counters.
+    """
+    telemetry = _obs.current() if _obs.active else None
     current = circuit
     for _ in range(max_rounds):
         before = len(current.nodes)
-        current = fold_constants(current)
-        current = eliminate_common_subexpressions(current)
-        current = eliminate_dead_gates(current)
+        for name, fn in _PASSES:
+            current = _run_pass(telemetry, name, fn, current)
         if len(current.nodes) == before:
             break
     return current

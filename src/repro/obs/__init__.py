@@ -1,0 +1,92 @@
+"""Unified observability for the Tangled/Qat reproduction.
+
+One subsystem for every quantity the paper argues about numerically:
+
+- **typed metrics** -- :class:`Counter`, :class:`Gauge`,
+  :class:`Histogram` (with percentile summaries) in a
+  :class:`MetricRegistry`;
+- **nested span tracing** -- wall-clock spans plus the pipeline's
+  synthetic cycle-domain stage spans, with a near-zero-cost no-op path
+  when disabled;
+- **pluggable sinks** -- human-readable report, JSON-lines event log,
+  and Chrome ``trace_event`` JSON for ``chrome://tracing`` / Perfetto.
+
+Typical use, mirroring ``tangled run --stats``::
+
+    from repro import obs
+
+    with obs.capture() as telemetry:
+        sim = PipelinedSimulator(ways=8)
+        sim.load(program)
+        sim.run()
+    print(telemetry.report())
+    telemetry.write_chrome_trace("trace.json")
+
+Observability is **off by default**: instrumented hot paths guard every
+hook behind :data:`repro.obs.runtime.active` (a single branch), so the
+simulators run at full speed unless a telemetry instance is installed.
+See ``docs/OBSERVABILITY.md`` for the metric catalog and sink formats.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs import runtime
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry
+from repro.obs.sinks import chrome_trace, events_jsonl, render_report, write_chrome_trace
+from repro.obs.spans import NULL_SPAN, Tracer
+from repro.obs.telemetry import Telemetry, TimerHandle
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricRegistry",
+    "NULL_SPAN",
+    "Telemetry",
+    "TimerHandle",
+    "Tracer",
+    "capture",
+    "chrome_trace",
+    "current",
+    "disable",
+    "enable",
+    "events_jsonl",
+    "install",
+    "render_report",
+    "runtime",
+    "write_chrome_trace",
+]
+
+
+def enable(tracing: bool = True, max_events: int = 1_000_000) -> Telemetry:
+    """Create a fresh enabled :class:`Telemetry` and install it globally."""
+    telemetry = Telemetry(enabled=True, tracing=tracing, max_events=max_events)
+    runtime.install(telemetry)
+    return telemetry
+
+
+def install(telemetry: Telemetry | None) -> None:
+    """Install an existing telemetry instance (None to uninstall)."""
+    runtime.install(telemetry)
+
+
+def disable() -> None:
+    """Uninstall the global telemetry; hot paths go back to no-op."""
+    runtime.uninstall()
+
+
+def current() -> Telemetry | None:
+    """The globally installed telemetry, or None."""
+    return runtime.current()
+
+
+@contextmanager
+def capture(tracing: bool = True, max_events: int = 1_000_000):
+    """Scoped :func:`enable`/:func:`disable`; yields the telemetry."""
+    telemetry = enable(tracing=tracing, max_events=max_events)
+    try:
+        yield telemetry
+    finally:
+        runtime.uninstall()

@@ -1,0 +1,217 @@
+"""Typed metrics: counters, gauges, and histograms with percentile summaries.
+
+The instruments are deliberately tiny -- a :class:`Counter` is one int
+behind two methods -- because the simulators touch them on hot paths.
+Anything clever (percentiles, merging, formatting) happens at read time,
+never at observation time.
+
+Naming convention: dotted lowercase paths, most-general component first
+(``pipeline.stall.data``, ``qat.ops.qand``, ``chunkstore.binop.hit``),
+so the report renderer can group by prefix.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+class Counter:
+    """A monotonically increasing count (events, cycles, bytes)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (default 1) to the counter."""
+        self.value += n
+
+    # ``add`` reads better at call sites that accumulate a precomputed
+    # total (e.g. publishing a whole PipelineStats after a run).
+    add = inc
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """A point-in-time value that can move both ways (CPI, resident chunks)."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, n: float = 1) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1) -> None:
+        self.value -= n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """A distribution of observations with exact percentile summaries.
+
+    Stores raw samples up to ``max_samples``; past that it keeps every
+    k-th observation (systematic sampling) so long benches cannot grow
+    memory without bound, while ``count``/``total``/``min``/``max`` stay
+    exact.  Percentiles use linear interpolation between closest ranks.
+    """
+
+    __slots__ = ("name", "help", "max_samples", "count", "total",
+                 "min", "max", "_samples", "_stride")
+
+    def __init__(self, name: str, help: str = "", max_samples: int = 8192):
+        self.name = name
+        self.help = help
+        self.max_samples = max_samples
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples: list[float] = []
+        self._stride = 1
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self.count % self._stride == 0:
+            self._samples.append(value)
+            if len(self._samples) > self.max_samples:
+                # Halve the resolution: keep every other retained sample.
+                self._samples = self._samples[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0..100) of the retained samples."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = (p / 100) * (len(ordered) - 1)
+        lo = math.floor(rank)
+        hi = math.ceil(rank)
+        if lo == hi:
+            return ordered[lo]
+        frac = rank - lo
+        return ordered[lo] * (1 - frac) + ordered[hi] * frac
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s observations into this histogram."""
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+        self._samples.extend(other._samples)
+        self._stride = max(self._stride, other._stride)
+        while len(self._samples) > self.max_samples:
+            self._samples = self._samples[::2]
+            self._stride *= 2
+
+    def summary(self) -> dict[str, float]:
+        """count / mean / min / p50 / p90 / p99 / max in one dict."""
+        if not self.count:
+            return {"count": 0, "mean": 0.0, "min": 0.0,
+                    "p50": 0.0, "p90": 0.0, "p99": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram({self.name}, n={self.count})"
+
+
+class MetricRegistry:
+    """Get-or-create home for every metric, keyed by dotted name.
+
+    A name is permanently bound to its first instrument type; asking for
+    the same name as a different type raises, so a typo cannot silently
+    fork a metric.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, cls, name: str, help: str, **kwargs):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, help, **kwargs)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get(Gauge, name, help)
+
+    def histogram(self, name: str, help: str = "",
+                  max_samples: int = 8192) -> Histogram:
+        return self._get(Histogram, name, help, max_samples=max_samples)
+
+    def get(self, name: str):
+        """The metric registered under ``name``, or None."""
+        return self._metrics.get(name)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Scalar value of a counter/gauge, or ``default`` if absent."""
+        metric = self._metrics.get(name)
+        if metric is None or isinstance(metric, Histogram):
+            return default
+        return metric.value
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def items(self) -> Iterable[tuple[str, Counter | Gauge | Histogram]]:
+        return sorted(self._metrics.items())
+
+    def snapshot(self) -> dict[str, object]:
+        """Every metric as plain data (counters/gauges scalar, histograms
+        their summary dict) -- the JSON-facing view."""
+        out: dict[str, object] = {}
+        for name, metric in self.items():
+            if isinstance(metric, Histogram):
+                out[name] = metric.summary()
+            else:
+                out[name] = metric.value
+        return out
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics

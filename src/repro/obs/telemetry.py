@@ -1,0 +1,145 @@
+"""The telemetry facade: one object owning metrics + tracer + sinks.
+
+A :class:`Telemetry` bundles a :class:`~repro.obs.metrics.MetricRegistry`
+and a :class:`~repro.obs.spans.Tracer` and knows how to render both
+through every sink.  It also carries the domain-specific hook methods the
+instrumented layers call (``qat_executed``, ``publish_pipeline`` ...), so
+metric naming lives in exactly one file.
+
+Two flags control cost:
+
+- ``enabled=False`` -- everything is inert; ``span()`` returns the shared
+  no-op context manager and the instrumented modules never call in,
+  because :mod:`repro.obs.runtime` only sets its ``active`` guard for
+  enabled instances.
+- ``tracing=False`` -- metrics still accumulate but no span/instant/
+  counter events are recorded; use this when you want the report without
+  the per-instruction event volume.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry
+from repro.obs.sinks import (
+    chrome_trace,
+    events_jsonl,
+    render_report,
+    write_chrome_trace,
+)
+from repro.obs.spans import NULL_SPAN, Tracer
+
+
+class TimerHandle:
+    """Yielded by :meth:`Telemetry.timer`; carries the elapsed seconds."""
+
+    __slots__ = ("elapsed",)
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+
+
+class Telemetry:
+    """Metrics + spans + sinks behind one handle."""
+
+    def __init__(self, enabled: bool = True, tracing: bool = True,
+                 max_events: int = 1_000_000):
+        self.enabled = enabled
+        self.tracing = tracing and enabled
+        self.metrics = MetricRegistry()
+        self.tracer = Tracer(max_events=max_events)
+
+    # -- instrument passthrough ----------------------------------------------
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self.metrics.counter(name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self.metrics.gauge(name, help)
+
+    def histogram(self, name: str, help: str = "") -> Histogram:
+        return self.metrics.histogram(name, help)
+
+    # -- spans and timers -----------------------------------------------------
+
+    def span(self, name: str, cat: str = "", **args):
+        """Nested wall-clock span; no-op context manager when disabled."""
+        if not self.tracing:
+            return NULL_SPAN
+        return self.tracer.span(name, cat, **args)
+
+    @contextmanager
+    def timer(self, name: str, cat: str = "timing"):
+        """Time a block; the handle's ``.elapsed`` is seconds.
+
+        The duration lands in histogram ``name`` (and, when tracing, as a
+        span), so repeated timings of the same quantity accumulate into a
+        percentile summary instead of being thrown away -- this is the
+        single timing pathway the benchmarks use.
+        """
+        handle = TimerHandle()
+        start = time.perf_counter_ns()
+        try:
+            yield handle
+        finally:
+            dur = time.perf_counter_ns() - start
+            handle.elapsed = dur / 1e9
+            if self.enabled:
+                self.metrics.histogram(name).observe(handle.elapsed)
+                if self.tracing:
+                    self.tracer.complete(name, ts_ns=start, dur_ns=dur,
+                                         cat=cat, tid="bench")
+
+    # -- domain hooks (called by instrumented layers when runtime.active) -----
+
+    def qat_executed(self, mnemonic: str, t0_ns: int) -> None:
+        """One Qat coprocessor instruction finished executing."""
+        dur = time.perf_counter_ns() - t0_ns
+        self.metrics.counter("qat.ops").inc()
+        self.metrics.counter(f"qat.ops.{mnemonic}").inc()
+        self.metrics.histogram("qat.op_seconds").observe(dur / 1e9)
+        if self.tracing:
+            self.tracer.complete(f"qat.{mnemonic}", ts_ns=t0_ns, dur_ns=dur,
+                                 cat="qat", tid="qat")
+
+    def qat_kernel(self, op: str, words: int) -> None:
+        """One SIMD kernel touched ``words`` packed uint64 words."""
+        bits = words << 6
+        self.metrics.counter("qat.aob_bits").add(bits)
+        self.metrics.counter(f"qat.bits.{op}").add(bits)
+
+    def publish_pipeline(self, stats) -> None:
+        """Fold one pipelined run's :class:`PipelineStats` into the registry."""
+        m = self.metrics
+        m.counter("pipeline.cycles").add(stats.cycles)
+        m.counter("pipeline.retired").add(stats.retired)
+        m.counter("cpu.instructions").add(stats.retired)
+        m.counter("pipeline.stall.data").add(stats.stall_data)
+        m.counter("pipeline.stall.load_use").add(stats.stall_load_use)
+        m.counter("pipeline.stall.structural").add(stats.stall_structural)
+        m.counter("pipeline.fetch.extra_cycles").add(stats.fetch_extra)
+        m.counter("pipeline.flush.branch").add(stats.branch_flushes)
+        m.counter("pipeline.squashed").add(stats.squashed)
+        m.gauge("pipeline.cpi").set(stats.cpi)
+
+    # -- sinks ----------------------------------------------------------------
+
+    def report(self) -> str:
+        """Human-readable text report (the ``--stats`` output)."""
+        return render_report(self.metrics, self.tracer)
+
+    def chrome_trace(self) -> dict:
+        """The trace as a Chrome ``trace_event`` object."""
+        return chrome_trace(self.metrics, self.tracer)
+
+    def write_chrome_trace(self, path: str) -> None:
+        write_chrome_trace(path, self.metrics, self.tracer)
+
+    def events_jsonl(self) -> str:
+        return events_jsonl(self.metrics, self.tracer)
+
+    def write_events_jsonl(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.events_jsonl())

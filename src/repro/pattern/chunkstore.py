@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.aob import AoB
 from repro.errors import EntanglementError
+from repro.obs import runtime as _obs
 
 
 class ChunkStore:
@@ -35,6 +36,10 @@ class ChunkStore:
         # Per-symbol measurement summaries, memoized lazily.
         self._popcount: dict[int, int] = {}
         self._first_one: dict[int, int] = {}
+        # Memo-table effectiveness (the RE compression win): always kept
+        # as plain ints, published to telemetry only when it is active.
+        self.gate_hits = 0
+        self.gate_misses = 0
         self.zero_id = self.intern(AoB.zeros(chunk_ways))
         self.one_id = self.intern(AoB.ones(chunk_ways))
 
@@ -54,6 +59,10 @@ class ChunkStore:
             sym = len(self._chunks)
             self._chunks.append(chunk)
             self._ids[chunk] = sym
+            if _obs.active:
+                _obs.current().metrics.gauge("chunkstore.symbols").set(
+                    len(self._chunks)
+                )
         return sym
 
     def chunk(self, sym: int) -> AoB:
@@ -72,28 +81,50 @@ class ChunkStore:
             a, b = b, a  # all three gates are commutative: halve the cache
         key = (op, a, b)
         sym = self._binop_cache.get(key)
-        if sym is None:
-            ca, cb = self._chunks[a], self._chunks[b]
-            if op == "and":
-                result = ca & cb
-            elif op == "or":
-                result = ca | cb
-            elif op == "xor":
-                result = ca ^ cb
-            else:
-                raise ValueError(f"unknown chunk binop {op!r}")
-            sym = self.intern(result)
-            self._binop_cache[key] = sym
+        if sym is not None:
+            self._count_gate(hit=True)
+            return sym
+        self._count_gate(hit=False)
+        ca, cb = self._chunks[a], self._chunks[b]
+        if op == "and":
+            result = ca & cb
+        elif op == "or":
+            result = ca | cb
+        elif op == "xor":
+            result = ca ^ cb
+        else:
+            raise ValueError(f"unknown chunk binop {op!r}")
+        sym = self.intern(result)
+        self._binop_cache[key] = sym
         return sym
 
     def bnot(self, a: int) -> int:
         """Apply NOT to symbol ``a``."""
         sym = self._not_cache.get(a)
-        if sym is None:
-            sym = self.intern(~self._chunks[a])
-            self._not_cache[a] = sym
-            self._not_cache[sym] = a  # involution
+        if sym is not None:
+            self._count_gate(hit=True)
+            return sym
+        self._count_gate(hit=False)
+        sym = self.intern(~self._chunks[a])
+        self._not_cache[a] = sym
+        self._not_cache[sym] = a  # involution
         return sym
+
+    def _count_gate(self, hit: bool) -> None:
+        """One memoized-gate lookup: hit = a whole chunk op avoided."""
+        if hit:
+            self.gate_hits += 1
+            if _obs.active:
+                metrics = _obs.current().metrics
+                metrics.counter("chunkstore.binop.hit").inc()
+                # Each hit skips recomputing (and re-storing) one chunk.
+                metrics.counter("chunkstore.bytes_saved").add(
+                    self.chunk_bits >> 3
+                )
+        else:
+            self.gate_misses += 1
+            if _obs.active:
+                _obs.current().metrics.counter("chunkstore.binop.miss").inc()
 
     # -- memoized measurement summaries ---------------------------------------
 
@@ -119,9 +150,11 @@ class ChunkStore:
         return first
 
     def stats(self) -> dict[str, int]:
-        """Diagnostics: store size and cache hit surface."""
+        """Diagnostics: store size, cache hit surface, and memo hit rate."""
         return {
             "symbols": len(self._chunks),
             "binop_cache": len(self._binop_cache),
             "not_cache": len(self._not_cache),
+            "gate_hits": self.gate_hits,
+            "gate_misses": self.gate_misses,
         }

@@ -21,12 +21,18 @@ with arithmetic lowered through :mod:`repro.gates.library`.
 from repro.pbp.context import PbpContext
 from repro.pbp.measure import measure_distribution, values_where
 from repro.pbp.pint import Pint
+
+# ``pbp.trace`` is the gate-recording *compiler* (TraceContext), not a
+# runtime tracer -- re-exported as ``compile_trace`` so it cannot be
+# confused with ``repro.obs`` tracing or ``repro.cpu.trace``.
+from repro.pbp import trace as compile_trace
 from repro.pbp.trace import TraceContext
 
 __all__ = [
     "PbpContext",
     "Pint",
     "TraceContext",
+    "compile_trace",
     "measure_distribution",
     "values_where",
 ]

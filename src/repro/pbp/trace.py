@@ -1,5 +1,14 @@
 """Tracing context: compile word-level pint programs to Qat assembly.
 
+.. note::
+   Despite the module name, this is a **compiler**, not an execution
+   tracer: "trace" here means *recording the gate-level computation* of a
+   pint program so it can be emitted as Qat assembly.  Runtime
+   observability (spans, counters, Chrome traces) lives in
+   :mod:`repro.obs`; the instruction-stream tracer is
+   :class:`repro.cpu.trace.ExecutionTrace`.  To avoid import-site
+   confusion this module is also re-exported as ``repro.pbp.compile_trace``.
+
 A :class:`TraceContext` looks like a :class:`~repro.pbp.PbpContext` but
 evaluates nothing: its "pbit values" are node ids in a
 :class:`~repro.gates.ir.GateCircuit`, so running an ordinary pint program
@@ -30,6 +39,8 @@ from repro.gates import EmitOptions, GateCircuit, emit_qat, optimize
 from repro.gates.emit import QatEmission
 from repro.pbp.context import PbpContext
 from repro.pbp.pint import Pint
+
+__all__ = ["TraceContext"]
 
 
 class _TraceAlgebra:
