@@ -10,6 +10,7 @@ Installed as the ``tangled`` console script::
     tangled factor 221 --bits 5                 PBP prime factoring
     tangled verilog qatnext --ways 8            emit the Figure 7/8 Verilog
     tangled fig10 [--stats]                     run the paper's listing
+    tangled faults --seed 7 --runs 20           seeded soft-error campaign
 
 Every subcommand prints to stdout and exits non-zero on error, so the
 tools compose in shell pipelines.  ``--stats``/``--trace-out`` route the
@@ -178,6 +179,25 @@ def cmd_fig10(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faults(args: argparse.Namespace) -> int:
+    from repro.faults.campaign import render_report, run_campaign
+
+    with _TelemetryScope(args):
+        report = run_campaign(
+            program=args.program,
+            runs=args.runs,
+            seed=args.seed,
+            sim=args.sim,
+            ways=args.ways,
+            faults_per_run=args.faults_per_run,
+            targets=tuple(args.targets.split(",")),
+        )
+        if args.summary_only:
+            report.pop("runs_detail")
+        sys.stdout.write(render_report(report))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tangled", description="Tangled/Qat reproduction tools"
@@ -231,6 +251,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", metavar="PATH",
                    help="write a Chrome trace_event JSON file")
     p.set_defaults(func=cmd_fig10)
+
+    p = sub.add_parser(
+        "faults",
+        help="run a seeded soft-error campaign and classify the outcomes",
+    )
+    p.add_argument("--seed", type=int, default=7, help="master campaign seed")
+    p.add_argument("--runs", type=int, default=20, help="faulted runs")
+    p.add_argument("--program", choices=("fig10", "factor"), default="fig10")
+    p.add_argument("--sim", choices=("functional", "multicycle", "pipelined"),
+                   default="functional")
+    p.add_argument("--ways", type=int, default=8)
+    p.add_argument("--faults-per-run", type=int, default=1,
+                   help="bit flips injected per run")
+    p.add_argument("--targets", default="gpr,mem,qreg",
+                   help="comma-separated fault targets "
+                        "(gpr,qreg,mem,pc,latch)")
+    p.add_argument("--summary-only", action="store_true",
+                   help="omit the per-run detail from the report")
+    p.add_argument("--stats", action="store_true",
+                   help="print a telemetry report (fault counters, traps, ...)")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="write a Chrome trace_event JSON file")
+    p.set_defaults(func=cmd_faults)
     return parser
 
 

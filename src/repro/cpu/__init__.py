@@ -14,6 +14,11 @@ sequence (multi-cycle design, then pipelined, then pipelined with Qat):
   4- or 5-stage pipeline with RAW interlocks, optional forwarding,
   branch flushes, and the two-word Qat fetch penalty the paper says
   generated "the most common student questions".
+
+All three take a ``trap_policy`` (:class:`~repro.faults.TrapPolicy`)
+controlling whether architectural traps raise, halt, or vector to a
+handler; the trap model itself lives in :mod:`repro.faults` and is
+re-exported here for convenience.
 """
 
 from repro.cpu.functional import FunctionalSimulator
@@ -21,6 +26,7 @@ from repro.cpu.multicycle import CycleCosts, MultiCycleSimulator
 from repro.cpu.pipeline import PipelineConfig, PipelinedSimulator, PipelineStats
 from repro.cpu.state import MachineState
 from repro.cpu.syscalls import SyscallHandler
+from repro.faults.traps import TrapAction, TrapCause, TrapPolicy, TrapRecord
 
 __all__ = [
     "CycleCosts",
@@ -31,4 +37,8 @@ __all__ = [
     "PipelineStats",
     "PipelinedSimulator",
     "SyscallHandler",
+    "TrapAction",
+    "TrapCause",
+    "TrapPolicy",
+    "TrapRecord",
 ]

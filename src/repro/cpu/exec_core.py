@@ -29,8 +29,16 @@ from repro.bf16 import (
     bf16_to_int,
 )
 from repro.errors import SimulatorError
+from repro.faults.traps import TrapCause
 from repro.isa.instructions import INSTRUCTIONS, Instr
 from repro.obs import runtime as _obs
+
+#: Mnemonic of the synthetic :class:`Effects` a simulator returns when an
+#: instruction trapped under the halt/vector policy instead of executing.
+TRAP_MNEMONIC = "trap"
+
+#: bf16 exponent field: all-ones means NaN or infinity (overflow).
+_BF16_EXP_MASK = 0x7F80
 
 
 @dataclass
@@ -142,9 +150,23 @@ def execute(machine, instr: Instr, syscalls=None) -> Effects:
     """
     m = instr.mnemonic
     ops = instr.ops
-    spec = INSTRUCTIONS[m]
+    spec = INSTRUCTIONS.get(m)
+    if spec is None:
+        machine.trap(
+            TrapCause.ILLEGAL_OPCODE,
+            detail=f"no executor for {m!r}",
+            instruction=m,
+        )
     pc_next = (machine.pc + spec.words) & 0xFFFF
-    stat = static_effects(instr)
+    try:
+        stat = static_effects(instr)
+    except SimulatorError as exc:  # pragma: no cover - table gap guard
+        machine.trap(
+            TrapCause.ILLEGAL_OPCODE,
+            detail=str(exc),
+            instruction=m,
+            resume_pc=pc_next,
+        )
     eff = Effects(
         mnemonic=m,
         next_pc=pc_next,
@@ -171,7 +193,15 @@ def execute(machine, instr: Instr, syscalls=None) -> Effects:
     if m == "add":
         write(ops[0], read(ops[0]) + read(ops[1]))
     elif m == "addf":
-        write(ops[0], bf16_add(read(ops[0]), read(ops[1])))
+        result = bf16_add(read(ops[0]), read(ops[1]))
+        if machine.trap_policy.trap_bf16 and (result & _BF16_EXP_MASK) == _BF16_EXP_MASK:
+            machine.trap(
+                TrapCause.BF16_FAULT,
+                detail=f"addf produced non-finite bf16 {result:#06x}",
+                instruction=instr.render(),
+                resume_pc=pc_next,
+            )
+        write(ops[0], result)
     elif m == "and":
         write(ops[0], read(ops[0]) & read(ops[1]))
     elif m == "brf":
@@ -196,11 +226,28 @@ def execute(machine, instr: Instr, syscalls=None) -> Effects:
     elif m == "lhi":
         write(ops[0], (read(ops[0]) & 0x00FF) | ((ops[1] & 0xFF) << 8))
     elif m == "load":
-        write(ops[0], machine.read_mem(read(ops[1])))
+        addr = read(ops[1])
+        fence = machine.trap_policy.mem_fence
+        if fence is not None and addr >= fence:
+            machine.trap(
+                TrapCause.MEM_FAULT,
+                detail=f"load from {addr:#06x} beyond fence {fence:#06x}",
+                instruction=instr.render(),
+                resume_pc=pc_next,
+            )
+        write(ops[0], machine.read_mem(addr))
     elif m == "mul":
         write(ops[0], read(ops[0]) * read(ops[1]))
     elif m == "mulf":
-        write(ops[0], bf16_mul(read(ops[0]), read(ops[1])))
+        result = bf16_mul(read(ops[0]), read(ops[1]))
+        if machine.trap_policy.trap_bf16 and (result & _BF16_EXP_MASK) == _BF16_EXP_MASK:
+            machine.trap(
+                TrapCause.BF16_FAULT,
+                detail=f"mulf produced non-finite bf16 {result:#06x}",
+                instruction=instr.render(),
+                resume_pc=pc_next,
+            )
+        write(ops[0], result)
     elif m == "neg":
         write(ops[0], -read(ops[0]))
     elif m == "negf":
@@ -210,7 +257,15 @@ def execute(machine, instr: Instr, syscalls=None) -> Effects:
     elif m == "or":
         write(ops[0], read(ops[0]) | read(ops[1]))
     elif m == "recip":
-        write(ops[0], bf16_recip(read(ops[0])))
+        result = bf16_recip(read(ops[0]))
+        if machine.trap_policy.trap_bf16 and (result & _BF16_EXP_MASK) == _BF16_EXP_MASK:
+            machine.trap(
+                TrapCause.BF16_FAULT,
+                detail=f"recip produced non-finite bf16 {result:#06x}",
+                instruction=instr.render(),
+                resume_pc=pc_next,
+            )
+        write(ops[0], result)
     elif m == "shift":
         amount = read_s(ops[1])
         value = read(ops[0])
@@ -225,6 +280,14 @@ def execute(machine, instr: Instr, syscalls=None) -> Effects:
         write(ops[0], 1 if read_s(ops[0]) < read_s(ops[1]) else 0)
     elif m == "store":
         addr = read(ops[1])
+        fence = machine.trap_policy.mem_fence
+        if fence is not None and addr >= fence:
+            machine.trap(
+                TrapCause.MEM_FAULT,
+                detail=f"store to {addr:#06x} beyond fence {fence:#06x}",
+                instruction=instr.render(),
+                resume_pc=pc_next,
+            )
         machine.write_mem(addr, read(ops[0]))
         eff.store_addr = addr
     elif m == "sys":
@@ -256,17 +319,39 @@ def execute(machine, instr: Instr, syscalls=None) -> Effects:
     elif m == "qone":
         kernels.k_one(machine.qreg(ops[0]), machine.nbits)
     elif m == "qhad":
+        if machine.trap_policy.strict_qat and ops[1] >= machine.ways:
+            machine.trap(
+                TrapCause.QAT_FAULT,
+                detail=f"had k={ops[1]} exceeds {machine.ways}-way entanglement",
+                instruction=instr.render(),
+                resume_pc=pc_next,
+            )
         kernels.k_had(machine.qreg(ops[0]), ops[1], machine.ways)
-    elif m == "qmeas":
-        write(ops[0], kernels.k_meas(machine.qreg(ops[1]), read(ops[0]), machine.nbits))
-    elif m == "qnext":
-        # Like the Figure 8 Verilog, a start channel past the AoB top
-        # shifts everything out and returns 0 (no masking of $d).
-        write(ops[0], kernels.k_next(machine.qreg(ops[1]), read(ops[0]), machine.nbits))
-    elif m == "qpop":
-        write(ops[0], kernels.k_pop_after(machine.qreg(ops[1]), read(ops[0]), machine.nbits) & 0xFFFF)
+    elif m in ("qmeas", "qnext", "qpop"):
+        channel = read(ops[0])
+        if machine.trap_policy.strict_qat and channel >= machine.nbits:
+            machine.trap(
+                TrapCause.QAT_FAULT,
+                detail=f"channel {channel} out of range for "
+                       f"{machine.nbits}-channel AoB",
+                instruction=instr.render(),
+                resume_pc=pc_next,
+            )
+        if m == "qmeas":
+            write(ops[0], kernels.k_meas(machine.qreg(ops[1]), channel, machine.nbits))
+        elif m == "qnext":
+            # Like the Figure 8 Verilog, a start channel past the AoB top
+            # shifts everything out and returns 0 (no masking of $d).
+            write(ops[0], kernels.k_next(machine.qreg(ops[1]), channel, machine.nbits))
+        else:
+            write(ops[0], kernels.k_pop_after(machine.qreg(ops[1]), channel, machine.nbits) & 0xFFFF)
     else:  # pragma: no cover
-        raise SimulatorError(f"no executor for {m!r}")
+        machine.trap(
+            TrapCause.ILLEGAL_OPCODE,
+            detail=f"no executor for {m!r}",
+            instruction=instr.render(),
+            resume_pc=pc_next,
+        )
 
     eff.next_pc = pc_next
     machine.pc = pc_next

@@ -3,15 +3,24 @@
 The reference model: decodes and executes one instruction per step with
 no timing, like the paper's Figure 6 single-cycle datapath.  The other
 simulators are validated against this one on random programs.
+
+Abnormal events route through the trap model
+(:mod:`repro.faults.traps`): an undecodable word is an
+``illegal_opcode`` trap, a blown step budget is a ``watchdog`` trap.
+Under the default ``raise`` policy both surface as
+:class:`~repro.errors.TrapError` with PC/instruction context; a ``halt``
+or ``vector`` policy lets execution stop cleanly or continue in a
+trap-handler program.
 """
 
 from __future__ import annotations
 
 from repro.aob.bitvector import QAT_WAYS
-from repro.cpu.exec_core import Effects, execute
+from repro.cpu.exec_core import TRAP_MNEMONIC, Effects, execute
 from repro.cpu.state import MachineState
 from repro.cpu.syscalls import SyscallHandler
-from repro.errors import HaltedError, SimulatorError
+from repro.errors import EncodingError, HaltedError
+from repro.faults.traps import TrapCause, TrapDelivered, TrapPolicy
 from repro.isa.encoding import decode
 from repro.isa.instructions import Instr
 from repro.obs import runtime as _obs
@@ -26,10 +35,13 @@ class FunctionalSimulator:
         ways: int = QAT_WAYS,
         syscalls: SyscallHandler | None = None,
         trace=None,
+        trap_policy: TrapPolicy | None = None,
     ):
-        self.machine = MachineState(ways)
+        self.machine = MachineState(ways, trap_policy=trap_policy)
         self.syscalls = syscalls if syscalls is not None else SyscallHandler()
         self.trace = trace
+        #: optional :class:`repro.faults.checkpoint.AutoCheckpointer`
+        self.checkpointer = None
 
     def load(self, program, origin: int | None = None) -> None:
         """Load an assembled :class:`~repro.asm.Program` (or raw words)."""
@@ -42,36 +54,65 @@ class FunctionalSimulator:
         """Decode the instruction at the current PC."""
         return decode(self.machine.mem, self.machine.pc)
 
+    def _trapped_effects(self) -> Effects:
+        """Synthetic effects for an instruction consumed by a trap."""
+        return Effects(mnemonic=TRAP_MNEMONIC, next_pc=self.machine.pc)
+
     def step(self) -> Effects:
-        """Fetch, decode and execute one instruction."""
-        if self.machine.halted:
-            raise HaltedError("machine is halted")
-        instr, _ = self.fetch_decode()
-        pc = self.machine.pc
-        effects = execute(self.machine, instr, self.syscalls)
+        """Fetch, decode and execute one instruction.
+
+        An instruction that traps under the halt/vector policy returns a
+        synthetic :class:`Effects` with mnemonic ``"trap"``; under the
+        default policy the typed error propagates.
+        """
+        machine = self.machine
+        if machine.halted:
+            raise HaltedError("machine is halted", pc=machine.pc)
+        pc = machine.pc
+        try:
+            instr, _ = self.fetch_decode()
+        except EncodingError as exc:
+            try:
+                machine.trap(TrapCause.ILLEGAL_OPCODE, detail=str(exc))
+            except TrapDelivered:
+                return self._trapped_effects()
+        try:
+            effects = execute(machine, instr, self.syscalls)
+        except TrapDelivered:
+            return self._trapped_effects()
         if self.trace is not None:
-            self.trace.record(pc, instr, effects, self.machine)
+            self.trace.record(pc, instr, effects, machine)
         return effects
 
     def run(self, max_steps: int = 1_000_000) -> int:
         """Run until ``sys``-halt; returns instructions executed.
 
-        Raises :class:`SimulatorError` if the step budget is exhausted
-        (runaway program).  When telemetry is installed (``repro.obs``)
-        the run is wrapped in a ``cpu.run`` span and the retired
-        instruction count lands on the ``cpu.instructions`` counter.
+        Fires a ``watchdog`` trap if the step budget is exhausted
+        (runaway program) -- a :class:`~repro.errors.TrapError` under the
+        default policy.  When telemetry is installed (``repro.obs``) the
+        run is wrapped in a ``cpu.run`` span and the retired instruction
+        count lands on the ``cpu.instructions`` counter.  An attached
+        :class:`~repro.faults.checkpoint.AutoCheckpointer` snapshots the
+        machine periodically so a watchdog expiry is recoverable.
         """
         telemetry = _obs.current() if _obs.active else None
         steps = 0
+        checkpointer = self.checkpointer
         with (telemetry.span("cpu.run", cat="cpu", sim="functional")
               if telemetry is not None else NULL_SPAN):
             while not self.machine.halted:
                 if steps >= max_steps:
-                    raise SimulatorError(
-                        f"exceeded {max_steps} steps without halting"
-                    )
+                    try:
+                        self.machine.trap(
+                            TrapCause.WATCHDOG,
+                            detail=f"exceeded {max_steps} steps without halting",
+                        )
+                    except TrapDelivered:
+                        break
                 self.step()
                 steps += 1
+                if checkpointer is not None:
+                    checkpointer.tick(self.machine)
         if telemetry is not None:
             telemetry.metrics.counter("cpu.instructions").add(steps)
         return steps

@@ -19,6 +19,7 @@ from repro.aob.bitvector import QAT_WAYS
 from repro.cpu.functional import FunctionalSimulator
 from repro.cpu.syscalls import SyscallHandler
 from repro.errors import HaltedError, SimulatorError
+from repro.faults.traps import TrapCause, TrapDelivered, TrapPolicy
 from repro.isa.instructions import INSTRUCTIONS
 
 
@@ -38,7 +39,10 @@ class CycleCosts:
     extra_fetch_word: int = 1  # each instruction word beyond the first
 
     def cycles_for(self, mnemonic: str) -> int:
-        spec = INSTRUCTIONS[mnemonic]
+        spec = INSTRUCTIONS.get(mnemonic)
+        if spec is None:
+            # Synthetic "trap" effects: charge the exception-entry cost.
+            return self.sys
         base = getattr(self, spec.category)
         return base + (spec.words - 1) * self.extra_fetch_word
 
@@ -51,14 +55,26 @@ class MultiCycleSimulator:
         ways: int = QAT_WAYS,
         costs: CycleCosts | None = None,
         syscalls: SyscallHandler | None = None,
+        trap_policy: TrapPolicy | None = None,
     ):
         self.costs = costs or CycleCosts()
         self.cycles = 0
-        self._inner = FunctionalSimulator(ways=ways, syscalls=syscalls)
+        self._inner = FunctionalSimulator(
+            ways=ways, syscalls=syscalls, trap_policy=trap_policy
+        )
+        self.machine.cycle_provider = lambda: self.cycles
 
     @property
     def machine(self):
         return self._inner.machine
+
+    @property
+    def checkpointer(self):
+        return self._inner.checkpointer
+
+    @checkpointer.setter
+    def checkpointer(self, value) -> None:
+        self._inner.checkpointer = value
 
     def load(self, program, origin: int | None = None) -> None:
         """Load an assembled program image."""
@@ -68,20 +84,35 @@ class MultiCycleSimulator:
     def step(self) -> int:
         """Execute one instruction; returns the cycles it cost."""
         if self.machine.halted:
-            raise HaltedError("machine is halted")
+            raise HaltedError("machine is halted", pc=self.machine.pc,
+                              cycle=self.cycles)
         effects = self._inner.step()
         cost = self.costs.cycles_for(effects.mnemonic)
         self.cycles += cost
         return cost
 
     def run(self, max_steps: int = 1_000_000) -> int:
-        """Run to halt; returns total cycles."""
+        """Run to halt; returns total cycles.
+
+        A blown step budget fires a ``watchdog`` trap -- a
+        :class:`~repro.errors.SimulatorError` under the default policy,
+        a clean stop under ``halt``.
+        """
         steps = 0
+        checkpointer = self._inner.checkpointer
         while not self.machine.halted:
             if steps >= max_steps:
-                raise SimulatorError(f"exceeded {max_steps} steps without halting")
+                try:
+                    self.machine.trap(
+                        TrapCause.WATCHDOG,
+                        detail=f"exceeded {max_steps} steps without halting",
+                    )
+                except TrapDelivered:
+                    break
             self.step()
             steps += 1
+            if checkpointer is not None:
+                checkpointer.tick(self.machine)
         return self.cycles
 
     @property

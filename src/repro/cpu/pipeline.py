@@ -35,7 +35,8 @@ from repro.aob.bitvector import QAT_WAYS
 from repro.cpu.exec_core import execute, static_effects
 from repro.cpu.state import MachineState
 from repro.cpu.syscalls import SyscallHandler
-from repro.errors import EncodingError, HaltedError, SimulatorError
+from repro.errors import EncodingError, HaltedError
+from repro.faults.traps import TrapCause, TrapDelivered, TrapPolicy
 from repro.isa.encoding import decode
 from repro.isa.instructions import Instr
 from repro.obs import runtime as _obs
@@ -67,6 +68,7 @@ class PipelineStats:
     fetch_extra: int = 0
     branch_flushes: int = 0
     squashed: int = 0
+    traps: int = 0
 
     @property
     def cpi(self) -> float:
@@ -84,6 +86,7 @@ class PipelineStats:
             "fetch_extra": self.fetch_extra,
             "branch_flushes": self.branch_flushes,
             "squashed": self.squashed,
+            "traps": self.traps,
         }
 
 
@@ -118,13 +121,17 @@ class PipelinedSimulator:
         ways: int = QAT_WAYS,
         config: PipelineConfig | None = None,
         syscalls: SyscallHandler | None = None,
+        trap_policy: TrapPolicy | None = None,
     ):
         self.config = config or PipelineConfig()
-        self.machine = MachineState(ways)
+        self.machine = MachineState(ways, trap_policy=trap_policy)
+        self.machine.cycle_provider = lambda: self.stats.cycles
         self.syscalls = syscalls if syscalls is not None else SyscallHandler(
             cycle_source=lambda: self.stats.cycles
         )
         self.stats = PipelineStats()
+        #: optional :class:`repro.faults.checkpoint.AutoCheckpointer`
+        self.checkpointer = None
         nstages = self.config.stages
         self._pipe: list[_InFlight | None] = [None] * nstages
         self._fetch_pc = 0
@@ -224,7 +231,8 @@ class PipelinedSimulator:
         full cycle in each stage: IF (per encoded word), ID, EX, [MEM,] WB.
         """
         if self.machine.halted:
-            raise HaltedError("machine is halted")
+            raise HaltedError("machine is halted", pc=self.machine.pc,
+                              cycle=self.stats.cycles)
         pipe = self._pipe
         nstages = self.config.stages
         obs = self._obs
@@ -290,16 +298,36 @@ class PipelinedSimulator:
                     id_rec.stage_entries.append(("EX", self.stats.cycles))
 
             # Execute on EX entry (all architectural state changes happen
-            # here, in program order).
+            # here, in program order).  A trap taken here is precise:
+            # older instructions have retired, the trapped one is
+            # squashed, and younger wrong-path work is flushed.
             entering = pipe[_EX]
             if entering is not None and not entering.executed:
-                if entering.instr is None:
-                    raise SimulatorError(
-                        f"executed undecodable word at {entering.pc:#06x}"
-                    )
                 self.machine.pc = entering.pc
-                effects = execute(self.machine, entering.instr, self.syscalls)
                 entering.executed = True
+                try:
+                    if entering.instr is None:
+                        self.machine.trap(
+                            TrapCause.ILLEGAL_OPCODE,
+                            detail=f"executed undecodable word at "
+                                   f"{entering.pc:#06x}",
+                        )
+                    effects = execute(self.machine, entering.instr, self.syscalls)
+                except TrapDelivered:
+                    self.stats.traps += 1
+                    pipe[_EX] = None  # trapped instruction never retires
+                    if self.machine.halted:
+                        return
+                    # Vectored: flush the wrong-path stages and refetch
+                    # from the handler address the trap installed.
+                    if pipe[_ID] is not None:
+                        self.stats.squashed += 1
+                    pipe[_ID] = None
+                    if self._fetch_current is not None:
+                        self.stats.squashed += 1
+                    self._fetch_current = None
+                    self._fetch_pc = self.machine.pc
+                    return  # redirect lands next cycle (2-cycle penalty)
                 if self.machine.halted:
                     return
                 if effects.taken_branch:
@@ -395,10 +423,27 @@ class PipelinedSimulator:
         return self.stats
 
     def _run_to_halt(self, max_cycles: int) -> None:
+        checkpointer = self.checkpointer
         while not self.machine.halted:
             if self.stats.cycles >= max_cycles:
-                raise SimulatorError(f"exceeded {max_cycles} cycles without halting")
+                try:
+                    self.machine.trap(
+                        TrapCause.WATCHDOG,
+                        detail=f"exceeded {max_cycles} cycles without halting",
+                    )
+                except TrapDelivered:
+                    break
             self.cycle()
+            if checkpointer is not None:
+                checkpointer.tick(self.machine, cycle=self.stats.cycles)
+
+    def step(self) -> None:
+        """Advance one clock (alias of :meth:`cycle`).
+
+        All three simulators expose ``step()`` with uniform
+        :class:`~repro.errors.HaltedError` behaviour after halt.
+        """
+        self.cycle()
 
     @property
     def cpi(self) -> float:

@@ -15,6 +15,7 @@ import numpy as np
 from repro.aob import AoB
 from repro.aob.bitvector import QAT_WAYS
 from repro.errors import SimulatorError
+from repro.faults.traps import TrapCause, TrapPolicy, TrapRecord, deliver
 from repro.isa.registers import NUM_GPRS, NUM_QAT_REGS
 from repro.utils.bits import words_for_bits
 
@@ -24,7 +25,7 @@ MEM_WORDS = 1 << 16
 class MachineState:
     """Registers, memory, PC, and the Qat coprocessor register file."""
 
-    def __init__(self, ways: int = QAT_WAYS):
+    def __init__(self, ways: int = QAT_WAYS, trap_policy: TrapPolicy | None = None):
         if not 0 <= ways <= 20:
             raise SimulatorError(f"unsupported Qat ways: {ways}")
         self.ways = ways
@@ -39,6 +40,19 @@ class MachineState:
         self.output: list[str] = []
         #: dynamic instruction count
         self.instret = 0
+        #: trap handling configuration (see :mod:`repro.faults.traps`)
+        self.trap_policy = trap_policy if trap_policy is not None else TrapPolicy()
+        #: every trap that fired, in order
+        self.traps: list[TrapRecord] = []
+        #: set by timing simulators so trap records carry the clock
+        self.cycle_provider = None
+
+    def trap(self, cause: TrapCause, detail: str = "",
+             instruction: str | None = None, resume_pc: int | None = None,
+             service: int | None = None) -> None:
+        """Fire an architectural trap (never returns normally)."""
+        deliver(self, cause, detail=detail, instruction=instruction,
+                resume_pc=resume_pc, service=service)
 
     # -- GPR access (values are canonical 0..0xFFFF ints) ---------------------
 
@@ -102,4 +116,5 @@ class MachineState:
             "qregs": self.qregs.copy(),
             "halted": self.halted,
             "output": list(self.output),
+            "traps": list(self.traps),
         }

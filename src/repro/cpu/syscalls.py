@@ -12,12 +12,18 @@ convention (documented in DESIGN.md) is: the service number is taken from
 ``4``  print the 0-terminated string at address ``$0``
 ====== ==========================================
 
-Unknown service numbers halt (the safe default for student code).  Output
-is accumulated in ``machine.output``.
+An unknown service number is an architectural trap
+(:data:`~repro.faults.traps.TrapCause.UNKNOWN_SYSCALL`): under the
+default policy it raises a typed :class:`~repro.errors.SyscallError`
+carrying the service number and the faulting PC; a ``halt`` policy
+restores the old silent-stop behaviour and ``vector`` lets a handler
+program emulate the service.  Output is accumulated in
+``machine.output``.
 """
 
 from __future__ import annotations
 
+from repro.faults.traps import TrapCause
 from repro.isa.registers import RV
 
 HALT = 0
@@ -45,12 +51,17 @@ class SyscallHandler:
         if custom is not None:
             custom(machine)
             return
-        if service == PRINT_INT:
+        if service == HALT:
+            machine.halted = True
+        elif service == PRINT_INT:
             machine.output.append(str(machine.read_reg_signed(0)))
         elif service == PRINT_CHAR:
             machine.output.append(chr(machine.read_reg(0) & 0xFF))
-        elif service == READ_CYCLES and self._cycle_source is not None:
-            machine.write_reg(0, self._cycle_source() & 0xFFFF)
+        elif service == READ_CYCLES:
+            # A machine without a clock reads 0 rather than faulting: the
+            # service exists, the counter simply is not implemented there.
+            source = self._cycle_source
+            machine.write_reg(0, source() & 0xFFFF if source is not None else 0)
         elif service == PRINT_STRING:
             addr = machine.read_reg(0)
             chars = []
@@ -62,4 +73,9 @@ class SyscallHandler:
                 addr = (addr + 1) & 0xFFFF
             machine.output.append("".join(chars))
         else:
-            machine.halted = True
+            machine.trap(
+                TrapCause.UNKNOWN_SYSCALL,
+                detail=f"unknown sys service {service}",
+                instruction="sys",
+                service=service,
+            )

@@ -2,7 +2,14 @@
 
 Every error raised by the package derives from :class:`ReproError` so
 callers can catch package failures with a single ``except`` clause.
+
+Simulator-side errors carry machine context (``pc``, ``cycle`` and the
+disassembled instruction) so a fault report reads like a processor trap
+frame, not a bare Python message.  The precise trap model built on top of
+these lives in :mod:`repro.faults.traps`.
 """
+
+from __future__ import annotations
 
 
 class ReproError(Exception):
@@ -32,11 +39,64 @@ class EncodingError(ReproError):
 
 
 class SimulatorError(ReproError):
-    """Runtime fault inside one of the CPU simulators."""
+    """Runtime fault inside one of the CPU simulators.
+
+    Carries the architectural context of the fault when the raiser knows
+    it: ``pc`` (address of the faulting instruction), ``cycle`` (timing
+    model's clock, None on the untimed functional simulator) and
+    ``instruction`` (disassembled text).  The context is appended to the
+    message so it survives plain ``str()`` rendering.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        pc: int | None = None,
+        cycle: int | None = None,
+        instruction: str | None = None,
+    ):
+        self.pc = pc
+        self.cycle = cycle
+        self.instruction = instruction
+        context = []
+        if pc is not None:
+            context.append(f"pc={pc:#06x}")
+        if cycle is not None:
+            context.append(f"cycle={cycle}")
+        if instruction is not None:
+            context.append(f"instr={instruction!r}")
+        if context:
+            message = f"{message} [{', '.join(context)}]"
+        super().__init__(message)
 
 
 class HaltedError(SimulatorError):
     """Execution was requested on a machine that has already halted."""
+
+
+class TrapError(SimulatorError):
+    """An architectural trap fired under the ``raise`` policy.
+
+    ``record`` is the :class:`repro.faults.traps.TrapRecord` describing
+    the cause, faulting PC, instruction and cycle.
+    """
+
+    def __init__(self, message: str, record=None, **context):
+        self.record = record
+        super().__init__(message, **context)
+
+
+class SyscallError(TrapError):
+    """A ``sys`` instruction named an unknown service number."""
+
+    def __init__(self, message: str, service: int, record=None, **context):
+        self.service = service
+        super().__init__(message, record=record, **context)
+
+
+class CheckpointError(ReproError):
+    """A machine checkpoint failed integrity verification or is unusable."""
 
 
 class MeasurementError(ReproError):

@@ -1,0 +1,63 @@
+"""Robustness layer: architectural traps, fault injection, checkpointing.
+
+Three cooperating pieces:
+
+- :mod:`repro.faults.traps` -- the trap model shared by all three CPU
+  simulators (causes, per-cause policies, trap records, delivery).
+- :mod:`repro.faults.inject` -- deterministic seeded bit flips against
+  architectural state plus gate-level stuck-at plans.
+- :mod:`repro.faults.checkpoint` -- integrity-checked snapshot/restore
+  of full machine state with periodic auto-checkpointing.
+
+Campaign orchestration (:mod:`repro.faults.campaign`) is re-exported
+lazily: it imports :mod:`repro.cpu`, which itself imports the trap model
+from this package, so a module-level import here would be circular.
+"""
+
+from repro.faults.checkpoint import FORMAT_VERSION, AutoCheckpointer, Checkpoint
+from repro.faults.inject import (
+    TARGETS,
+    FaultEvent,
+    FaultPlan,
+    apply_event,
+    flip_chunk_bit,
+    stuck_at_plan,
+)
+from repro.faults.traps import (
+    TrapAction,
+    TrapCause,
+    TrapDelivered,
+    TrapPolicy,
+    TrapRecord,
+)
+
+_CAMPAIGN_EXPORTS = ("RunResult", "golden_run", "render_report", "run_campaign")
+
+__all__ = [
+    "AutoCheckpointer",
+    "Checkpoint",
+    "FORMAT_VERSION",
+    "FaultEvent",
+    "FaultPlan",
+    "RunResult",
+    "TARGETS",
+    "TrapAction",
+    "TrapCause",
+    "TrapDelivered",
+    "TrapPolicy",
+    "TrapRecord",
+    "apply_event",
+    "flip_chunk_bit",
+    "golden_run",
+    "render_report",
+    "run_campaign",
+    "stuck_at_plan",
+]
+
+
+def __getattr__(name: str):
+    if name in _CAMPAIGN_EXPORTS:
+        from repro.faults import campaign
+
+        return getattr(campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,226 @@
+"""Seeded soft-error campaigns over the Tangled/Qat simulators.
+
+A campaign runs the same program ``N`` times, each run with a fresh
+simulator and a deterministic per-run :class:`~repro.faults.inject.FaultPlan`
+derived from the master seed, and classifies every run the way the
+fault-tolerance literature does:
+
+``detected``
+    The fault tripped the machinery -- an architectural trap fired
+    (illegal opcode, watchdog, Qat fault, ...) or a typed
+    :class:`~repro.errors.ReproError` surfaced.
+``masked``
+    The run completed and the architectural result (GPRs + program
+    output) matches the fault-free golden run: the flipped bit was
+    dead state.
+``silent``
+    The run completed *wrong* -- silent data corruption, the case a
+    real design must budget hardware against.
+
+The report is a plain dict (JSON-ready, sorted keys, no timestamps), so
+two invocations with the same arguments produce byte-identical output --
+that determinism is asserted in CI.  When telemetry
+(:mod:`repro.obs`) is active the classification counts also land on the
+``faults.detected`` / ``faults.masked`` / ``faults.silent`` counters.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import ReproError
+from repro.faults.inject import FaultPlan, apply_event
+from repro.faults.traps import TrapPolicy
+from repro.obs import runtime as _obs
+
+#: Run outcome labels.
+DETECTED, MASKED, SILENT = "detected", "masked", "silent"
+
+#: Watchdog slack: a faulted run may legitimately take longer than the
+#: golden run (a corrupted branch can re-execute work) before we call it
+#: runaway.
+_WATCHDOG_FACTOR = 4
+_WATCHDOG_SLACK = 64
+
+
+@dataclass
+class RunResult:
+    """Classification of one faulted run."""
+
+    run: int
+    seed: int
+    outcome: str
+    events: list[dict] = field(default_factory=list)
+    traps: list[dict] = field(default_factory=list)
+    error: str | None = None
+
+    def as_dict(self) -> dict:
+        return {
+            "run": self.run,
+            "seed": self.seed,
+            "outcome": self.outcome,
+            "events": self.events,
+            "traps": self.traps,
+            "error": self.error,
+        }
+
+
+def _load_program(name: str):
+    """Resolve a campaign program by name (lazy: pulls in repro.apps)."""
+    from repro.apps import compile_factor_program, fig10_program
+
+    if name == "fig10":
+        return fig10_program()
+    if name == "factor":
+        return compile_factor_program(15, 4, 4).program
+    raise ReproError(f"unknown campaign program {name!r} (try fig10, factor)")
+
+
+def _new_simulator(sim: str, ways: int, trap_policy: TrapPolicy | None):
+    from repro.cpu import FunctionalSimulator, MultiCycleSimulator, PipelinedSimulator
+
+    if sim == "functional":
+        return FunctionalSimulator(ways=ways, trap_policy=trap_policy)
+    if sim == "multicycle":
+        return MultiCycleSimulator(ways=ways, trap_policy=trap_policy)
+    if sim == "pipelined":
+        return PipelinedSimulator(ways=ways, trap_policy=trap_policy)
+    raise ReproError(f"unknown simulator {sim!r}")
+
+
+def _architectural_result(machine) -> tuple:
+    """What a user of the run can observe: GPR file + program output."""
+    return (tuple(int(r) for r in machine.regs), tuple(machine.output))
+
+
+def _drive(sim, plan: FaultPlan | None, max_steps: int) -> None:
+    """Step ``sim`` to halt, applying due fault events between steps."""
+    from repro.cpu import PipelinedSimulator
+
+    pipeline = sim if isinstance(sim, PipelinedSimulator) else None
+    step = 0
+    while not sim.machine.halted:
+        if step >= max_steps:
+            from repro.faults.traps import TrapCause, TrapDelivered
+
+            try:
+                sim.machine.trap(
+                    TrapCause.WATCHDOG,
+                    detail=f"campaign watchdog: exceeded {max_steps} steps",
+                )
+            except TrapDelivered:
+                break
+        if plan is not None:
+            for event in plan.due(step):
+                apply_event(sim.machine, event, pipeline=pipeline)
+        sim.step()
+        step += 1
+
+
+def golden_run(program, sim: str = "functional", ways: int = 8) -> tuple[tuple, int]:
+    """Fault-free reference execution: (architectural result, steps)."""
+    reference = _new_simulator(sim, ways, None)
+    reference.load(program)
+    steps = 0
+    while not reference.machine.halted:
+        reference.step()
+        steps += 1
+    return _architectural_result(reference.machine), steps
+
+
+def run_campaign(
+    program: str = "fig10",
+    runs: int = 20,
+    seed: int = 7,
+    sim: str = "functional",
+    ways: int = 8,
+    faults_per_run: int = 1,
+    targets: tuple[str, ...] = ("gpr", "mem", "qreg"),
+) -> dict:
+    """Run a seeded soft-error campaign; returns the JSON-ready report.
+
+    Every run gets its own simulator and a per-run fault plan seeded
+    from ``seed`` and the run index, so the whole campaign is a pure
+    function of its arguments.
+    """
+    if runs <= 0:
+        raise ReproError(f"runs must be positive, got {runs}")
+    image = _load_program(program)
+    golden, golden_steps = golden_run(image, sim=sim, ways=ways)
+    # Concentrate memory faults on the loaded image plus a data margin.
+    mem_span = max(64, 2 * len(getattr(image, "words", image)))
+    watchdog = golden_steps * _WATCHDOG_FACTOR + _WATCHDOG_SLACK
+
+    results: list[RunResult] = []
+    counts = {DETECTED: 0, MASKED: 0, SILENT: 0}
+    for run in range(runs):
+        run_seed = seed * 1_000_003 + run
+        plan = FaultPlan.from_seed(
+            run_seed,
+            faults_per_run,
+            max_step=golden_steps,
+            ways=ways,
+            targets=targets,
+            mem_span=mem_span,
+        )
+        subject = _new_simulator(sim, ways, None)
+        subject.load(image)
+        result = RunResult(
+            run=run,
+            seed=run_seed,
+            outcome=MASKED,
+            events=[e.as_dict() for e in plan.events],
+        )
+        try:
+            _drive(subject, plan, watchdog)
+        except ReproError as exc:
+            result.outcome = DETECTED
+            result.error = str(exc)
+        else:
+            if subject.machine.traps:
+                result.outcome = DETECTED
+            elif _architectural_result(subject.machine) == golden:
+                result.outcome = MASKED
+            else:
+                result.outcome = SILENT
+        result.traps = [r.as_dict() for r in subject.machine.traps]
+        counts[result.outcome] += 1
+        results.append(result)
+
+    if _obs.active:
+        metrics = _obs.current().metrics
+        for outcome, count in counts.items():
+            metrics.counter(f"faults.{outcome}").add(count)
+        metrics.counter("faults.runs").add(runs)
+
+    total = float(runs)
+    return {
+        "program": program,
+        "sim": sim,
+        "ways": ways,
+        "seed": seed,
+        "runs": runs,
+        "faults_per_run": faults_per_run,
+        "targets": list(targets),
+        "golden": {
+            "r0": golden[0][0],
+            "r1": golden[0][1],
+            "output": list(golden[1]),
+            "steps": golden_steps,
+        },
+        "summary": {
+            "detected": counts[DETECTED],
+            "masked": counts[MASKED],
+            "silent": counts[SILENT],
+            "detected_rate": round(counts[DETECTED] / total, 4),
+            "masked_rate": round(counts[MASKED] / total, 4),
+            "silent_rate": round(counts[SILENT] / total, 4),
+        },
+        "runs_detail": [r.as_dict() for r in results],
+    }
+
+
+def render_report(report: dict) -> str:
+    """Canonical JSON rendering (byte-identical for identical campaigns)."""
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"

@@ -1,0 +1,227 @@
+"""Checkpoint/recovery of full Tangled/Qat machine state.
+
+A :class:`Checkpoint` captures everything architecturally visible --
+GPRs, PC, 64Ki-word memory, the whole Qat register file, the halted
+flag, instruction count and program output -- plus a SHA-256 integrity
+digest over the canonical byte encoding, so a checkpoint corrupted at
+rest (or by the fault injector) is *detected* on restore rather than
+silently resurrecting bad state.
+
+:class:`AutoCheckpointer` is the periodic variant the simulators drive
+from their run loops: attach one as ``sim.checkpointer`` and the machine
+is snapshotted every ``interval`` retired instructions, keeping a small
+ring of recent checkpoints.  Combined with a ``halt`` watchdog policy
+this gives crash-recovery semantics: a runaway program stops cleanly and
+the last good checkpoint is one ``restore`` away.
+
+Checkpoints serialize with :func:`numpy.savez_compressed`, so they are
+single portable files with no extra dependencies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CheckpointError
+
+#: Format version stamped into saved checkpoint files.
+FORMAT_VERSION = 1
+
+
+def _digest(regs: np.ndarray, mem: np.ndarray, qregs: np.ndarray,
+            pc: int, halted: bool, instret: int, output: tuple[str, ...]) -> str:
+    hasher = hashlib.sha256()
+    hasher.update(regs.tobytes())
+    hasher.update(mem.tobytes())
+    hasher.update(qregs.tobytes())
+    hasher.update(f"{pc}:{int(halted)}:{instret}".encode())
+    for chunk in output:
+        hasher.update(b"\x00")
+        hasher.update(chunk.encode("utf-8"))
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """An immutable snapshot of one machine's architectural state."""
+
+    pc: int
+    halted: bool
+    instret: int
+    regs: np.ndarray
+    mem: np.ndarray
+    qregs: np.ndarray
+    output: tuple[str, ...]
+    digest: str
+    #: timing-model cycle at capture, if the simulator supplied one
+    cycle: int | None = None
+    #: dense chunkstore symbols captured alongside, if a store was given
+    store_chunks: tuple[np.ndarray, ...] = field(default=())
+    store_chunk_ways: int | None = None
+
+    @classmethod
+    def take(cls, machine, cycle: int | None = None, store=None) -> "Checkpoint":
+        """Snapshot ``machine`` (and optionally a ``ChunkStore``) now."""
+        regs = machine.regs.copy()
+        mem = machine.mem.copy()
+        qregs = machine.qregs.copy()
+        output = tuple(machine.output)
+        store_chunks: tuple[np.ndarray, ...] = ()
+        store_chunk_ways = None
+        if store is not None:
+            store_chunks = tuple(np.array(c.words, copy=True) for c in store.chunks())
+            store_chunk_ways = store.chunk_ways
+        return cls(
+            pc=machine.pc,
+            halted=machine.halted,
+            instret=machine.instret,
+            regs=regs,
+            mem=mem,
+            qregs=qregs,
+            output=output,
+            digest=_digest(regs, mem, qregs, machine.pc, machine.halted,
+                           machine.instret, output),
+            cycle=cycle,
+            store_chunks=store_chunks,
+            store_chunk_ways=store_chunk_ways,
+        )
+
+    def verify(self) -> bool:
+        """True iff the snapshot still matches its integrity digest."""
+        return _digest(self.regs, self.mem, self.qregs, self.pc, self.halted,
+                       self.instret, self.output) == self.digest
+
+    def restore(self, machine, store=None, verify: bool = True) -> None:
+        """Write this snapshot back into ``machine`` (and ``store``).
+
+        Raises :class:`~repro.errors.CheckpointError` if ``verify`` is
+        set and the digest no longer matches (the checkpoint was
+        corrupted after capture).
+        """
+        if verify and not self.verify():
+            raise CheckpointError(
+                "checkpoint failed integrity verification; refusing to restore"
+            )
+        if machine.regs.shape != self.regs.shape or machine.qregs.shape != self.qregs.shape:
+            raise CheckpointError(
+                f"checkpoint shape mismatch: qregs {self.qregs.shape} vs "
+                f"machine {machine.qregs.shape}"
+            )
+        machine.regs[:] = self.regs
+        machine.mem[:] = self.mem
+        machine.qregs[:] = self.qregs
+        machine.pc = self.pc
+        machine.halted = self.halted
+        machine.instret = self.instret
+        machine.output[:] = list(self.output)
+        if store is not None and self.store_chunks:
+            store.restore_chunks(self.store_chunks)
+
+    # -- file round trip -----------------------------------------------------
+
+    def save(self, path: str) -> None:
+        """Write the checkpoint to ``path`` (``.npz``, compressed)."""
+        header = {
+            "version": FORMAT_VERSION,
+            "pc": self.pc,
+            "halted": self.halted,
+            "instret": self.instret,
+            "output": list(self.output),
+            "digest": self.digest,
+            "cycle": self.cycle,
+            "store_chunk_ways": self.store_chunk_ways,
+            "store_chunk_count": len(self.store_chunks),
+        }
+        arrays = {
+            "regs": self.regs,
+            "mem": self.mem,
+            "qregs": self.qregs,
+            "header": np.frombuffer(
+                json.dumps(header, sort_keys=True).encode("utf-8"), dtype=np.uint8
+            ),
+        }
+        for i, words in enumerate(self.store_chunks):
+            arrays[f"chunk_{i}"] = words
+        with open(path, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+
+    @classmethod
+    def load(cls, path: str) -> "Checkpoint":
+        """Read a checkpoint written by :meth:`save`."""
+        try:
+            data = np.load(path)
+            header = json.loads(bytes(data["header"]).decode("utf-8"))
+        except (OSError, ValueError, KeyError) as exc:
+            raise CheckpointError(f"unreadable checkpoint {path!r}: {exc}") from exc
+        if header.get("version") != FORMAT_VERSION:
+            raise CheckpointError(
+                f"unsupported checkpoint version {header.get('version')!r}"
+            )
+        chunks = tuple(
+            data[f"chunk_{i}"] for i in range(header["store_chunk_count"])
+        )
+        return cls(
+            pc=header["pc"],
+            halted=header["halted"],
+            instret=header["instret"],
+            regs=data["regs"],
+            mem=data["mem"],
+            qregs=data["qregs"],
+            output=tuple(header["output"]),
+            digest=header["digest"],
+            cycle=header["cycle"],
+            store_chunks=chunks,
+            store_chunk_ways=header["store_chunk_ways"],
+        )
+
+
+class AutoCheckpointer:
+    """Periodic checkpointing driven by a simulator's run loop.
+
+    Attach as ``sim.checkpointer``; every ``interval`` ticks (one tick
+    per retired instruction or pipeline cycle) the machine is
+    snapshotted into a ring of the ``keep`` most recent checkpoints.
+    """
+
+    def __init__(self, interval: int = 1024, keep: int = 2, store=None):
+        if interval <= 0:
+            raise CheckpointError(f"interval must be positive, got {interval}")
+        if keep <= 0:
+            raise CheckpointError(f"keep must be positive, got {keep}")
+        self.interval = interval
+        self.keep = keep
+        self.store = store
+        self.ticks = 0
+        self.taken = 0
+        self._ring: list[Checkpoint] = []
+
+    def tick(self, machine, cycle: int | None = None) -> Checkpoint | None:
+        """One unit of progress; snapshots when the interval elapses."""
+        self.ticks += 1
+        if self.ticks % self.interval:
+            return None
+        checkpoint = Checkpoint.take(machine, cycle=cycle, store=self.store)
+        self._ring.append(checkpoint)
+        if len(self._ring) > self.keep:
+            self._ring.pop(0)
+        self.taken += 1
+
+        from repro.obs import runtime as _obs
+
+        if _obs.active:
+            _obs.current().metrics.counter("checkpoint.taken").inc()
+        return checkpoint
+
+    @property
+    def latest(self) -> Checkpoint | None:
+        """Most recent checkpoint, or None before the first interval."""
+        return self._ring[-1] if self._ring else None
+
+    @property
+    def checkpoints(self) -> list[Checkpoint]:
+        """The retained ring, oldest first."""
+        return list(self._ring)

@@ -139,12 +139,32 @@ class Netlist:
             default=0,
         )
 
+    def logic_nodes(self) -> list[int]:
+        """Node ids of all logic gates -- the stuck-at faultable sites.
+
+        Constants and primary inputs are excluded: forcing those models a
+        bad stimulus, not a manufacturing or soft fault in the logic.
+        """
+        return [
+            i for i, g in enumerate(self._gates) if g.op not in ("const", "input")
+        ]
+
     # -- evaluation -------------------------------------------------------------------
 
-    def evaluate(self, inputs: dict[str, np.ndarray]) -> dict[str, np.ndarray]:
+    def evaluate(
+        self,
+        inputs: dict[str, np.ndarray],
+        stuck_at: dict[int, bool] | None = None,
+    ) -> dict[str, np.ndarray]:
         """Batch-evaluate: each input bit is a bool array (lane = test case).
 
         Returns each output bus as a 2D bool array ``(width, lanes)``.
+
+        ``stuck_at`` maps node ids to forced values -- the classic
+        single-stuck-at fault model.  A faulted node's computed value is
+        overridden after its gate evaluates, so downstream logic sees the
+        fault; compare against a fault-free evaluation to decide whether a
+        test batch detects it.
         """
         lanes = None
         for arr in inputs.values():
@@ -181,6 +201,8 @@ class Netlist:
                 values[i] = acc
             else:  # pragma: no cover
                 raise CircuitError(f"unknown gate op {g.op!r}")
+            if stuck_at is not None and i in stuck_at:
+                values[i] = np.full(lanes, stuck_at[i], dtype=bool)
         return {
             name: np.stack([values[n] for n in bus])
             for name, bus in self.outputs.items()

@@ -122,6 +122,7 @@ class Telemetry:
         m.counter("pipeline.fetch.extra_cycles").add(stats.fetch_extra)
         m.counter("pipeline.flush.branch").add(stats.branch_flushes)
         m.counter("pipeline.squashed").add(stats.squashed)
+        m.counter("pipeline.traps").add(stats.traps)
         m.gauge("pipeline.cpi").set(stats.cpi)
 
     # -- sinks ----------------------------------------------------------------

@@ -11,6 +11,10 @@ pairs), not O(total bits).
 
 from __future__ import annotations
 
+import zlib
+
+import numpy as np
+
 from repro.aob import AoB
 from repro.errors import EntanglementError
 from repro.obs import runtime as _obs
@@ -31,6 +35,10 @@ class ChunkStore:
         self.chunk_bits = 1 << chunk_ways
         self._chunks: list[AoB] = []
         self._ids: dict[AoB, int] = {}
+        # crc32 of each interned chunk's payload, checked by chunk_safe so
+        # a chunk corrupted after interning degrades instead of poisoning
+        # the symbolic layer.
+        self._crcs: list[int] = []
         self._binop_cache: dict[tuple[str, int, int], int] = {}
         self._not_cache: dict[int, int] = {}
         # Per-symbol measurement summaries, memoized lazily.
@@ -40,6 +48,8 @@ class ChunkStore:
         # as plain ints, published to telemetry only when it is active.
         self.gate_hits = 0
         self.gate_misses = 0
+        #: Times chunk_safe had to degrade (bad symbol or digest mismatch).
+        self.degraded = 0
         self.zero_id = self.intern(AoB.zeros(chunk_ways))
         self.one_id = self.intern(AoB.ones(chunk_ways))
 
@@ -59,6 +69,7 @@ class ChunkStore:
             sym = len(self._chunks)
             self._chunks.append(chunk)
             self._ids[chunk] = sym
+            self._crcs.append(zlib.crc32(chunk.words.tobytes()))
             if _obs.active:
                 _obs.current().metrics.gauge("chunkstore.symbols").set(
                     len(self._chunks)
@@ -68,6 +79,83 @@ class ChunkStore:
     def chunk(self, sym: int) -> AoB:
         """The AoB value of symbol ``sym``."""
         return self._chunks[sym]
+
+    def chunk_safe(self, sym: int) -> AoB:
+        """Fault-tolerant :meth:`chunk`: degrade on corruption, never crash.
+
+        An out-of-range symbol (e.g. a bit flip in a run-length encoding)
+        resolves to the all-zeros chunk; a chunk whose payload no longer
+        matches its interning-time crc32 (a soft error in chunk memory) is
+        accepted as dense ground truth again -- its digest is refreshed and
+        every memoized result involving the symbol is purged, so the
+        symbolic layer recomputes from the surviving bits instead of
+        serving stale gate results.  Both paths bump :attr:`degraded` and
+        the ``chunkstore.degraded`` telemetry counter.
+        """
+        if not 0 <= sym < len(self._chunks):
+            self._degrade(f"symbol {sym} out of range")
+            return self._chunks[self.zero_id]
+        chunk = self._chunks[sym]
+        crc = zlib.crc32(chunk.words.tobytes())
+        if crc != self._crcs[sym]:
+            self._degrade(f"symbol {sym} failed its integrity digest")
+            self._reintern(sym, crc)
+        return self._chunks[sym]
+
+    def _degrade(self, detail: str) -> None:
+        self.degraded += 1
+        if _obs.active:
+            _obs.current().metrics.counter("chunkstore.degraded").inc()
+
+    def _reintern(self, sym: int, crc: int) -> None:
+        """Adopt a mutated chunk's dense bits as the symbol's new value."""
+        self._crcs[sym] = crc
+        self._binop_cache = {
+            key: result
+            for key, result in self._binop_cache.items()
+            if sym not in (key[1], key[2], result)
+        }
+        self._not_cache = {
+            a: b for a, b in self._not_cache.items() if sym not in (a, b)
+        }
+        self._popcount.pop(sym, None)
+        self._first_one.pop(sym, None)
+        # The hash-consing index keys chunks by content; rebuild it so the
+        # mutated value resolves to this symbol (first occurrence wins).
+        self._ids = {}
+        for i, chunk in enumerate(self._chunks):
+            self._ids.setdefault(chunk, i)
+
+    # -- checkpoint support ---------------------------------------------------
+
+    def chunks(self) -> list[AoB]:
+        """Every interned chunk, in symbol-id order (for checkpointing)."""
+        return list(self._chunks)
+
+    def restore_chunks(self, chunk_words) -> None:
+        """Rebuild the store from dense chunk payloads, id order preserved.
+
+        ``chunk_words`` is a sequence of uint64 word arrays as captured by
+        :meth:`chunks` (one per symbol).  All memo tables are dropped --
+        they may reference symbols whose values changed.
+        """
+        chunks = [
+            AoB(self.chunk_ways, np.array(words, dtype=np.uint64, copy=True))
+            for words in chunk_words
+        ]
+        if len(chunks) < 2:
+            raise EntanglementError(
+                "restore_chunks needs at least the two constant chunks"
+            )
+        self._chunks = chunks
+        self._ids = {}
+        for i, chunk in enumerate(chunks):
+            self._ids.setdefault(chunk, i)
+        self._crcs = [zlib.crc32(c.words.tobytes()) for c in chunks]
+        self._binop_cache.clear()
+        self._not_cache.clear()
+        self._popcount.clear()
+        self._first_one.clear()
 
     def hadamard(self, k: int) -> int:
         """Symbol id of the ``H(k)`` pattern restricted to one chunk."""
@@ -132,7 +220,7 @@ class ChunkStore:
         """Number of 1 bits in symbol ``sym``."""
         count = self._popcount.get(sym)
         if count is None:
-            count = self._chunks[sym].popcount()
+            count = self.chunk_safe(sym).popcount()
             self._popcount[sym] = count
         return count
 
@@ -140,7 +228,7 @@ class ChunkStore:
         """Lowest channel holding a 1 within the chunk, or -1 if none."""
         first = self._first_one.get(sym)
         if first is None:
-            chunk = self._chunks[sym]
+            chunk = self.chunk_safe(sym)
             if chunk.meas(0):
                 first = 0
             else:
@@ -157,4 +245,5 @@ class ChunkStore:
             "not_cache": len(self._not_cache),
             "gate_hits": self.gate_hits,
             "gate_misses": self.gate_misses,
+            "degraded": self.degraded,
         }

@@ -189,7 +189,7 @@ class PatternVector:
         out = np.empty(self.num_chunks * words_per_chunk, dtype=np.uint64)
         pos = 0
         for sym, count in self.runs:
-            chunk_words = self.store.chunk(sym).words
+            chunk_words = self.store.chunk_safe(sym).words
             for _ in range(count):
                 out[pos : pos + words_per_chunk] = chunk_words
                 pos += words_per_chunk
@@ -279,7 +279,7 @@ class PatternVector:
         cw = self.store.chunk_ways
         run_idx, _ = self._locate(channel >> cw)
         sym = self.runs[run_idx][0]
-        return self.store.chunk(sym).meas(channel & ((1 << cw) - 1))
+        return self.store.chunk_safe(sym).meas(channel & ((1 << cw) - 1))
 
     def next(self, channel: int) -> int:
         """Lowest channel ``> channel`` holding a 1, else 0."""
@@ -295,7 +295,7 @@ class PatternVector:
         run_idx, run_base = self._locate(q)
         # Partial first chunk: bits >= r.
         sym = self.runs[run_idx][0]
-        chunk = store.chunk(sym)
+        chunk = store.chunk_safe(sym)
         if chunk.meas(r):
             return q * chunk_bits + r
         hit = chunk.next(r)
@@ -326,7 +326,7 @@ class PatternVector:
         q, r = start >> cw, start & (chunk_bits - 1)
         run_idx, run_base = self._locate(q)
         sym = self.runs[run_idx][0]
-        chunk = store.chunk(sym)
+        chunk = store.chunk_safe(sym)
         count = chunk.popcount() if r == 0 else chunk.pop_after(r - 1)
         remaining = run_base + self.runs[run_idx][1] - (q + 1)
         count += remaining * store.popcount(sym)

@@ -4,6 +4,8 @@ import pytest
 
 from repro.cpu import FunctionalSimulator, PipelinedSimulator, SyscallHandler
 from repro.asm import assemble
+from repro.errors import SyscallError
+from repro.faults import TrapCause, TrapPolicy
 
 from tests.conftest import assemble_and_run
 
@@ -13,9 +15,18 @@ class TestServices:
         sim = assemble_and_run("lex $rv, 0\nsys\n")
         assert sim.machine.halted
 
-    def test_unknown_service_halts(self):
-        sim = assemble_and_run("lex $rv, 99\nsys\n")
+    def test_unknown_service_raises_typed_error(self):
+        with pytest.raises(SyscallError) as excinfo:
+            assemble_and_run("lex $rv, 99\nsys\n")
+        assert excinfo.value.service == 99
+        assert excinfo.value.pc == 1
+
+    def test_unknown_service_halts_under_halt_policy(self):
+        sim = FunctionalSimulator(trap_policy=TrapPolicy.halting())
+        sim.load(assemble("lex $rv, 99\nsys\n"))
+        sim.run()
         assert sim.machine.halted
+        assert [t.cause for t in sim.machine.traps] == [TrapCause.UNKNOWN_SYSCALL]
 
     def test_print_int_signed(self):
         sim = assemble_and_run(
@@ -38,12 +49,13 @@ class TestServices:
         sim.run()
         assert 0 < sim.machine.read_reg(1) <= sim.stats.cycles
 
-    def test_read_cycles_without_source_halts(self):
-        """The functional simulator has no clock: service 3 falls back to
-        halting."""
-        sim = assemble_and_run("lex $rv, 3\nsys\nlex $0, 1\n")
+    def test_read_cycles_without_source_returns_zero(self):
+        """The functional simulator has no clock: service 3 reads as zero
+        and execution continues."""
+        sim = assemble_and_run("lex $rv, 3\nsys\nlex $1, 7\nlex $rv, 0\nsys\n")
         assert sim.machine.halted
         assert sim.machine.read_reg(0) == 0
+        assert sim.machine.read_reg(1) == 7
 
 
 class TestPrintString:
