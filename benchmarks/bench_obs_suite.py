@@ -1,0 +1,20 @@
+"""pytest-benchmark view of the ``tangled bench`` suite.
+
+Each test times one :mod:`repro.obs.bench` spec through the
+:func:`harness.run_bench_spec` bridge, so ``pytest benchmarks/`` and
+``tangled bench`` report statistics over the identical unit of work.
+"""
+
+import pytest
+
+from harness import run_bench_spec
+from repro.obs import bench as obs_bench
+
+
+@pytest.mark.parametrize(
+    "name", [spec.name for spec in obs_bench.default_specs()]
+)
+def test_bench_suite_spec(benchmark, name):
+    result = run_bench_spec(benchmark, name)
+    assert result["seconds"] >= 0
+    assert result["counters"], f"spec {name} recorded no counters"

@@ -23,6 +23,7 @@ from repro.apps.fig10 import (
     FIG10_SOURCE,
     compile_factor_program,
     fig10_program,
+    profile_factor_program,
     run_factor_program,
 )
 from repro.apps.search import solve_sat, invert_function
@@ -42,6 +43,7 @@ __all__ = [
     "figure9_demo",
     "invert_function",
     "multiplication_distribution",
+    "profile_factor_program",
     "run_factor_program",
     "solve_sat",
     "superposed_sum",

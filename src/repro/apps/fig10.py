@@ -151,3 +151,25 @@ def run_factor_program(
     sim.load(program)
     sim.run()
     return sim, (sim.machine.read_reg(0), sim.machine.read_reg(1))
+
+
+def profile_factor_program(
+    program: Program | None = None,
+    ways: int = 8,
+    simulator: str = "pipelined",
+    config: PipelineConfig | None = None,
+):
+    """Run a factoring program under the architectural profiler.
+
+    Defaults to the literal Figure 10 listing.  Returns
+    ``(simulator, profiler)`` -- the profiler's per-PC ledger
+    (:meth:`~repro.obs.profile.Profiler.as_dict`) is the programmatic
+    view behind ``tangled profile fig10``, with per-PC cycles summing
+    exactly to the run's cycle count.
+    """
+    from repro.obs.profile import profile_program
+
+    if program is None:
+        program = fig10_program()
+    return profile_program(program, ways=ways, simulator=simulator,
+                           config=config)

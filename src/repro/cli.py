@@ -11,12 +11,20 @@ Installed as the ``tangled`` console script::
     tangled verilog qatnext --ways 8            emit the Figure 7/8 Verilog
     tangled fig10 [--stats]                     run the paper's listing
     tangled faults --seed 7 --runs 20           seeded soft-error campaign
+    tangled profile program.s                   per-PC cycle attribution
+    tangled profile fig10 --trace-out f.json    ... plus a flamegraph
+    tangled bench --label nightly               statistics-aware bench run
+    tangled bench --compare baseline.json       classify perf deltas
 
 Every subcommand prints to stdout and exits non-zero on error, so the
 tools compose in shell pipelines.  ``--stats``/``--trace-out`` route the
 whole execution through :mod:`repro.obs`: the report covers pipeline
 CPI/stalls, Qat op and AoB-bit volume, and chunkstore compression; the
 trace file loads in ``chrome://tracing`` or https://ui.perfetto.dev.
+``profile`` goes further -- a ``perf annotate``-style listing saying
+*which instruction* the cycles went to and who it stalled on -- and
+``bench`` writes/gates the canonical ``BENCH_<label>.json`` trajectory
+(see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -198,6 +206,89 @@ def cmd_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_profile(args: argparse.Namespace) -> int:
+    from repro.cpu import PipelineConfig
+    from repro.obs.profile import (
+        profile_program,
+        render_annotate,
+        write_flamegraph,
+    )
+
+    if args.source == "fig10":
+        from repro.apps import fig10_program
+
+        program = fig10_program()
+        title = "fig10 (the paper's listing)"
+    else:
+        from repro.asm import assemble
+
+        program = assemble(_read_source(args.source))
+        title = args.source
+    config = None
+    if args.sim == "pipelined":
+        config = PipelineConfig(
+            stages=args.stages, forwarding=not args.no_forwarding
+        )
+    sim, profiler = profile_program(
+        program, ways=args.ways, simulator=args.sim, config=config,
+        max_cycles=args.limit,
+    )
+    if args.json == "-":
+        sys.stdout.write(profiler.to_json())
+    else:
+        print(render_annotate(profiler, words=program.words,
+                              title=f"{title} [{args.sim}]"))
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as handle:
+                handle.write(profiler.to_json())
+            print(f"profile json -> {args.json}")
+    if args.trace_out:
+        write_flamegraph(args.trace_out, profiler)
+        if args.json != "-":
+            print(f"flamegraph trace -> {args.trace_out}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs import bench
+
+    if args.list:
+        for spec in bench.default_specs():
+            print(f"{spec.name:<24} {spec.description}")
+        return 0
+    rounds = 2 if args.quick else args.rounds
+    specs = None
+    if args.only:
+        wanted = args.only.split(",")
+        specs = [bench.spec_by_name(name) for name in wanted]
+    if args.input:
+        report = bench.load_report(args.input)
+    else:
+        report = bench.run_suite(
+            specs=specs, label=args.label, rounds=rounds,
+            warmup=args.warmup,
+            progress=lambda line: print(line, file=sys.stderr),
+        )
+        out = args.out or f"BENCH_{args.label}.json"
+        bench.write_report(out, report)
+        print(f"bench report ({len(report['benches'])} benches, "
+              f"{rounds} rounds) -> {out}")
+    if args.compare:
+        baseline = bench.load_report(args.compare)
+        rows = bench.compare_reports(
+            report, baseline,
+            counter_threshold=args.counter_threshold,
+            time_threshold=args.time_threshold,
+        )
+        print(bench.render_compare(rows, verbose=args.verbose))
+        bad = bench.regressions(rows, include_timing=args.gate_timing)
+        if bad:
+            print(f"tangled bench: {len(bad)} regression(s) vs "
+                  f"{args.compare}", file=sys.stderr)
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="tangled", description="Tangled/Qat reproduction tools"
@@ -274,6 +365,63 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", metavar="PATH",
                    help="write a Chrome trace_event JSON file")
     p.set_defaults(func=cmd_faults)
+
+    p = sub.add_parser(
+        "profile",
+        help="attribute every simulated cycle to a PC (perf annotate style)",
+    )
+    p.add_argument("source",
+                   help="assembly file ('-' for stdin), or 'fig10' for the "
+                        "paper's listing")
+    p.add_argument("--sim", choices=("pipelined", "multicycle"),
+                   default="pipelined")
+    p.add_argument("--ways", type=int, default=8)
+    p.add_argument("--stages", type=int, choices=(4, 5), default=4)
+    p.add_argument("--no-forwarding", action="store_true")
+    p.add_argument("--limit", type=int, default=10_000_000,
+                   help="cycle/step budget")
+    p.add_argument("--json", metavar="PATH",
+                   help="also write the profile as JSON ('-' for stdout "
+                        "instead of the listing)")
+    p.add_argument("--trace-out", metavar="PATH",
+                   help="write a Chrome trace_event flamegraph "
+                        "(chrome://tracing / Perfetto)")
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser(
+        "bench",
+        help="run the benchmark suite; write/compare BENCH_<label>.json",
+    )
+    p.add_argument("--label", default="local",
+                   help="report label (default: local)")
+    p.add_argument("--out", metavar="PATH",
+                   help="report path (default: BENCH_<label>.json)")
+    p.add_argument("--rounds", type=int, default=5,
+                   help="measured rounds per bench (default: 5)")
+    p.add_argument("--warmup", type=int, default=1,
+                   help="unmeasured warmup rounds per bench (default: 1)")
+    p.add_argument("--quick", action="store_true",
+                   help="2 measured rounds (CI smoke mode)")
+    p.add_argument("--only", metavar="NAMES",
+                   help="comma-separated bench names to run")
+    p.add_argument("--list", action="store_true",
+                   help="list bench names and exit")
+    p.add_argument("--input", metavar="PATH",
+                   help="compare an existing report instead of running")
+    p.add_argument("--compare", metavar="PATH",
+                   help="baseline BENCH json; exit 1 on counter regressions")
+    p.add_argument("--counter-threshold", type=float, default=0.05,
+                   help="relative counter change treated as neutral "
+                        "(default: 0.05)")
+    p.add_argument("--time-threshold", type=float, default=0.25,
+                   help="relative median-time change treated as neutral "
+                        "(default: 0.25)")
+    p.add_argument("--gate-timing", action="store_true",
+                   help="also fail on timing regressions (off by default: "
+                        "wall clock is machine-dependent)")
+    p.add_argument("--verbose", action="store_true",
+                   help="show neutral metrics in the comparison too")
+    p.set_defaults(func=cmd_bench)
     return parser
 
 

@@ -46,6 +46,30 @@ class CycleCosts:
         base = getattr(self, spec.category)
         return base + (spec.words - 1) * self.extra_fetch_word
 
+    def breakdown(self, mnemonic: str) -> list[tuple[str, int]]:
+        """``[(profiler reason, cycles), ...]`` summing to :meth:`cycles_for`.
+
+        The universal fetch/decode/execute+writeback states are ``issue``;
+        extra memory-access states are ``memory``; extra execute states
+        (the multiplier's) are ``structural``; each instruction word past
+        the first is ``fetch``; a trap charges its entry cost as ``flush``.
+        """
+        spec = INSTRUCTIONS.get(mnemonic)
+        if spec is None:
+            return [("flush", self.sys)]
+        base = getattr(self, spec.category)
+        issue = min(base, self.alu)
+        parts = [("issue", issue)]
+        if base > issue:
+            parts.append(
+                ("memory" if spec.category == "mem" else "structural",
+                 base - issue)
+            )
+        fetch = (spec.words - 1) * self.extra_fetch_word
+        if fetch:
+            parts.append(("fetch", fetch))
+        return parts
+
 
 class MultiCycleSimulator:
     """Functional execution plus a per-instruction cycle charge."""
@@ -63,6 +87,9 @@ class MultiCycleSimulator:
             ways=ways, syscalls=syscalls, trap_policy=trap_policy
         )
         self.machine.cycle_provider = lambda: self.cycles
+        #: optional :class:`repro.obs.profile.Profiler`; every cycle
+        #: charged by :meth:`step` is attributed to a PC and reason.
+        self.profiler = None
 
     @property
     def machine(self):
@@ -86,10 +113,33 @@ class MultiCycleSimulator:
         if self.machine.halted:
             raise HaltedError("machine is halted", pc=self.machine.pc,
                               cycle=self.cycles)
-        effects = self._inner.step()
+        prof = self.profiler
+        pc = self.machine.pc
+        if prof is not None:
+            prof.current_pc = pc
+        try:
+            effects = self._inner.step()
+        finally:
+            if prof is not None:
+                prof.current_pc = None
         cost = self.costs.cycles_for(effects.mnemonic)
         self.cycles += cost
+        if prof is not None:
+            instr = self._decoded_at(pc)
+            for reason, cycles in self.costs.breakdown(effects.mnemonic):
+                prof.attribute(pc, reason, cycles=cycles, instr=instr)
         return cost
+
+    def _decoded_at(self, pc: int):
+        """Best-effort re-decode at ``pc`` for profiler labels."""
+        from repro.errors import EncodingError
+        from repro.isa.encoding import decode
+
+        try:
+            instr, _ = decode(self.machine.mem, pc)
+            return instr
+        except EncodingError:
+            return None
 
     def run(self, max_steps: int = 1_000_000) -> int:
         """Run to halt; returns total cycles.

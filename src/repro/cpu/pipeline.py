@@ -132,6 +132,12 @@ class PipelinedSimulator:
         self.stats = PipelineStats()
         #: optional :class:`repro.faults.checkpoint.AutoCheckpointer`
         self.checkpointer = None
+        #: optional :class:`repro.obs.profile.Profiler`; receives exactly
+        #: one per-PC attribution per cycle while attached.
+        self.profiler = None
+        self._flush_refill = 0   # bubble cycles still owed to a flush
+        self._flush_pc = 0       # PC of the branch/trap that caused them
+        self._flush_instr = None
         nstages = self.config.stages
         self._pipe: list[_InFlight | None] = [None] * nstages
         self._fetch_pc = 0
@@ -156,6 +162,8 @@ class PipelinedSimulator:
         self._fetch_current = None
         self._pipe = [None] * self.config.stages
         self.stats = PipelineStats()
+        self._flush_refill = 0
+        self._flush_instr = None
 
     # -- fetch/decode ----------------------------------------------------------------
 
@@ -197,8 +205,12 @@ class PipelinedSimulator:
 
     # -- hazards ------------------------------------------------------------------------
 
-    def _id_stall_reason(self, rec: _InFlight) -> str | None:
-        """Why the instruction in ID cannot enter EX this cycle, if any."""
+    def _id_stall_reason(self, rec: _InFlight) -> tuple[str, _InFlight] | None:
+        """Why the instruction in ID cannot enter EX this cycle, if any.
+
+        Returns ``(reason, producer)`` so the caller can both count the
+        stall kind and blame the older instruction it waited on.
+        """
         nstages = self.config.stages
         for s in range(_EX, nstages):
             prod = self._pipe[s]
@@ -214,12 +226,12 @@ class PipelinedSimulator:
                 # Results forward from the end of EX (loads: end of MEM in
                 # the 5-stage) straight into the consumer's EX.
                 if prod.is_load and s == _EX and nstages == 5:
-                    return "load_use"
+                    return ("load_use", prod)
                 continue
             # No forwarding: wait until the producer is in WB (split-phase
             # register file: write in the first half, read in the second).
             if s < nstages - 1:
-                return "data"
+                return ("data", prod)
         return None
 
     # -- the cycle ------------------------------------------------------------------------
@@ -236,6 +248,7 @@ class PipelinedSimulator:
         pipe = self._pipe
         nstages = self.config.stages
         obs = self._obs
+        prof = self.profiler
         self.stats.cycles += 1
 
         # WB: retire (instruction leaves the pipe).
@@ -277,16 +290,23 @@ class PipelinedSimulator:
             ex_rec.ex_left -= 1
             self.stats.stall_structural += 1
             pipe[_EX] = ex_rec
+            if prof is not None:
+                prof.attribute(ex_rec.pc, "structural", instr=ex_rec.instr)
         else:
             # ID -> EX (with interlock check).
             id_rec = pipe[_ID]
             stall = self._id_stall_reason(id_rec) if id_rec is not None else None
             if stall is not None:
                 pipe[_EX] = None
-                if stall == "data":
+                reason, producer = stall
+                if reason == "data":
                     self.stats.stall_data += 1
                 else:
                     self.stats.stall_load_use += 1
+                if prof is not None:
+                    prof.attribute(id_rec.pc, "raw" if reason == "data"
+                                   else reason, instr=id_rec.instr,
+                                   blame_pc=producer.pc)
             else:
                 pipe[_EX] = id_rec
                 pipe[_ID] = None
@@ -305,6 +325,9 @@ class PipelinedSimulator:
             if entering is not None and not entering.executed:
                 self.machine.pc = entering.pc
                 entering.executed = True
+                if prof is not None:
+                    prof.attribute(entering.pc, "issue", instr=entering.instr)
+                    prof.current_pc = entering.pc
                 try:
                     if entering.instr is None:
                         self.machine.trap(
@@ -314,6 +337,8 @@ class PipelinedSimulator:
                         )
                     effects = execute(self.machine, entering.instr, self.syscalls)
                 except TrapDelivered:
+                    if prof is not None:
+                        prof.current_pc = None
                     self.stats.traps += 1
                     pipe[_EX] = None  # trapped instruction never retires
                     if self.machine.halted:
@@ -327,7 +352,12 @@ class PipelinedSimulator:
                         self.stats.squashed += 1
                     self._fetch_current = None
                     self._fetch_pc = self.machine.pc
+                    self._flush_refill = 2
+                    self._flush_pc = entering.pc
+                    self._flush_instr = entering.instr
                     return  # redirect lands next cycle (2-cycle penalty)
+                if prof is not None:
+                    prof.current_pc = None
                 if self.machine.halted:
                     return
                 if effects.taken_branch:
@@ -341,7 +371,26 @@ class PipelinedSimulator:
                         self.stats.squashed += 1
                     self._fetch_current = None
                     self._fetch_pc = effects.next_pc
+                    self._flush_refill = 2
+                    self._flush_pc = entering.pc
+                    self._flush_instr = entering.instr
                     redirected = True
+            elif prof is not None and stall is None:
+                # Bubble: the backend had nothing to issue.  Charge the
+                # flush that emptied the frontend while its penalty is
+                # still being repaid, otherwise the fetch in progress
+                # (two-word Qat fetch, pipeline fill after reset).
+                if self._flush_refill > 0:
+                    self._flush_refill -= 1
+                    prof.attribute(self._flush_pc, "flush",
+                                   instr=self._flush_instr)
+                else:
+                    fetching = self._fetch_current
+                    prof.attribute(
+                        fetching.pc if fetching is not None else self._fetch_pc,
+                        "fetch",
+                        instr=fetching.instr if fetching is not None else None,
+                    )
 
         # IF -> ID: only a fetch that completed in an *earlier* cycle may
         # latch into a free ID slot (old-state latching).

@@ -27,6 +27,7 @@ that determinism is asserted in CI.  When telemetry
 from __future__ import annotations
 
 import json
+import time
 from dataclasses import dataclass, field
 
 from repro.errors import ReproError
@@ -172,6 +173,7 @@ def run_campaign(
             outcome=MASKED,
             events=[e.as_dict() for e in plan.events],
         )
+        t0 = time.perf_counter()
         try:
             _drive(subject, plan, watchdog)
         except ReproError as exc:
@@ -187,12 +189,12 @@ def run_campaign(
         result.traps = [r.as_dict() for r in subject.machine.traps]
         counts[result.outcome] += 1
         results.append(result)
-
-    if _obs.active:
-        metrics = _obs.current().metrics
-        for outcome, count in counts.items():
-            metrics.counter(f"faults.{outcome}").add(count)
-        metrics.counter("faults.runs").add(runs)
+        if _obs.active:
+            # Per-run hook: outcome counters plus a run-duration
+            # histogram, so ``tangled faults --stats`` shows both the
+            # classification totals and the campaign's timing profile.
+            _obs.current().fault_run(result.outcome,
+                                     time.perf_counter() - t0)
 
     total = float(runs)
     return {

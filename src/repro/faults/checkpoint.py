@@ -22,11 +22,13 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import CheckpointError
+from repro.obs import runtime as _obs
 
 #: Format version stamped into saved checkpoint files.
 FORMAT_VERSION = 1
@@ -66,6 +68,7 @@ class Checkpoint:
     @classmethod
     def take(cls, machine, cycle: int | None = None, store=None) -> "Checkpoint":
         """Snapshot ``machine`` (and optionally a ``ChunkStore``) now."""
+        t0 = time.perf_counter_ns()
         regs = machine.regs.copy()
         mem = machine.mem.copy()
         qregs = machine.qregs.copy()
@@ -75,6 +78,8 @@ class Checkpoint:
         if store is not None:
             store_chunks = tuple(np.array(c.words, copy=True) for c in store.chunks())
             store_chunk_ways = store.chunk_ways
+        if _obs.active:
+            _obs.current().checkpoint_op("capture", t0)
         return cls(
             pc=machine.pc,
             halted=machine.halted,
@@ -92,8 +97,12 @@ class Checkpoint:
 
     def verify(self) -> bool:
         """True iff the snapshot still matches its integrity digest."""
-        return _digest(self.regs, self.mem, self.qregs, self.pc, self.halted,
-                       self.instret, self.output) == self.digest
+        t0 = time.perf_counter_ns()
+        ok = _digest(self.regs, self.mem, self.qregs, self.pc, self.halted,
+                     self.instret, self.output) == self.digest
+        if _obs.active:
+            _obs.current().checkpoint_op("verify", t0, ok=ok)
+        return ok
 
     def restore(self, machine, store=None, verify: bool = True) -> None:
         """Write this snapshot back into ``machine`` (and ``store``).
@@ -102,11 +111,16 @@ class Checkpoint:
         set and the digest no longer matches (the checkpoint was
         corrupted after capture).
         """
+        t0 = time.perf_counter_ns()
         if verify and not self.verify():
+            if _obs.active:
+                _obs.current().checkpoint_op("restore", t0, ok=False)
             raise CheckpointError(
                 "checkpoint failed integrity verification; refusing to restore"
             )
         if machine.regs.shape != self.regs.shape or machine.qregs.shape != self.qregs.shape:
+            if _obs.active:
+                _obs.current().checkpoint_op("restore", t0, ok=False)
             raise CheckpointError(
                 f"checkpoint shape mismatch: qregs {self.qregs.shape} vs "
                 f"machine {machine.qregs.shape}"
@@ -120,6 +134,8 @@ class Checkpoint:
         machine.output[:] = list(self.output)
         if store is not None and self.store_chunks:
             store.restore_chunks(self.store_chunks)
+        if _obs.active:
+            _obs.current().checkpoint_op("restore", t0)
 
     # -- file round trip -----------------------------------------------------
 
@@ -146,17 +162,25 @@ class Checkpoint:
         }
         for i, words in enumerate(self.store_chunks):
             arrays[f"chunk_{i}"] = words
+        t0 = time.perf_counter_ns()
         with open(path, "wb") as handle:
             np.savez_compressed(handle, **arrays)
+        if _obs.active:
+            _obs.current().checkpoint_op("save", t0)
 
     @classmethod
     def load(cls, path: str) -> "Checkpoint":
         """Read a checkpoint written by :meth:`save`."""
+        t0 = time.perf_counter_ns()
         try:
             data = np.load(path)
             header = json.loads(bytes(data["header"]).decode("utf-8"))
         except (OSError, ValueError, KeyError) as exc:
+            if _obs.active:
+                _obs.current().checkpoint_op("load", t0, ok=False)
             raise CheckpointError(f"unreadable checkpoint {path!r}: {exc}") from exc
+        if _obs.active:
+            _obs.current().checkpoint_op("load", t0)
         if header.get("version") != FORMAT_VERSION:
             raise CheckpointError(
                 f"unsupported checkpoint version {header.get('version')!r}"

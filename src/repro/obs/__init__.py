@@ -34,7 +34,13 @@ from contextlib import contextmanager
 
 from repro.obs import runtime
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricRegistry
-from repro.obs.sinks import chrome_trace, events_jsonl, render_report, write_chrome_trace
+from repro.obs.sinks import (
+    chrome_trace,
+    events_jsonl,
+    render_report,
+    write_chrome_trace,
+    write_trace,
+)
 from repro.obs.spans import NULL_SPAN, Tracer
 from repro.obs.telemetry import Telemetry, TimerHandle
 
@@ -44,6 +50,7 @@ __all__ = [
     "Histogram",
     "MetricRegistry",
     "NULL_SPAN",
+    "Profiler",
     "Telemetry",
     "TimerHandle",
     "Tracer",
@@ -54,10 +61,23 @@ __all__ = [
     "enable",
     "events_jsonl",
     "install",
+    "profile_program",
     "render_report",
     "runtime",
     "write_chrome_trace",
+    "write_trace",
 ]
+
+
+def __getattr__(name: str):
+    # Lazy: repro.obs.profile imports the disassembler/simulators, which
+    # import repro.obs -- resolving on first use keeps the core import
+    # cycle-free and cheap.
+    if name in ("Profiler", "profile_program"):
+        from repro.obs import profile
+
+        return getattr(profile, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def enable(tracing: bool = True, max_events: int = 1_000_000) -> Telemetry:

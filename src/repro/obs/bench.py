@@ -1,0 +1,369 @@
+"""Statistics-aware benchmark runner behind ``tangled bench``.
+
+The experiment harness (``benchmarks/harness.py``) prints tables; this
+module turns a curated subset of those workloads into a *regression
+instrument*: every bench runs ``warmup + rounds`` times, each round
+under a fresh telemetry capture, and the report records
+
+- **counters** -- every scalar metric the round produced (CPI, cycles,
+  stalls, Qat op/bit volume, chunkstore hits).  These are deterministic
+  functions of the workload, so two runs of the same tree produce
+  byte-identical counter sections -- the property CI leans on; and
+- **timing** -- median / IQR / min / mean wall-clock seconds across
+  rounds.  Timing varies run to run and is therefore *recorded but not
+  gated* unless explicitly requested.
+
+:func:`write_report` serializes with sorted keys and a fixed layout, so
+``BENCH_<label>.json`` files diff cleanly and append naturally to a
+trajectory (compare any two with ``tangled bench --compare``).
+:func:`compare_reports` classifies each shared metric as improved /
+regressed / neutral against configurable relative thresholds, knowing
+which metrics are better high (hit counts, bytes saved) and which are
+better low (everything else).
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ReproError
+
+#: Report format version.
+SCHEMA = 1
+
+#: Metrics where *larger* is the improvement; every other metric is
+#: treated as a cost (cycles, stalls, seconds, bit volume).
+HIGHER_IS_BETTER = (
+    "chunkstore.binop.hit",
+    "chunkstore.bytes_saved",
+    "pipeline.retired",
+    "faults.masked",
+)
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One named workload: a zero-argument callable run per round."""
+
+    name: str
+    fn: Callable[[], object]
+    description: str = ""
+
+
+# ---------------------------------------------------------------------------
+# The suite
+# ---------------------------------------------------------------------------
+
+def _fig10(simulator: str, **config_kwargs):
+    def run():
+        from repro.apps import fig10_program, run_factor_program
+        from repro.cpu import PipelineConfig
+
+        config = PipelineConfig(**config_kwargs) if config_kwargs else None
+        sim, regs = run_factor_program(
+            fig10_program(), ways=8, simulator=simulator, config=config
+        )
+        if regs != (5, 3):
+            raise ReproError(f"fig10 produced {regs}, expected (5, 3)")
+        return sim
+
+    return run
+
+
+def _factor_n221():
+    from repro.apps import factor_pairs
+
+    pairs = factor_pairs(221, 5, 5)
+    if (13, 17) not in pairs:
+        raise ReproError(f"factor(221) produced {pairs}")
+    return pairs
+
+
+def _chunkstore_xor(ways: int = 18):
+    from repro.pattern import ChunkStore, PatternVector
+
+    store = ChunkStore(16)
+    h = PatternVector.hadamard(ways, ways - 1, store)
+    g = PatternVector.hadamard(ways, 0, store)
+    first = h ^ g
+    second = h ^ g  # memoized replay: pure chunkstore hits
+    (first & second)
+    return first.num_runs
+
+
+def _compiled_factor15():
+    from repro.apps import compile_factor_program, run_factor_program
+    from repro.gates import EmitOptions
+
+    compiled = compile_factor_program(15, 4, 4, EmitOptions(allocator="recycle"))
+    sim, regs = run_factor_program(compiled.program, ways=8)
+    if regs != (5, 3):
+        raise ReproError(f"compiled factor-15 produced {regs}")
+    return sim
+
+
+def _qat_kernels(ways: int = 14):
+    import numpy as np
+
+    from repro.aob import AoB
+
+    rng = np.random.default_rng(42)
+    a = AoB.random(ways, rng)
+    b = AoB.random(ways, rng)
+    (a & b) ^ (a | ~b)
+    a.next(123)
+    return a.meas(123)
+
+
+def default_specs() -> list[BenchSpec]:
+    """The standard ``tangled bench`` suite, stable order."""
+    return [
+        BenchSpec("fig10.functional", _fig10("functional"),
+                  "Figure 10 on the functional simulator"),
+        BenchSpec("fig10.multicycle", _fig10("multicycle"),
+                  "Figure 10 on the multi-cycle timing model"),
+        BenchSpec("fig10.pipelined", _fig10("pipelined"),
+                  "Figure 10 on the 4-stage forwarding pipeline (key CPI)"),
+        BenchSpec("fig10.pipelined_nofwd",
+                  _fig10("pipelined", stages=4, forwarding=False),
+                  "Figure 10 without forwarding (stall-heavy variant)"),
+        BenchSpec("factor.n221", _factor_n221,
+                  "word-level factoring of 221 (AoB kernel volume)"),
+        BenchSpec("chunkstore.s12", _chunkstore_xor,
+                  "RE-compressed XOR at 18-way (chunkstore hit rate)"),
+        BenchSpec("compiler.factor15", _compiled_factor15,
+                  "compile + run the recycling-allocator factor-15 program"),
+        BenchSpec("qat.kernels", _qat_kernels,
+                  "raw AoB SIMD kernels at 14-way"),
+    ]
+
+
+def spec_by_name(name: str) -> BenchSpec:
+    for spec in default_specs():
+        if spec.name == name:
+            return spec
+    raise ReproError(f"unknown bench {name!r} "
+                     f"(try: {', '.join(s.name for s in default_specs())})")
+
+
+# ---------------------------------------------------------------------------
+# Running
+# ---------------------------------------------------------------------------
+
+def run_spec_once(spec: BenchSpec) -> dict:
+    """One round of ``spec`` under a fresh capture.
+
+    Returns ``{"seconds": float, "counters": {name: value}}`` where the
+    counters are every scalar (non-histogram) metric the round touched.
+    Histograms are excluded: their contents are wall-clock durations and
+    would break counter determinism.
+    """
+    from repro import obs
+    from repro.obs.metrics import Histogram
+
+    previous = obs.current()
+    telemetry = obs.enable(tracing=False)
+    try:
+        t0 = time.perf_counter()
+        spec.fn()
+        seconds = time.perf_counter() - t0
+    finally:
+        obs.install(previous)
+    counters = {
+        name: metric.value
+        for name, metric in telemetry.metrics.items()
+        if not isinstance(metric, Histogram)
+    }
+    return {"seconds": seconds, "counters": counters}
+
+
+def _timing_stats(samples: list[float]) -> dict:
+    """median / IQR / min / mean over the round timings."""
+    ordered = sorted(samples)
+    if len(ordered) >= 2:
+        quartiles = statistics.quantiles(ordered, n=4, method="inclusive")
+        iqr = quartiles[2] - quartiles[0]
+    else:
+        iqr = 0.0
+    return {
+        "iqr": iqr,
+        "max": ordered[-1],
+        "mean": statistics.fmean(ordered),
+        "median": statistics.median(ordered),
+        "min": ordered[0],
+        "rounds": len(ordered),
+    }
+
+
+def run_suite(
+    specs: list[BenchSpec] | None = None,
+    label: str = "local",
+    rounds: int = 5,
+    warmup: int = 1,
+    progress: Callable[[str], None] | None = None,
+) -> dict:
+    """Run every spec ``warmup + rounds`` times; return the report dict.
+
+    Counters are taken from the final round (every round must agree --
+    a divergence means the workload is nondeterministic and is reported
+    as an error rather than silently averaged away).
+    """
+    if rounds <= 0:
+        raise ReproError(f"rounds must be positive, got {rounds}")
+    if warmup < 0:
+        raise ReproError(f"warmup must be non-negative, got {warmup}")
+    benches: dict[str, dict] = {}
+    for spec in specs if specs is not None else default_specs():
+        if progress is not None:
+            progress(f"bench {spec.name}: {warmup} warmup + {rounds} rounds")
+        for _ in range(warmup):
+            run_spec_once(spec)
+        timings: list[float] = []
+        counters: dict | None = None
+        for _ in range(rounds):
+            result = run_spec_once(spec)
+            timings.append(result["seconds"])
+            if counters is not None and counters != result["counters"]:
+                raise ReproError(
+                    f"bench {spec.name!r} is nondeterministic: counters "
+                    f"changed between rounds"
+                )
+            counters = result["counters"]
+        benches[spec.name] = {
+            "counters": dict(sorted((counters or {}).items())),
+            "timing": _timing_stats(timings),
+        }
+    return {
+        "schema": SCHEMA,
+        "label": label,
+        "rounds": rounds,
+        "warmup": warmup,
+        "benches": benches,
+    }
+
+
+def render_json(report: dict) -> str:
+    """Canonical serialization: identical trees yield identical bytes
+    outside the ``timing`` sub-objects."""
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"
+
+
+def write_report(path: str, report: dict) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(render_json(report))
+
+
+def load_report(path: str) -> dict:
+    with open(path, encoding="utf-8") as handle:
+        report = json.load(handle)
+    if report.get("schema") != SCHEMA:
+        raise ReproError(
+            f"{path}: unsupported bench schema {report.get('schema')!r}"
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Comparison / regression gate
+# ---------------------------------------------------------------------------
+
+#: One classified metric delta.
+IMPROVED, REGRESSED, NEUTRAL = "improved", "regressed", "neutral"
+
+
+def _classify(metric: str, base: float, current: float,
+              threshold: float) -> str:
+    if base == current:
+        return NEUTRAL
+    if base == 0:
+        delta = 1.0 if current > 0 else -1.0
+    else:
+        delta = (current - base) / abs(base)
+    if abs(delta) <= threshold:
+        return NEUTRAL
+    worse = delta > 0
+    if metric in HIGHER_IS_BETTER:
+        worse = not worse
+    return REGRESSED if worse else IMPROVED
+
+
+def compare_reports(current: dict, baseline: dict,
+                    counter_threshold: float = 0.05,
+                    time_threshold: float = 0.25) -> list[dict]:
+    """Classify every metric both reports share.
+
+    Returns one row per (bench, metric): ``{"bench", "metric", "kind",
+    "baseline", "current", "verdict"}``, counters first, stable order.
+    Benches present on only one side are reported with kind ``missing``
+    so a silently dropped workload cannot masquerade as progress.
+    """
+    rows: list[dict] = []
+    cur_benches = current.get("benches", {})
+    base_benches = baseline.get("benches", {})
+    for name in sorted(set(cur_benches) | set(base_benches)):
+        cur = cur_benches.get(name)
+        base = base_benches.get(name)
+        if cur is None or base is None:
+            rows.append({
+                "bench": name, "metric": "-", "kind": "missing",
+                "baseline": None if base is None else "present",
+                "current": None if cur is None else "present",
+                "verdict": REGRESSED if cur is None else NEUTRAL,
+            })
+            continue
+        for metric in sorted(set(cur["counters"]) & set(base["counters"])):
+            b, c = base["counters"][metric], cur["counters"][metric]
+            rows.append({
+                "bench": name, "metric": metric, "kind": "counter",
+                "baseline": b, "current": c,
+                "verdict": _classify(metric, b, c, counter_threshold),
+            })
+        b, c = base["timing"]["median"], cur["timing"]["median"]
+        rows.append({
+            "bench": name, "metric": "median_seconds", "kind": "timing",
+            "baseline": b, "current": c,
+            "verdict": _classify("median_seconds", b, c, time_threshold),
+        })
+    return rows
+
+
+def regressions(rows: list[dict], include_timing: bool = False) -> list[dict]:
+    """The rows that should fail a gate: regressed counters (and missing
+    benches); regressed timings only when ``include_timing``."""
+    bad = []
+    for row in rows:
+        if row["verdict"] != REGRESSED:
+            continue
+        if row["kind"] == "timing" and not include_timing:
+            continue
+        bad.append(row)
+    return bad
+
+
+def render_compare(rows: list[dict], verbose: bool = False) -> str:
+    """Human-readable comparison table (regressions always shown)."""
+    shown = rows if verbose else [r for r in rows if r["verdict"] != NEUTRAL]
+    lines = ["== bench comparison =="]
+    if not shown:
+        lines.append("  all metrics neutral")
+    for row in shown:
+        base, cur = row["baseline"], row["current"]
+        if isinstance(base, float) or isinstance(cur, float):
+            base = f"{base:.6g}" if isinstance(base, (int, float)) else base
+            cur = f"{cur:.6g}" if isinstance(cur, (int, float)) else cur
+        lines.append(
+            f"  [{row['verdict']:<9}] {row['bench']}: {row['metric']} "
+            f"{base} -> {cur}"
+        )
+    counts = {IMPROVED: 0, REGRESSED: 0, NEUTRAL: 0}
+    for row in rows:
+        counts[row["verdict"]] = counts.get(row["verdict"], 0) + 1
+    lines.append(
+        f"  {counts[IMPROVED]} improved, {counts[REGRESSED]} regressed, "
+        f"{counts[NEUTRAL]} neutral"
+    )
+    return "\n".join(lines)

@@ -74,6 +74,11 @@ class Histogram:
                  "min", "max", "_samples", "_stride")
 
     def __init__(self, name: str, help: str = "", max_samples: int = 8192):
+        if max_samples < 1:
+            raise ValueError(
+                f"max_samples must be >= 1, got {max_samples} "
+                f"(histogram {name!r})"
+            )
         self.name = name
         self.help = help
         self.max_samples = max_samples

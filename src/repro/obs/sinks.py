@@ -211,12 +211,29 @@ def chrome_trace(metrics: MetricRegistry, tracer: Tracer) -> dict:
     return {
         "traceEvents": events,
         "displayTimeUnit": "ms",
-        "otherData": {"metrics": metrics.snapshot()},
+        "otherData": {
+            "metrics": metrics.snapshot(),
+            # Truncation is surfaced in the artifact itself, not just the
+            # text report: a capped tracer yields a *partial* trace and
+            # downstream tooling must be able to tell.
+            "truncated": tracer.truncated,
+            "events_dropped": tracer.dropped,
+        },
     }
+
+
+def write_trace(path: str, trace: dict) -> None:
+    """The one Chrome ``trace_event`` file writer.
+
+    Every trace artifact -- ``--trace-out`` telemetry traces and the
+    profiler's flamegraph export alike -- goes through here, so the
+    on-disk format (single JSON object, UTF-8) cannot fork.
+    """
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(trace, handle)
 
 
 def write_chrome_trace(path: str, metrics: MetricRegistry,
                        tracer: Tracer) -> None:
     """Serialize :func:`chrome_trace` to ``path``."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(chrome_trace(metrics, tracer), handle)
+    write_trace(path, chrome_trace(metrics, tracer))

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 #: Process-id namespaces for the Chrome export.
 PID_WALL = 1       # real-time spans (perf_counter_ns domain)
 PID_PIPELINE = 2   # synthetic cycle-domain spans from the pipeline
+PID_PROFILE = 3    # profiler flamegraph (attributed-cycle domain)
 
 
 class _NullSpan:

@@ -27,7 +27,7 @@ from repro.obs.sinks import (
     chrome_trace,
     events_jsonl,
     render_report,
-    write_chrome_trace,
+    write_trace,
 )
 from repro.obs.spans import NULL_SPAN, Tracer
 
@@ -50,6 +50,10 @@ class Telemetry:
         self.tracing = tracing and enabled
         self.metrics = MetricRegistry()
         self.tracer = Tracer(max_events=max_events)
+        #: optional :class:`repro.obs.profile.Profiler`; while attached,
+        #: Qat kernel bit volume is also credited to the instruction the
+        #: profiler currently has in EX (per-PC attribution).
+        self.profiler = None
 
     # -- instrument passthrough ----------------------------------------------
 
@@ -109,6 +113,26 @@ class Telemetry:
         bits = words << 6
         self.metrics.counter("qat.aob_bits").add(bits)
         self.metrics.counter(f"qat.bits.{op}").add(bits)
+        if self.profiler is not None:
+            self.profiler.note_qat_bits(bits)
+
+    def checkpoint_op(self, op: str, t0_ns: int, ok: bool = True) -> None:
+        """One checkpoint operation (``capture``/``save``/``load``/
+        ``verify``/``restore``) finished after ``t0_ns``."""
+        dur = time.perf_counter_ns() - t0_ns
+        self.metrics.counter(f"checkpoint.{op}").inc()
+        self.metrics.histogram(f"checkpoint.{op}_seconds").observe(dur / 1e9)
+        if not ok:
+            self.metrics.counter(f"checkpoint.{op}_failures").inc()
+        if self.tracing:
+            self.tracer.complete(f"checkpoint.{op}", ts_ns=t0_ns, dur_ns=dur,
+                                 cat="faults", tid="faults")
+
+    def fault_run(self, outcome: str, seconds: float) -> None:
+        """One fault-campaign run classified as ``outcome``."""
+        self.metrics.counter(f"faults.{outcome}").inc()
+        self.metrics.counter("faults.runs").inc()
+        self.metrics.histogram("faults.run_seconds").observe(seconds)
 
     def publish_pipeline(self, stats) -> None:
         """Fold one pipelined run's :class:`PipelineStats` into the registry."""
@@ -136,7 +160,7 @@ class Telemetry:
         return chrome_trace(self.metrics, self.tracer)
 
     def write_chrome_trace(self, path: str) -> None:
-        write_chrome_trace(path, self.metrics, self.tracer)
+        write_trace(path, self.chrome_trace())
 
     def events_jsonl(self) -> str:
         return events_jsonl(self.metrics, self.tracer)
