@@ -135,17 +135,21 @@ def run_factor_program(
     ways: int = 8,
     simulator: str = "pipelined",
     config: PipelineConfig | None = None,
+    qat_backend: str = "dense",
 ):
     """Run a factoring program; returns ``(simulator, ($0, $1))``.
 
-    ``simulator`` is ``"functional"``, ``"multicycle"`` or ``"pipelined"``.
+    ``simulator`` is ``"functional"``, ``"multicycle"`` or ``"pipelined"``;
+    ``qat_backend`` selects the Qat register substrate (``"dense"`` or
+    ``"re"``), which is what lets this run at ways well past 26.
     """
     if simulator == "functional":
-        sim = FunctionalSimulator(ways=ways)
+        sim = FunctionalSimulator(ways=ways, qat_backend=qat_backend)
     elif simulator == "multicycle":
-        sim = MultiCycleSimulator(ways=ways)
+        sim = MultiCycleSimulator(ways=ways, qat_backend=qat_backend)
     elif simulator == "pipelined":
-        sim = PipelinedSimulator(ways=ways, config=config)
+        sim = PipelinedSimulator(ways=ways, config=config,
+                                 qat_backend=qat_backend)
     else:
         raise ReproError(f"unknown simulator {simulator!r}")
     sim.load(program)
@@ -158,6 +162,7 @@ def profile_factor_program(
     ways: int = 8,
     simulator: str = "pipelined",
     config: PipelineConfig | None = None,
+    qat_backend: str = "dense",
 ):
     """Run a factoring program under the architectural profiler.
 
@@ -172,4 +177,4 @@ def profile_factor_program(
     if program is None:
         program = fig10_program()
     return profile_program(program, ways=ways, simulator=simulator,
-                           config=config)
+                           config=config, qat_backend=qat_backend)

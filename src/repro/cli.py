@@ -5,6 +5,7 @@ Installed as the ``tangled`` console script::
     tangled asm  program.s [-o program.hex]     assemble to hex words
     tangled dis  program.hex                    disassemble
     tangled run  program.s [--sim pipelined]    assemble + execute
+    tangled run  program.s --qat-backend re     ... on the RE-compressed Qat file
     tangled run  program.s --stats              ... plus a telemetry report
     tangled run  program.s --trace-out t.json   ... plus a Chrome trace
     tangled factor 221 --bits 5                 PBP prime factoring
@@ -107,13 +108,14 @@ def cmd_run(args: argparse.Namespace) -> int:
 
     program = assemble(_read_source(args.source))
     if args.sim == "functional":
-        sim = FunctionalSimulator(ways=args.ways)
+        sim = FunctionalSimulator(ways=args.ways, qat_backend=args.qat_backend)
     elif args.sim == "multicycle":
-        sim = MultiCycleSimulator(ways=args.ways)
+        sim = MultiCycleSimulator(ways=args.ways, qat_backend=args.qat_backend)
     else:
         sim = PipelinedSimulator(
             ways=args.ways,
             config=PipelineConfig(stages=args.stages, forwarding=not args.no_forwarding),
+            qat_backend=args.qat_backend,
         )
     sim.load(program)
     with _TelemetryScope(args):
@@ -178,9 +180,11 @@ def cmd_fig10(args: argparse.Namespace) -> int:
 
     with _TelemetryScope(args):
         sim, (r0, r1) = run_factor_program(
-            fig10_program(), ways=args.ways, simulator=args.sim
+            fig10_program(), ways=args.ways, simulator=args.sim,
+            qat_backend=args.qat_backend,
         )
-        print(f"Figure 10 on the {args.sim} simulator ({args.ways}-way Qat):")
+        print(f"Figure 10 on the {args.sim} simulator "
+              f"({sim.machine.qat.describe()} Qat):")
         print(f"  $0 = {r0}   $1 = {r1}")
         if args.sim == "pipelined":
             print(f"  {sim.stats.as_dict()}")
@@ -199,6 +203,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
             ways=args.ways,
             faults_per_run=args.faults_per_run,
             targets=tuple(args.targets.split(",")),
+            qat_backend=args.qat_backend,
         )
         if args.summary_only:
             report.pop("runs_detail")
@@ -231,7 +236,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         )
     sim, profiler = profile_program(
         program, ways=args.ways, simulator=args.sim, config=config,
-        max_cycles=args.limit,
+        max_cycles=args.limit, qat_backend=args.qat_backend,
     )
     if args.json == "-":
         sys.stdout.write(profiler.to_json())
@@ -253,14 +258,16 @@ def cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs import bench
 
     if args.list:
-        for spec in bench.default_specs():
+        for spec in bench.default_specs(args.qat_backend):
             print(f"{spec.name:<24} {spec.description}")
         return 0
     rounds = 2 if args.quick else args.rounds
     specs = None
     if args.only:
         wanted = args.only.split(",")
-        specs = [bench.spec_by_name(name) for name in wanted]
+        specs = [bench.spec_by_name(name, args.qat_backend) for name in wanted]
+    elif args.qat_backend != "dense":
+        specs = bench.default_specs(args.qat_backend)
     if args.input:
         report = bench.load_report(args.input)
     else:
@@ -295,6 +302,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_qat_backend(p):
+        p.add_argument("--qat-backend", choices=("dense", "re"),
+                       default="dense",
+                       help="Qat register substrate: dense AoB matrix "
+                            "(hardware-faithful, ways <= 26) or 're' "
+                            "run-length compression (bounded memory at "
+                            "wide ways)")
+
     p = sub.add_parser("asm", help="assemble Tangled/Qat source to hex")
     p.add_argument("source", help="assembly file ('-' for stdin)")
     p.add_argument("-o", "--output", help="write hex words here")
@@ -309,6 +324,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sim", choices=("functional", "multicycle", "pipelined"),
                    default="pipelined")
     p.add_argument("--ways", type=int, default=8)
+    add_qat_backend(p)
     p.add_argument("--stages", type=int, choices=(4, 5), default=4)
     p.add_argument("--no-forwarding", action="store_true")
     p.add_argument("--limit", type=int, default=1_000_000,
@@ -337,6 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sim", choices=("functional", "multicycle", "pipelined"),
                    default="pipelined")
     p.add_argument("--ways", type=int, default=8)
+    add_qat_backend(p)
     p.add_argument("--stats", action="store_true",
                    help="print a telemetry report (CPI, stalls, Qat ops, ...)")
     p.add_argument("--trace-out", metavar="PATH",
@@ -353,6 +370,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sim", choices=("functional", "multicycle", "pipelined"),
                    default="functional")
     p.add_argument("--ways", type=int, default=8)
+    add_qat_backend(p)
     p.add_argument("--faults-per-run", type=int, default=1,
                    help="bit flips injected per run")
     p.add_argument("--targets", default="gpr,mem,qreg",
@@ -376,6 +394,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sim", choices=("pipelined", "multicycle"),
                    default="pipelined")
     p.add_argument("--ways", type=int, default=8)
+    add_qat_backend(p)
     p.add_argument("--stages", type=int, choices=(4, 5), default=4)
     p.add_argument("--no-forwarding", action="store_true")
     p.add_argument("--limit", type=int, default=10_000_000,
@@ -394,6 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--label", default="local",
                    help="report label (default: local)")
+    add_qat_backend(p)
     p.add_argument("--out", metavar="PATH",
                    help="report path (default: BENCH_<label>.json)")
     p.add_argument("--rounds", type=int, default=5,

@@ -18,27 +18,43 @@ sequence (multi-cycle design, then pipelined, then pipelined with Qat):
 All three take a ``trap_policy`` (:class:`~repro.faults.TrapPolicy`)
 controlling whether architectural traps raise, halt, or vector to a
 handler; the trap model itself lives in :mod:`repro.faults` and is
-re-exported here for convenience.
+re-exported here for convenience.  They also take a ``qat_backend``
+(``"dense"`` or ``"re"``) selecting the Qat register substrate -- see
+:mod:`repro.cpu.qat_backend`.
 """
 
 from repro.cpu.functional import FunctionalSimulator
 from repro.cpu.multicycle import CycleCosts, MultiCycleSimulator
 from repro.cpu.pipeline import PipelineConfig, PipelinedSimulator, PipelineStats
+from repro.cpu.qat_backend import (
+    BACKENDS,
+    MAX_RE_WAYS,
+    DenseQatBackend,
+    QatBackend,
+    REQatBackend,
+    make_qat_backend,
+)
 from repro.cpu.state import MachineState
 from repro.cpu.syscalls import SyscallHandler
 from repro.faults.traps import TrapAction, TrapCause, TrapPolicy, TrapRecord
 
 __all__ = [
+    "BACKENDS",
     "CycleCosts",
+    "DenseQatBackend",
     "FunctionalSimulator",
+    "MAX_RE_WAYS",
     "MachineState",
     "MultiCycleSimulator",
     "PipelineConfig",
     "PipelineStats",
     "PipelinedSimulator",
+    "QatBackend",
+    "REQatBackend",
     "SyscallHandler",
     "TrapAction",
     "TrapCause",
     "TrapPolicy",
     "TrapRecord",
+    "make_qat_backend",
 ]

@@ -19,7 +19,6 @@ from __future__ import annotations
 import time as _time
 from dataclasses import dataclass
 
-from repro.aob import kernels
 from repro.bf16 import (
     bf16_add,
     bf16_from_int,
@@ -297,27 +296,23 @@ def execute(machine, instr: Instr, syscalls=None) -> Effects:
             machine.halted = True
     elif m == "xor":
         write(ops[0], read(ops[0]) ^ read(ops[1]))
-    # ---- Qat coprocessor (Table 3) ------------------------------------------
-    elif m == "qand":
-        kernels.k_and(machine.qreg(ops[1]), machine.qreg(ops[2]), machine.qreg(ops[0]))
-    elif m == "qor":
-        kernels.k_or(machine.qreg(ops[1]), machine.qreg(ops[2]), machine.qreg(ops[0]))
-    elif m == "qxor":
-        kernels.k_xor(machine.qreg(ops[1]), machine.qreg(ops[2]), machine.qreg(ops[0]))
+    # ---- Qat coprocessor (Table 3, via the pluggable substrate) -------------
+    elif m in ("qand", "qor", "qxor"):
+        machine.qat.binary(m[1:], ops[0], ops[1], ops[2])
     elif m == "qccnot":
-        kernels.k_ccnot(machine.qreg(ops[0]), machine.qreg(ops[1]), machine.qreg(ops[2]))
+        machine.qat.ccnot(ops[0], ops[1], ops[2])
     elif m == "qcnot":
-        kernels.k_cnot(machine.qreg(ops[0]), machine.qreg(ops[1]))
+        machine.qat.cnot(ops[0], ops[1])
     elif m == "qcswap":
-        kernels.k_cswap(machine.qreg(ops[0]), machine.qreg(ops[1]), machine.qreg(ops[2]))
+        machine.qat.cswap(ops[0], ops[1], ops[2])
     elif m == "qswap":
-        kernels.k_swap(machine.qreg(ops[0]), machine.qreg(ops[1]))
+        machine.qat.swap(ops[0], ops[1])
     elif m == "qnot":
-        kernels.k_not(machine.qreg(ops[0]), machine.qreg(ops[0]), machine.nbits)
+        machine.qat.invert(ops[0])
     elif m == "qzero":
-        kernels.k_zero(machine.qreg(ops[0]))
+        machine.qat.zero(ops[0])
     elif m == "qone":
-        kernels.k_one(machine.qreg(ops[0]), machine.nbits)
+        machine.qat.one(ops[0])
     elif m == "qhad":
         if machine.trap_policy.strict_qat and ops[1] >= machine.ways:
             machine.trap(
@@ -326,7 +321,7 @@ def execute(machine, instr: Instr, syscalls=None) -> Effects:
                 instruction=instr.render(),
                 resume_pc=pc_next,
             )
-        kernels.k_had(machine.qreg(ops[0]), ops[1], machine.ways)
+        machine.qat.had(ops[0], ops[1])
     elif m in ("qmeas", "qnext", "qpop"):
         channel = read(ops[0])
         if machine.trap_policy.strict_qat and channel >= machine.nbits:
@@ -338,13 +333,27 @@ def execute(machine, instr: Instr, syscalls=None) -> Effects:
                 resume_pc=pc_next,
             )
         if m == "qmeas":
-            write(ops[0], kernels.k_meas(machine.qreg(ops[1]), channel, machine.nbits))
+            write(ops[0], machine.qat.meas(ops[1], channel))
         elif m == "qnext":
             # Like the Figure 8 Verilog, a start channel past the AoB top
             # shifts everything out and returns 0 (no masking of $d).
-            write(ops[0], kernels.k_next(machine.qreg(ops[1]), channel, machine.nbits))
+            write(ops[0], machine.qat.next(ops[1], channel))
         else:
-            write(ops[0], kernels.k_pop_after(machine.qreg(ops[1]), channel, machine.nbits) & 0xFFFF)
+            # A pop count of 2^16 or more cannot be represented in $d;
+            # saturate rather than wrap (a full 16-way-plus register must
+            # not read back as empty).
+            value = machine.qat.pop_after(ops[1], channel)
+            if value > 0xFFFF:
+                if machine.trap_policy.strict_qat:
+                    machine.trap(
+                        TrapCause.QAT_FAULT,
+                        detail=f"pop after channel {channel} counted {value} "
+                               f"ones, exceeding the 16-bit destination",
+                        instruction=instr.render(),
+                        resume_pc=pc_next,
+                    )
+                value = 0xFFFF
+            write(ops[0], value)
     else:  # pragma: no cover
         machine.trap(
             TrapCause.ILLEGAL_OPCODE,

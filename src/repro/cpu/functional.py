@@ -36,8 +36,10 @@ class FunctionalSimulator:
         syscalls: SyscallHandler | None = None,
         trace=None,
         trap_policy: TrapPolicy | None = None,
+        qat_backend="dense",
     ):
-        self.machine = MachineState(ways, trap_policy=trap_policy)
+        self.machine = MachineState(ways, trap_policy=trap_policy,
+                                    qat_backend=qat_backend)
         self.syscalls = syscalls if syscalls is not None else SyscallHandler()
         self.trace = trace
         #: optional :class:`repro.faults.checkpoint.AutoCheckpointer`

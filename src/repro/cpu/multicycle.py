@@ -80,11 +80,13 @@ class MultiCycleSimulator:
         costs: CycleCosts | None = None,
         syscalls: SyscallHandler | None = None,
         trap_policy: TrapPolicy | None = None,
+        qat_backend="dense",
     ):
         self.costs = costs or CycleCosts()
         self.cycles = 0
         self._inner = FunctionalSimulator(
-            ways=ways, syscalls=syscalls, trap_policy=trap_policy
+            ways=ways, syscalls=syscalls, trap_policy=trap_policy,
+            qat_backend=qat_backend,
         )
         self.machine.cycle_provider = lambda: self.cycles
         #: optional :class:`repro.obs.profile.Profiler`; every cycle

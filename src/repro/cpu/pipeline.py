@@ -122,9 +122,11 @@ class PipelinedSimulator:
         config: PipelineConfig | None = None,
         syscalls: SyscallHandler | None = None,
         trap_policy: TrapPolicy | None = None,
+        qat_backend="dense",
     ):
         self.config = config or PipelineConfig()
-        self.machine = MachineState(ways, trap_policy=trap_policy)
+        self.machine = MachineState(ways, trap_policy=trap_policy,
+                                    qat_backend=qat_backend)
         self.machine.cycle_provider = lambda: self.stats.cycles
         self.syscalls = syscalls if syscalls is not None else SyscallHandler(
             cycle_source=lambda: self.stats.cycles

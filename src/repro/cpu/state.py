@@ -3,9 +3,13 @@
 Tangled: 16 general 16-bit registers, a 16-bit PC, and 64Ki 16-bit words
 of memory.  Qat: 256 AoB coprocessor registers of :math:`2^{ways}` bits
 each, *no* memory access (paper section 2.2).  The Qat register file is
-one ``(256, words_per_reg)`` uint64 matrix so coprocessor gates are
-whole-row NumPy operations -- the software rendering of a bit-serial
-massively parallel SIMD datapath.
+a pluggable substrate (:mod:`repro.cpu.qat_backend`): the ``dense``
+backend keeps one ``(256, words_per_reg)`` uint64 matrix so coprocessor
+gates are whole-row NumPy operations (the software rendering of a
+bit-serial massively parallel SIMD datapath); the ``re`` backend keeps
+run-length compressed :class:`~repro.pattern.PatternVector` registers so
+entanglement beyond :data:`~repro.aob.bitvector.MAX_DENSE_WAYS` runs in
+bounded memory (paper section 1.2).
 """
 
 from __future__ import annotations
@@ -14,10 +18,10 @@ import numpy as np
 
 from repro.aob import AoB
 from repro.aob.bitvector import QAT_WAYS
+from repro.cpu.qat_backend import make_qat_backend
 from repro.errors import SimulatorError
 from repro.faults.traps import TrapCause, TrapPolicy, TrapRecord, deliver
-from repro.isa.registers import NUM_GPRS, NUM_QAT_REGS
-from repro.utils.bits import words_for_bits
+from repro.isa.registers import NUM_GPRS
 
 MEM_WORDS = 1 << 16
 
@@ -25,16 +29,14 @@ MEM_WORDS = 1 << 16
 class MachineState:
     """Registers, memory, PC, and the Qat coprocessor register file."""
 
-    def __init__(self, ways: int = QAT_WAYS, trap_policy: TrapPolicy | None = None):
-        if not 0 <= ways <= 20:
-            raise SimulatorError(f"unsupported Qat ways: {ways}")
+    def __init__(self, ways: int = QAT_WAYS, trap_policy: TrapPolicy | None = None,
+                 qat_backend="dense"):
+        #: the pluggable Qat register substrate (validates ``ways``)
+        self.qat = make_qat_backend(qat_backend, ways)
         self.ways = ways
         self.nbits = 1 << ways
         self.regs = np.zeros(NUM_GPRS, dtype=np.uint16)
         self.mem = np.zeros(MEM_WORDS, dtype=np.uint16)
-        self.qregs = np.zeros(
-            (NUM_QAT_REGS, words_for_bits(self.nbits)), dtype=np.uint64
-        )
         self.pc = 0
         self.halted = False
         self.output: list[str] = []
@@ -91,21 +93,40 @@ class MachineState:
 
     # -- Qat register access --------------------------------------------------------
 
+    @property
+    def qregs(self) -> np.ndarray:
+        """The dense ``(256, words)`` uint64 matrix (dense backend only)."""
+        if self.qat.name != "dense":
+            raise SimulatorError(
+                f"the {self.qat.name!r} Qat backend has no dense register "
+                "matrix; use machine.qat (read/write/vector) instead"
+            )
+        return self.qat.qregs
+
     def qreg(self, reg: int) -> np.ndarray:
-        """Raw word row of Qat register ``reg`` (mutable view)."""
+        """Raw word row of Qat register ``reg`` (dense backend only)."""
         return self.qregs[reg]
 
     def read_qreg(self, reg: int) -> AoB:
         """Snapshot Qat register ``reg`` as an immutable AoB value."""
-        return AoB(self.ways, self.qregs[reg].copy())
+        return self.qat.read(reg)
 
-    def write_qreg(self, reg: int, value: AoB) -> None:
-        """Store an AoB value into Qat register ``reg``."""
+    def write_qreg(self, reg: int, value) -> None:
+        """Store an AoB (or PatternVector) value into Qat register ``reg``."""
         if value.ways != self.ways:
             raise SimulatorError(
-                f"AoB is {value.ways}-way but machine is {self.ways}-way"
+                f"value is {value.ways}-way but machine is {self.ways}-way"
             )
-        self.qregs[reg] = value.words
+        self.qat.write(reg, value)
+
+    def flip_qreg_bit(self, reg: int, word: int, bit: int) -> None:
+        """Invert one stored bit of Qat register ``reg`` (fault injection).
+
+        ``word``/``bit`` address the packed uint64 layout (channel
+        ``word * 64 + bit``); the RE backend translates this into a
+        copy-on-write run split so interned chunks are never corrupted.
+        """
+        self.qat.flip_bit(reg, word, bit)
 
     def snapshot(self) -> dict:
         """Copy of the architectural state (for equivalence testing)."""
@@ -113,7 +134,8 @@ class MachineState:
             "regs": self.regs.copy(),
             "pc": self.pc,
             "mem": self.mem.copy(),
-            "qregs": self.qregs.copy(),
+            "qregs": self.qat.snapshot(),
+            "qat_backend": self.qat.name,
             "halted": self.halted,
             "output": list(self.output),
             "traps": list(self.traps),

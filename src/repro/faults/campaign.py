@@ -78,15 +78,19 @@ def _load_program(name: str):
     raise ReproError(f"unknown campaign program {name!r} (try fig10, factor)")
 
 
-def _new_simulator(sim: str, ways: int, trap_policy: TrapPolicy | None):
+def _new_simulator(sim: str, ways: int, trap_policy: TrapPolicy | None,
+                   qat_backend: str = "dense"):
     from repro.cpu import FunctionalSimulator, MultiCycleSimulator, PipelinedSimulator
 
     if sim == "functional":
-        return FunctionalSimulator(ways=ways, trap_policy=trap_policy)
+        return FunctionalSimulator(ways=ways, trap_policy=trap_policy,
+                                   qat_backend=qat_backend)
     if sim == "multicycle":
-        return MultiCycleSimulator(ways=ways, trap_policy=trap_policy)
+        return MultiCycleSimulator(ways=ways, trap_policy=trap_policy,
+                                   qat_backend=qat_backend)
     if sim == "pipelined":
-        return PipelinedSimulator(ways=ways, trap_policy=trap_policy)
+        return PipelinedSimulator(ways=ways, trap_policy=trap_policy,
+                                  qat_backend=qat_backend)
     raise ReproError(f"unknown simulator {sim!r}")
 
 
@@ -119,9 +123,10 @@ def _drive(sim, plan: FaultPlan | None, max_steps: int) -> None:
         step += 1
 
 
-def golden_run(program, sim: str = "functional", ways: int = 8) -> tuple[tuple, int]:
+def golden_run(program, sim: str = "functional", ways: int = 8,
+               qat_backend: str = "dense") -> tuple[tuple, int]:
     """Fault-free reference execution: (architectural result, steps)."""
-    reference = _new_simulator(sim, ways, None)
+    reference = _new_simulator(sim, ways, None, qat_backend=qat_backend)
     reference.load(program)
     steps = 0
     while not reference.machine.halted:
@@ -138,17 +143,24 @@ def run_campaign(
     ways: int = 8,
     faults_per_run: int = 1,
     targets: tuple[str, ...] = ("gpr", "mem", "qreg"),
+    qat_backend: str = "dense",
 ) -> dict:
     """Run a seeded soft-error campaign; returns the JSON-ready report.
 
     Every run gets its own simulator and a per-run fault plan seeded
     from ``seed`` and the run index, so the whole campaign is a pure
-    function of its arguments.
+    function of its arguments.  The process-global pattern stores are
+    reset first so chunk interning from earlier work (or an earlier
+    campaign) can never bleed into this one's RE-backed runs.
     """
     if runs <= 0:
         raise ReproError(f"runs must be positive, got {runs}")
+    from repro.pattern import reset_default_stores
+
+    reset_default_stores()
     image = _load_program(program)
-    golden, golden_steps = golden_run(image, sim=sim, ways=ways)
+    golden, golden_steps = golden_run(image, sim=sim, ways=ways,
+                                      qat_backend=qat_backend)
     # Concentrate memory faults on the loaded image plus a data margin.
     mem_span = max(64, 2 * len(getattr(image, "words", image)))
     watchdog = golden_steps * _WATCHDOG_FACTOR + _WATCHDOG_SLACK
@@ -165,7 +177,7 @@ def run_campaign(
             targets=targets,
             mem_span=mem_span,
         )
-        subject = _new_simulator(sim, ways, None)
+        subject = _new_simulator(sim, ways, None, qat_backend=qat_backend)
         subject.load(image)
         result = RunResult(
             run=run,
@@ -201,6 +213,7 @@ def run_campaign(
         "program": program,
         "sim": sim,
         "ways": ways,
+        "qat_backend": qat_backend,
         "seed": seed,
         "runs": runs,
         "faults_per_run": faults_per_run,

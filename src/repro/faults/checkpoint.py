@@ -30,21 +30,43 @@ import numpy as np
 from repro.errors import CheckpointError
 from repro.obs import runtime as _obs
 
-#: Format version stamped into saved checkpoint files.
+#: Format version stamped into saved checkpoint files.  RE-backend
+#: checkpoints add optional header keys (``qat_backend``, ``qat_ways``,
+#: ``qat_runs``) but dense files are byte-compatible, so the version is
+#: unchanged and old files load as dense.
 FORMAT_VERSION = 1
 
+#: ``qregs`` payload of an RE checkpoint (no dense matrix exists there).
+_NO_QREGS = np.zeros((0, 0), dtype=np.uint64)
 
-def _digest(regs: np.ndarray, mem: np.ndarray, qregs: np.ndarray,
+
+def _digest(regs: np.ndarray, mem: np.ndarray, qat_blobs: tuple[bytes, ...],
             pc: int, halted: bool, instret: int, output: tuple[str, ...]) -> str:
     hasher = hashlib.sha256()
     hasher.update(regs.tobytes())
     hasher.update(mem.tobytes())
-    hasher.update(qregs.tobytes())
+    for blob in qat_blobs:
+        hasher.update(blob)
     hasher.update(f"{pc}:{int(halted)}:{instret}".encode())
     for chunk in output:
         hasher.update(b"\x00")
         hasher.update(chunk.encode("utf-8"))
     return hasher.hexdigest()
+
+
+def _qat_blobs(backend: str, qregs: np.ndarray, qat_runs: tuple,
+               store_chunks: tuple[np.ndarray, ...]) -> tuple[bytes, ...]:
+    """Canonical byte encoding of the Qat substrate for digesting.
+
+    Dense checkpoints hash the packed matrix exactly as format v1 always
+    did (old digests stay valid); RE checkpoints hash the run lists plus
+    the chunk payloads that pin each symbol's meaning.
+    """
+    if backend == "dense":
+        return (qregs.tobytes(),)
+    blobs = [json.dumps(qat_runs, sort_keys=True).encode("utf-8")]
+    blobs.extend(np.ascontiguousarray(c).tobytes() for c in store_chunks)
+    return tuple(blobs)
 
 
 @dataclass(frozen=True)
@@ -61,17 +83,39 @@ class Checkpoint:
     digest: str
     #: timing-model cycle at capture, if the simulator supplied one
     cycle: int | None = None
-    #: dense chunkstore symbols captured alongside, if a store was given
+    #: chunkstore symbols captured alongside -- an explicitly passed
+    #: store (dense machines) or the RE backend's private store
     store_chunks: tuple[np.ndarray, ...] = field(default=())
     store_chunk_ways: int | None = None
+    #: which Qat substrate the machine ran ("dense" or "re")
+    qat_backend: str = "dense"
+    qat_ways: int | None = None
+    #: RE only: per-register run lists ``((symbol, count), ...)``; the
+    #: symbols' payloads are pinned by ``store_chunks``
+    qat_runs: tuple = ()
 
     @classmethod
     def take(cls, machine, cycle: int | None = None, store=None) -> "Checkpoint":
-        """Snapshot ``machine`` (and optionally a ``ChunkStore``) now."""
+        """Snapshot ``machine`` (and optionally a ``ChunkStore``) now.
+
+        On an RE-backed machine the backend's private store is captured
+        (the ``store`` argument is ignored): the run lists are
+        meaningless without the chunk payloads their symbols point at.
+        """
         t0 = time.perf_counter_ns()
         regs = machine.regs.copy()
         mem = machine.mem.copy()
-        qregs = machine.qregs.copy()
+        backend = machine.qat.name
+        qat_runs: tuple = ()
+        if backend == "dense":
+            qregs = machine.qregs.copy()
+        else:
+            qregs = _NO_QREGS
+            qat_runs = tuple(
+                tuple((int(sym), int(count)) for sym, count in pv.runs)
+                for pv in machine.qat.regs
+            )
+            store = machine.qat.store
         output = tuple(machine.output)
         store_chunks: tuple[np.ndarray, ...] = ()
         store_chunk_ways = None
@@ -88,17 +132,24 @@ class Checkpoint:
             mem=mem,
             qregs=qregs,
             output=output,
-            digest=_digest(regs, mem, qregs, machine.pc, machine.halted,
+            digest=_digest(regs, mem,
+                           _qat_blobs(backend, qregs, qat_runs, store_chunks),
+                           machine.pc, machine.halted,
                            machine.instret, output),
             cycle=cycle,
             store_chunks=store_chunks,
             store_chunk_ways=store_chunk_ways,
+            qat_backend=backend,
+            qat_ways=machine.ways,
+            qat_runs=qat_runs,
         )
 
     def verify(self) -> bool:
         """True iff the snapshot still matches its integrity digest."""
         t0 = time.perf_counter_ns()
-        ok = _digest(self.regs, self.mem, self.qregs, self.pc, self.halted,
+        blobs = _qat_blobs(self.qat_backend, self.qregs, self.qat_runs,
+                           self.store_chunks)
+        ok = _digest(self.regs, self.mem, blobs, self.pc, self.halted,
                      self.instret, self.output) == self.digest
         if _obs.active:
             _obs.current().checkpoint_op("verify", t0, ok=ok)
@@ -109,7 +160,8 @@ class Checkpoint:
 
         Raises :class:`~repro.errors.CheckpointError` if ``verify`` is
         set and the digest no longer matches (the checkpoint was
-        corrupted after capture).
+        corrupted after capture), or if the machine runs a different Qat
+        substrate or width than the one captured.
         """
         t0 = time.perf_counter_ns()
         if verify and not self.verify():
@@ -118,22 +170,36 @@ class Checkpoint:
             raise CheckpointError(
                 "checkpoint failed integrity verification; refusing to restore"
             )
-        if machine.regs.shape != self.regs.shape or machine.qregs.shape != self.qregs.shape:
+        mismatch = None
+        if machine.qat.name != self.qat_backend:
+            mismatch = (f"checkpoint captured a {self.qat_backend!r} Qat "
+                        f"backend but the machine runs {machine.qat.name!r}")
+        elif self.qat_ways is not None and machine.ways != self.qat_ways:
+            mismatch = (f"checkpoint is {self.qat_ways}-way but the machine "
+                        f"is {machine.ways}-way")
+        elif machine.regs.shape != self.regs.shape:
+            mismatch = (f"checkpoint shape mismatch: regs {self.regs.shape} "
+                        f"vs machine {machine.regs.shape}")
+        elif (self.qat_backend == "dense"
+              and machine.qregs.shape != self.qregs.shape):
+            mismatch = (f"checkpoint shape mismatch: qregs {self.qregs.shape} "
+                        f"vs machine {machine.qregs.shape}")
+        if mismatch is not None:
             if _obs.active:
                 _obs.current().checkpoint_op("restore", t0, ok=False)
-            raise CheckpointError(
-                f"checkpoint shape mismatch: qregs {self.qregs.shape} vs "
-                f"machine {machine.qregs.shape}"
-            )
+            raise CheckpointError(mismatch)
         machine.regs[:] = self.regs
         machine.mem[:] = self.mem
-        machine.qregs[:] = self.qregs
+        if self.qat_backend == "dense":
+            machine.qregs[:] = self.qregs
+            if store is not None and self.store_chunks:
+                store.restore_chunks(self.store_chunks)
+        else:
+            machine.qat.restore((self.qat_runs, self.store_chunks))
         machine.pc = self.pc
         machine.halted = self.halted
         machine.instret = self.instret
         machine.output[:] = list(self.output)
-        if store is not None and self.store_chunks:
-            store.restore_chunks(self.store_chunks)
         if _obs.active:
             _obs.current().checkpoint_op("restore", t0)
 
@@ -151,6 +217,9 @@ class Checkpoint:
             "cycle": self.cycle,
             "store_chunk_ways": self.store_chunk_ways,
             "store_chunk_count": len(self.store_chunks),
+            "qat_backend": self.qat_backend,
+            "qat_ways": self.qat_ways,
+            "qat_runs": [[list(run) for run in reg] for reg in self.qat_runs],
         }
         arrays = {
             "regs": self.regs,
@@ -200,6 +269,12 @@ class Checkpoint:
             cycle=header["cycle"],
             store_chunks=chunks,
             store_chunk_ways=header["store_chunk_ways"],
+            qat_backend=header.get("qat_backend", "dense"),
+            qat_ways=header.get("qat_ways"),
+            qat_runs=tuple(
+                tuple((sym, count) for sym, count in reg)
+                for reg in header.get("qat_runs", ())
+            ),
         )
 
 

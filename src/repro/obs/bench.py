@@ -58,14 +58,16 @@ class BenchSpec:
 # The suite
 # ---------------------------------------------------------------------------
 
-def _fig10(simulator: str, **config_kwargs):
+def _fig10(simulator: str, ways: int = 8, qat_backend: str = "dense",
+           **config_kwargs):
     def run():
         from repro.apps import fig10_program, run_factor_program
         from repro.cpu import PipelineConfig
 
         config = PipelineConfig(**config_kwargs) if config_kwargs else None
         sim, regs = run_factor_program(
-            fig10_program(), ways=8, simulator=simulator, config=config
+            fig10_program(), ways=ways, simulator=simulator, config=config,
+            qat_backend=qat_backend,
         )
         if regs != (5, 3):
             raise ReproError(f"fig10 produced {regs}, expected (5, 3)")
@@ -119,18 +121,34 @@ def _qat_kernels(ways: int = 14):
     return a.meas(123)
 
 
-def default_specs() -> list[BenchSpec]:
-    """The standard ``tangled bench`` suite, stable order."""
+def default_specs(qat_backend: str = "dense") -> list[BenchSpec]:
+    """The standard ``tangled bench`` suite, stable order.
+
+    ``qat_backend`` retargets the fig10 workloads onto that Qat
+    substrate; the ``fig10.re*`` entries always run the RE-compressed
+    backend -- ``fig10.re_ways24`` is the wide-ways workload that the
+    dense backend cannot even allocate under the CI memory ceiling.
+    """
     return [
-        BenchSpec("fig10.functional", _fig10("functional"),
+        BenchSpec("fig10.functional", _fig10("functional",
+                                             qat_backend=qat_backend),
                   "Figure 10 on the functional simulator"),
-        BenchSpec("fig10.multicycle", _fig10("multicycle"),
+        BenchSpec("fig10.multicycle", _fig10("multicycle",
+                                             qat_backend=qat_backend),
                   "Figure 10 on the multi-cycle timing model"),
-        BenchSpec("fig10.pipelined", _fig10("pipelined"),
+        BenchSpec("fig10.pipelined", _fig10("pipelined",
+                                            qat_backend=qat_backend),
                   "Figure 10 on the 4-stage forwarding pipeline (key CPI)"),
         BenchSpec("fig10.pipelined_nofwd",
-                  _fig10("pipelined", stages=4, forwarding=False),
+                  _fig10("pipelined", qat_backend=qat_backend,
+                         stages=4, forwarding=False),
                   "Figure 10 without forwarding (stall-heavy variant)"),
+        BenchSpec("fig10.re", _fig10("functional", qat_backend="re"),
+                  "Figure 10 on the RE-compressed Qat backend (parity)"),
+        BenchSpec("fig10.re_ways24",
+                  _fig10("functional", ways=24, qat_backend="re"),
+                  "Figure 10 at 24-way entanglement (RE only: a dense "
+                  "register file would need 512 MiB)"),
         BenchSpec("factor.n221", _factor_n221,
                   "word-level factoring of 221 (AoB kernel volume)"),
         BenchSpec("chunkstore.s12", _chunkstore_xor,
@@ -142,12 +160,13 @@ def default_specs() -> list[BenchSpec]:
     ]
 
 
-def spec_by_name(name: str) -> BenchSpec:
-    for spec in default_specs():
+def spec_by_name(name: str, qat_backend: str = "dense") -> BenchSpec:
+    specs = default_specs(qat_backend)
+    for spec in specs:
         if spec.name == name:
             return spec
     raise ReproError(f"unknown bench {name!r} "
-                     f"(try: {', '.join(s.name for s in default_specs())})")
+                     f"(try: {', '.join(s.name for s in specs)})")
 
 
 # ---------------------------------------------------------------------------
@@ -164,7 +183,13 @@ def run_spec_once(spec: BenchSpec) -> dict:
     """
     from repro import obs
     from repro.obs.metrics import Histogram
+    from repro.pattern import reset_default_stores
 
+    # Fresh chunk stores every round: interning/memo state carried over
+    # from a previous round (or unrelated earlier work in this process)
+    # would skew chunkstore hit counters and break round-to-round
+    # counter determinism.
+    reset_default_stores()
     previous = obs.current()
     telemetry = obs.enable(tracing=False)
     try:

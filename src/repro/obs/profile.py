@@ -176,22 +176,26 @@ class Profiler:
 # ---------------------------------------------------------------------------
 
 def profile_program(program, ways: int = 8, simulator: str = "pipelined",
-                    config=None, max_cycles: int = 10_000_000):
+                    config=None, max_cycles: int = 10_000_000,
+                    qat_backend: str = "dense"):
     """Run ``program`` with a fresh :class:`Profiler` attached.
 
     Returns ``(sim, profiler)``.  Telemetry is captured for the run
     (metrics only) so Qat AoB bit volume flows into the per-PC ledger;
     any previously installed telemetry instance is restored afterwards.
+    ``qat_backend`` selects the Qat substrate (the RE backend attributes
+    run volume through counters rather than per-PC bit volume).
     """
     from repro import obs
     from repro.cpu import MultiCycleSimulator, PipelineConfig, PipelinedSimulator
 
     if simulator == "pipelined":
-        sim = PipelinedSimulator(ways=ways, config=config)
+        sim = PipelinedSimulator(ways=ways, config=config,
+                                 qat_backend=qat_backend)
     elif simulator == "multicycle":
         if config is not None:
             raise ReproError("config applies to the pipelined simulator only")
-        sim = MultiCycleSimulator(ways=ways)
+        sim = MultiCycleSimulator(ways=ways, qat_backend=qat_backend)
     else:
         raise ReproError(
             f"cannot profile simulator {simulator!r} (try pipelined, multicycle)"

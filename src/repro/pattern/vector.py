@@ -39,6 +39,22 @@ def default_store(chunk_ways: int = PAPER_CHUNK_WAYS) -> ChunkStore:
     return store
 
 
+def reset_default_stores() -> None:
+    """Drop every process-wide shared store.
+
+    The shared stores accumulate interned chunks and memo hit/miss
+    counts for the life of the process, which silently couples runs that
+    should be independent: a benchmark round warmed by the previous one,
+    or a fault-campaign seed whose chunkstore counters depend on the
+    seeds run before it.  Callers that promise per-run isolation
+    (``tangled bench``'s fresh capture per round, campaign
+    byte-reproducibility) call this between runs; vectors built against
+    a dropped store keep working -- they hold their own reference -- but
+    new ``default_store()`` callers start from a pristine store.
+    """
+    _default_stores.clear()
+
+
 Runs = tuple[tuple[int, int], ...]
 
 
@@ -233,6 +249,12 @@ class PatternVector:
                 sb, nb = other.runs[ib]
         return PatternVector(self.ways, tuple(out), store)
 
+    def binop(self, op: str, other: "PatternVector") -> "PatternVector":
+        """Apply gate ``op`` in {'and', 'or', 'xor'} (run-merge walk)."""
+        if op not in ("and", "or", "xor"):
+            raise ValueError(f"unknown pattern binop {op!r}")
+        return self._merge(other, op)
+
     def __and__(self, other: "PatternVector") -> "PatternVector":
         return self._merge(other, "and")
 
@@ -337,6 +359,39 @@ class PatternVector:
     def popcount(self) -> int:
         """Total number of 1 channels (O(runs))."""
         return sum(count * self.store.popcount(sym) for sym, count in self.runs)
+
+    # -- single-channel mutation (fault injection) ------------------------------
+
+    def with_flipped_bit(self, channel: int) -> "PatternVector":
+        """New vector with entanglement ``channel`` inverted (copy-on-write).
+
+        The containing run is split around the affected chunk and a
+        freshly interned flipped chunk takes its place, so the original
+        symbol -- possibly shared by other runs, registers or machines --
+        is never mutated.  This is how soft errors address the
+        compressed substrate without corrupting interned chunks
+        (contrast :func:`repro.faults.inject.flip_chunk_bit`, which
+        deliberately corrupts chunk memory itself).
+        """
+        if channel < 0:
+            raise MeasurementError(f"channel must be non-negative, got {channel}")
+        channel &= self.nbits - 1
+        store = self.store
+        cw = store.chunk_ways
+        ci, off = channel >> cw, channel & ((1 << cw) - 1)
+        run_idx, run_base = self._locate(ci)
+        sym, count = self.runs[run_idx]
+        words = store.chunk_safe(sym).words.copy()
+        words[off >> 6] ^= np.uint64(1 << (off & (WORD_BITS - 1)))
+        flipped = store.intern(AoB(cw, words))
+        before = ci - run_base
+        split = [(sym, before), (flipped, 1), (sym, count - before - 1)]
+        runs = (
+            self.runs[:run_idx]
+            + tuple(piece for piece in split if piece[1])
+            + self.runs[run_idx + 1 :]
+        )
+        return PatternVector(self.ways, runs, store)
 
     def any(self) -> bool:
         """ANY reduction in O(runs)."""

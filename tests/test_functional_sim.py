@@ -106,10 +106,12 @@ class TestStateIntegrity:
             sim.machine.load_program([0] * 10, origin=0xFFFF)
 
     def test_bad_ways_rejected(self):
+        # The dense bound is MAX_DENSE_WAYS (26), not the old hardcoded
+        # 20; anything past it must name the RE backend as the way out.
         from repro.cpu import MachineState
 
-        with pytest.raises(SimulatorError):
-            MachineState(ways=25)
+        with pytest.raises(SimulatorError, match="'re' backend"):
+            MachineState(ways=27)
 
     def test_write_qreg_checks_ways(self):
         from repro.aob import AoB
