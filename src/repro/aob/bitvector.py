@@ -137,10 +137,9 @@ class AoB:
         if value < 0 or value >> nbits:
             raise ValueError(f"value does not fit in {nbits} bits")
         nwords = words_for_bits(nbits)
-        words = np.empty(nwords, dtype=np.uint64)
-        for i in range(nwords):
-            words[i] = (value >> (i * WORD_BITS)) & 0xFFFF_FFFF_FFFF_FFFF
-        return cls(ways, words)
+        # One bulk byte conversion instead of a Python loop per word.
+        raw = value.to_bytes(nwords * (WORD_BITS // 8), "little")
+        return cls(ways, np.frombuffer(raw, dtype="<u8"))
 
     @classmethod
     def random(cls, ways: int, rng: np.random.Generator, p: float = 0.5) -> "AoB":
@@ -163,10 +162,9 @@ class AoB:
 
     def to_int(self) -> int:
         """The whole AoB as one integer (channel ``e`` = bit ``e``)."""
-        value = 0
-        for i, w in enumerate(self._words):
-            value |= int(w) << (i * WORD_BITS)
-        return value
+        return int.from_bytes(
+            np.ascontiguousarray(self._words, dtype="<u8").tobytes(), "little"
+        )
 
     # -- Table 3 gate operations (pure; return new values) -------------------
 
@@ -294,15 +292,17 @@ class AoB:
         ``{0,0,1,1}`` renders as ``0^2 1^2``; long values are abbreviated.
         """
         bits = self.to_bool_array()
-        runs: list[tuple[int, int]] = []
-        i = 0
-        while i < bits.size and len(runs) <= max_runs:
-            j = i
-            while j < bits.size and bits[j] == bits[i]:
-                j += 1
-            runs.append((int(bits[i]), j - i))
-            i = j
-        parts = [f"{bit}^{count}" if count > 1 else str(bit) for bit, count in runs[:max_runs]]
-        if len(runs) > max_runs or i < bits.size:
+        # Vectorized run extraction: a run starts wherever the value
+        # changes (plus channel 0).
+        boundaries = np.flatnonzero(bits[1:] != bits[:-1]) + 1
+        starts = np.concatenate(([0], boundaries))
+        ends = np.concatenate((boundaries, [bits.size]))
+        total = starts.size
+        runs = [
+            (int(bits[s]), int(e - s))
+            for s, e in zip(starts[:max_runs], ends[:max_runs])
+        ]
+        parts = [f"{bit}^{count}" if count > 1 else str(bit) for bit, count in runs]
+        if total > max_runs:
             parts.append("...")
         return " ".join(parts)

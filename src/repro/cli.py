@@ -204,6 +204,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
             faults_per_run=args.faults_per_run,
             targets=tuple(args.targets.split(",")),
             qat_backend=args.qat_backend,
+            jobs=args.jobs,
         )
         if args.summary_only:
             report.pop("runs_detail")
@@ -275,6 +276,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             specs=specs, label=args.label, rounds=rounds,
             warmup=args.warmup,
             progress=lambda line: print(line, file=sys.stderr),
+            jobs=args.jobs, qat_backend=args.qat_backend,
         )
         out = args.out or f"BENCH_{args.label}.json"
         bench.write_report(out, report)
@@ -378,6 +380,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(gpr,qreg,mem,pc,latch)")
     p.add_argument("--summary-only", action="store_true",
                    help="omit the per-run detail from the report")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="shard the runs across N worker processes "
+                        "(report stays byte-identical to serial)")
     p.add_argument("--stats", action="store_true",
                    help="print a telemetry report (fault counters, traps, ...)")
     p.add_argument("--trace-out", metavar="PATH",
@@ -422,6 +427,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="unmeasured warmup rounds per bench (default: 1)")
     p.add_argument("--quick", action="store_true",
                    help="2 measured rounds (CI smoke mode)")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="shard bench rounds across N worker processes "
+                        "(counter sections stay byte-identical to serial)")
     p.add_argument("--only", metavar="NAMES",
                    help="comma-separated bench names to run")
     p.add_argument("--list", action="store_true",

@@ -368,3 +368,400 @@ def execute(machine, instr: Instr, syscalls=None) -> Effects:
     if _t0 and _obs.active:
         _obs.current().qat_executed(m, _t0)
     return eff
+
+
+# ---------------------------------------------------------------------------
+# Fast-path handler dispatch table
+# ---------------------------------------------------------------------------
+#
+# One handler per mnemonic, selected once at predecode time
+# (:mod:`repro.cpu.fastpath`) instead of walking the mnemonic chain above
+# on every step.  Handlers are only ever called with telemetry inactive
+# and no trace attached, so they carry none of the observability hooks;
+# everything architectural -- register/memory/Qat semantics, trap causes,
+# trap detail strings, PC arithmetic -- must match :func:`execute`
+# exactly.  The randomized differential suite (tests/test_fastpath.py)
+# asserts that equivalence on all three simulators and both Qat
+# substrates.
+#
+# Signature: ``handler(machine, instr, ops, pc_next, syscalls) -> next_pc``.
+# The caller (the fast run loop) owns ``machine.pc = next_pc`` and the
+# ``instret`` increment, mirroring the tail of :func:`execute`.
+
+def _fast_add(machine, instr, ops, pc_next, syscalls):
+    regs = machine.regs
+    d = ops[0]
+    regs[d] = (int(regs[d]) + int(regs[ops[1]])) & 0xFFFF
+    return pc_next
+
+
+def _fast_addf(machine, instr, ops, pc_next, syscalls):
+    regs = machine.regs
+    d = ops[0]
+    result = bf16_add(int(regs[d]), int(regs[ops[1]]))
+    if machine.trap_policy.trap_bf16 and (result & _BF16_EXP_MASK) == _BF16_EXP_MASK:
+        machine.trap(
+            TrapCause.BF16_FAULT,
+            detail=f"addf produced non-finite bf16 {result:#06x}",
+            instruction=instr.render(),
+            resume_pc=pc_next,
+        )
+    regs[d] = result & 0xFFFF
+    return pc_next
+
+
+def _fast_and(machine, instr, ops, pc_next, syscalls):
+    regs = machine.regs
+    d = ops[0]
+    regs[d] = (int(regs[d]) & int(regs[ops[1]])) & 0xFFFF
+    return pc_next
+
+
+def _fast_brf(machine, instr, ops, pc_next, syscalls):
+    if int(machine.regs[ops[0]]) == 0:
+        return (pc_next + ops[1]) & 0xFFFF
+    return pc_next
+
+
+def _fast_brt(machine, instr, ops, pc_next, syscalls):
+    if int(machine.regs[ops[0]]) != 0:
+        return (pc_next + ops[1]) & 0xFFFF
+    return pc_next
+
+
+def _fast_copy(machine, instr, ops, pc_next, syscalls):
+    regs = machine.regs
+    regs[ops[0]] = regs[ops[1]]
+    return pc_next
+
+
+def _fast_float(machine, instr, ops, pc_next, syscalls):
+    regs = machine.regs
+    d = ops[0]
+    regs[d] = bf16_from_int(int(regs[d])) & 0xFFFF
+    return pc_next
+
+
+def _fast_int(machine, instr, ops, pc_next, syscalls):
+    regs = machine.regs
+    d = ops[0]
+    regs[d] = bf16_to_int(int(regs[d])) & 0xFFFF
+    return pc_next
+
+
+def _fast_jumpr(machine, instr, ops, pc_next, syscalls):
+    return int(machine.regs[ops[0]])
+
+
+def _fast_lex(machine, instr, ops, pc_next, syscalls):
+    imm = ops[1]
+    machine.regs[ops[0]] = imm & 0xFF if (imm & 0x80) == 0 else (imm & 0xFF) | 0xFF00
+    return pc_next
+
+
+def _fast_lhi(machine, instr, ops, pc_next, syscalls):
+    regs = machine.regs
+    d = ops[0]
+    regs[d] = (int(regs[d]) & 0x00FF) | ((ops[1] & 0xFF) << 8)
+    return pc_next
+
+
+def _fast_load(machine, instr, ops, pc_next, syscalls):
+    addr = int(machine.regs[ops[1]])
+    fence = machine.trap_policy.mem_fence
+    if fence is not None and addr >= fence:
+        machine.trap(
+            TrapCause.MEM_FAULT,
+            detail=f"load from {addr:#06x} beyond fence {fence:#06x}",
+            instruction=instr.render(),
+            resume_pc=pc_next,
+        )
+    machine.regs[ops[0]] = machine.mem[addr & 0xFFFF]
+    return pc_next
+
+
+def _fast_mul(machine, instr, ops, pc_next, syscalls):
+    regs = machine.regs
+    d = ops[0]
+    regs[d] = (int(regs[d]) * int(regs[ops[1]])) & 0xFFFF
+    return pc_next
+
+
+def _fast_mulf(machine, instr, ops, pc_next, syscalls):
+    regs = machine.regs
+    d = ops[0]
+    result = bf16_mul(int(regs[d]), int(regs[ops[1]]))
+    if machine.trap_policy.trap_bf16 and (result & _BF16_EXP_MASK) == _BF16_EXP_MASK:
+        machine.trap(
+            TrapCause.BF16_FAULT,
+            detail=f"mulf produced non-finite bf16 {result:#06x}",
+            instruction=instr.render(),
+            resume_pc=pc_next,
+        )
+    regs[d] = result & 0xFFFF
+    return pc_next
+
+
+def _fast_neg(machine, instr, ops, pc_next, syscalls):
+    regs = machine.regs
+    d = ops[0]
+    regs[d] = (-int(regs[d])) & 0xFFFF
+    return pc_next
+
+
+def _fast_negf(machine, instr, ops, pc_next, syscalls):
+    regs = machine.regs
+    d = ops[0]
+    regs[d] = bf16_neg(int(regs[d])) & 0xFFFF
+    return pc_next
+
+
+def _fast_not(machine, instr, ops, pc_next, syscalls):
+    regs = machine.regs
+    d = ops[0]
+    regs[d] = (~int(regs[d])) & 0xFFFF
+    return pc_next
+
+
+def _fast_or(machine, instr, ops, pc_next, syscalls):
+    regs = machine.regs
+    d = ops[0]
+    regs[d] = (int(regs[d]) | int(regs[ops[1]])) & 0xFFFF
+    return pc_next
+
+
+def _fast_recip(machine, instr, ops, pc_next, syscalls):
+    regs = machine.regs
+    d = ops[0]
+    result = bf16_recip(int(regs[d]))
+    if machine.trap_policy.trap_bf16 and (result & _BF16_EXP_MASK) == _BF16_EXP_MASK:
+        machine.trap(
+            TrapCause.BF16_FAULT,
+            detail=f"recip produced non-finite bf16 {result:#06x}",
+            instruction=instr.render(),
+            resume_pc=pc_next,
+        )
+    regs[d] = result & 0xFFFF
+    return pc_next
+
+
+def _fast_shift(machine, instr, ops, pc_next, syscalls):
+    regs = machine.regs
+    d = ops[0]
+    amount = int(regs[ops[1]])
+    if amount >= 0x8000:
+        amount -= 0x10000
+    value = int(regs[d])
+    if amount >= 16 or amount <= -16:
+        result = 0
+    elif amount >= 0:
+        result = value << amount
+    else:
+        result = value >> (-amount)
+    regs[d] = result & 0xFFFF
+    return pc_next
+
+
+def _fast_slt(machine, instr, ops, pc_next, syscalls):
+    regs = machine.regs
+    d = ops[0]
+    a = int(regs[d])
+    b = int(regs[ops[1]])
+    if a >= 0x8000:
+        a -= 0x10000
+    if b >= 0x8000:
+        b -= 0x10000
+    regs[d] = 1 if a < b else 0
+    return pc_next
+
+
+def _fast_store(machine, instr, ops, pc_next, syscalls):
+    addr = int(machine.regs[ops[1]])
+    fence = machine.trap_policy.mem_fence
+    if fence is not None and addr >= fence:
+        machine.trap(
+            TrapCause.MEM_FAULT,
+            detail=f"store to {addr:#06x} beyond fence {fence:#06x}",
+            instruction=instr.render(),
+            resume_pc=pc_next,
+        )
+    machine.write_mem(addr, int(machine.regs[ops[0]]))
+    return pc_next
+
+
+def _fast_sys(machine, instr, ops, pc_next, syscalls):
+    if syscalls is not None:
+        syscalls.handle(machine)
+    else:
+        machine.halted = True
+    return pc_next
+
+
+def _fast_xor(machine, instr, ops, pc_next, syscalls):
+    regs = machine.regs
+    d = ops[0]
+    regs[d] = (int(regs[d]) ^ int(regs[ops[1]])) & 0xFFFF
+    return pc_next
+
+
+def _fast_qand(machine, instr, ops, pc_next, syscalls):
+    machine.qat.binary("and", ops[0], ops[1], ops[2])
+    return pc_next
+
+
+def _fast_qor(machine, instr, ops, pc_next, syscalls):
+    machine.qat.binary("or", ops[0], ops[1], ops[2])
+    return pc_next
+
+
+def _fast_qxor(machine, instr, ops, pc_next, syscalls):
+    machine.qat.binary("xor", ops[0], ops[1], ops[2])
+    return pc_next
+
+
+def _fast_qccnot(machine, instr, ops, pc_next, syscalls):
+    machine.qat.ccnot(ops[0], ops[1], ops[2])
+    return pc_next
+
+
+def _fast_qcnot(machine, instr, ops, pc_next, syscalls):
+    machine.qat.cnot(ops[0], ops[1])
+    return pc_next
+
+
+def _fast_qcswap(machine, instr, ops, pc_next, syscalls):
+    machine.qat.cswap(ops[0], ops[1], ops[2])
+    return pc_next
+
+
+def _fast_qswap(machine, instr, ops, pc_next, syscalls):
+    machine.qat.swap(ops[0], ops[1])
+    return pc_next
+
+
+def _fast_qnot(machine, instr, ops, pc_next, syscalls):
+    machine.qat.invert(ops[0])
+    return pc_next
+
+
+def _fast_qzero(machine, instr, ops, pc_next, syscalls):
+    machine.qat.zero(ops[0])
+    return pc_next
+
+
+def _fast_qone(machine, instr, ops, pc_next, syscalls):
+    machine.qat.one(ops[0])
+    return pc_next
+
+
+def _fast_qhad(machine, instr, ops, pc_next, syscalls):
+    if machine.trap_policy.strict_qat and ops[1] >= machine.ways:
+        machine.trap(
+            TrapCause.QAT_FAULT,
+            detail=f"had k={ops[1]} exceeds {machine.ways}-way entanglement",
+            instruction=instr.render(),
+            resume_pc=pc_next,
+        )
+    machine.qat.had(ops[0], ops[1])
+    return pc_next
+
+
+def _fast_qmeas(machine, instr, ops, pc_next, syscalls):
+    d = ops[0]
+    channel = int(machine.regs[d])
+    if machine.trap_policy.strict_qat and channel >= machine.nbits:
+        machine.trap(
+            TrapCause.QAT_FAULT,
+            detail=f"channel {channel} out of range for "
+                   f"{machine.nbits}-channel AoB",
+            instruction=instr.render(),
+            resume_pc=pc_next,
+        )
+    machine.regs[d] = machine.qat.meas(ops[1], channel) & 0xFFFF
+    return pc_next
+
+
+def _fast_qnext(machine, instr, ops, pc_next, syscalls):
+    d = ops[0]
+    channel = int(machine.regs[d])
+    if machine.trap_policy.strict_qat and channel >= machine.nbits:
+        machine.trap(
+            TrapCause.QAT_FAULT,
+            detail=f"channel {channel} out of range for "
+                   f"{machine.nbits}-channel AoB",
+            instruction=instr.render(),
+            resume_pc=pc_next,
+        )
+    machine.regs[d] = machine.qat.next(ops[1], channel) & 0xFFFF
+    return pc_next
+
+
+def _fast_qpop(machine, instr, ops, pc_next, syscalls):
+    d = ops[0]
+    channel = int(machine.regs[d])
+    if machine.trap_policy.strict_qat and channel >= machine.nbits:
+        machine.trap(
+            TrapCause.QAT_FAULT,
+            detail=f"channel {channel} out of range for "
+                   f"{machine.nbits}-channel AoB",
+            instruction=instr.render(),
+            resume_pc=pc_next,
+        )
+    value = machine.qat.pop_after(ops[1], channel)
+    if value > 0xFFFF:
+        if machine.trap_policy.strict_qat:
+            machine.trap(
+                TrapCause.QAT_FAULT,
+                detail=f"pop after channel {channel} counted {value} "
+                       f"ones, exceeding the 16-bit destination",
+                instruction=instr.render(),
+                resume_pc=pc_next,
+            )
+        value = 0xFFFF
+    machine.regs[d] = value
+    return pc_next
+
+
+#: mnemonic -> fast handler; covers every entry of :data:`INSTRUCTIONS`.
+FAST_HANDLERS = {
+    "add": _fast_add,
+    "addf": _fast_addf,
+    "and": _fast_and,
+    "brf": _fast_brf,
+    "brt": _fast_brt,
+    "copy": _fast_copy,
+    "float": _fast_float,
+    "int": _fast_int,
+    "jumpr": _fast_jumpr,
+    "lex": _fast_lex,
+    "lhi": _fast_lhi,
+    "load": _fast_load,
+    "mul": _fast_mul,
+    "mulf": _fast_mulf,
+    "neg": _fast_neg,
+    "negf": _fast_negf,
+    "not": _fast_not,
+    "or": _fast_or,
+    "recip": _fast_recip,
+    "shift": _fast_shift,
+    "slt": _fast_slt,
+    "store": _fast_store,
+    "sys": _fast_sys,
+    "xor": _fast_xor,
+    "qand": _fast_qand,
+    "qccnot": _fast_qccnot,
+    "qcnot": _fast_qcnot,
+    "qcswap": _fast_qcswap,
+    "qhad": _fast_qhad,
+    "qmeas": _fast_qmeas,
+    "qnext": _fast_qnext,
+    "qnot": _fast_qnot,
+    "qone": _fast_qone,
+    "qor": _fast_qor,
+    "qpop": _fast_qpop,
+    "qswap": _fast_qswap,
+    "qxor": _fast_qxor,
+    "qzero": _fast_qzero,
+}
+
+assert set(FAST_HANDLERS) == set(INSTRUCTIONS), "fast dispatch table out of sync"

@@ -1,0 +1,262 @@
+"""Fast-path execution engine: predecode cache + stripped hot loops.
+
+The slow path re-decodes every instruction word at every step and pays
+telemetry/trace/checkpoint dispatch on every loop iteration even when no
+observer is attached.  This module removes that overhead without
+changing a single architectural outcome:
+
+- **Predecode cache** (:class:`PredecodeCache`): each program word is
+  decoded once into a :class:`Predecoded` entry carrying the
+  instruction, its fast handler (:data:`repro.cpu.exec_core.FAST_HANDLERS`),
+  and its :class:`~repro.cpu.exec_core.StaticEffects`.  Decoded entries
+  are pure functions of their bit patterns, so they are interned
+  process-wide and shared by all three simulators.  Stores invalidate
+  precisely (``MachineState.write_mem`` drops the entry at the written
+  address plus a two-word entry starting one word earlier), so
+  self-modifying code simply re-decodes the rewritten words.
+- **Stripped run loops** (:func:`run_functional`, :func:`run_multicycle`):
+  no span enter/exit, no per-step ``Effects`` allocation, locals-bound
+  state, and handler dispatch through the predecoded table instead of
+  per-step mnemonic branching.
+- **Selection** (:func:`eligible`): the fast loop is only taken when
+  telemetry capture, tracing, auto-checkpointing, and profiling are all
+  inactive; any observer keeps the byte-identical slow path.  Set
+  ``REPRO_FASTPATH=0`` in the environment (or ``sim.use_fastpath =
+  False``) to force the slow path; ``sim.use_fastpath = True`` forces
+  the fast loop even when an observer is attached (testing only -- the
+  observer is then bypassed).
+
+Trap behaviour is identical to the slow path by construction: handlers
+raise through the same :func:`repro.faults.traps.deliver` machinery with
+the same causes and detail strings, and the differential suite
+(``tests/test_fastpath.py``) checks final state digests and trap records
+against the slow path on random programs.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.cpu.exec_core import FAST_HANDLERS, static_effects
+from repro.errors import EncodingError
+from repro.faults.traps import TrapCause, TrapDelivered
+from repro.isa.encoding import decode
+from repro.obs import runtime as _obs
+
+#: Master switch: ``REPRO_FASTPATH=0`` disables fast-loop selection
+#: process-wide (the predecode cache stays behaviour-neutral and on).
+ENABLED = os.environ.get("REPRO_FASTPATH", "1") != "0"
+
+#: Major opcodes of two-word (Qat multi-register) instructions.
+_TWO_WORD_MAJORS = (0x8, 0x9)
+
+_MEM_WORDS = 1 << 16
+
+
+class Predecoded:
+    """One decoded program word (or decode error), ready to dispatch."""
+
+    __slots__ = ("instr", "ops", "mnemonic", "words", "handler", "static",
+                 "error")
+
+    def __init__(self, instr, words, handler, static, error=None):
+        self.instr = instr
+        self.ops = instr.ops if instr is not None else ()
+        self.mnemonic = instr.mnemonic if instr is not None else None
+        self.words = words
+        self.handler = handler
+        self.static = static
+        #: the EncodingError text when the word(s) do not decode
+        self.error = error
+
+
+#: Process-wide intern table: word (or ``(word1, word2)``) -> entry.
+#: Decode -- including every EncodingError message -- is a pure function
+#: of the fetched bit patterns, so entries are safely shared across
+#: machines, simulators, and repeated loads of the same program.
+_INTERN: dict = {}
+
+
+def _predecode(mem, pc: int) -> Predecoded:
+    """Decode (or fetch from the intern table) the word(s) at ``pc``."""
+    word = int(mem[pc])
+    if (word >> 12) in _TWO_WORD_MAJORS and pc + 1 < _MEM_WORDS:
+        key = (word, int(mem[pc + 1]))
+    else:
+        key = word
+    entry = _INTERN.get(key)
+    if entry is None:
+        try:
+            instr, words = decode(mem, pc)
+        except EncodingError as exc:
+            entry = Predecoded(None, 1, None, None, error=str(exc))
+        else:
+            entry = Predecoded(instr, words, FAST_HANDLERS[instr.mnemonic],
+                               static_effects(instr))
+        _INTERN[key] = entry
+    return entry
+
+
+class PredecodeCache:
+    """Per-machine ``pc -> Predecoded`` map with precise invalidation."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self):
+        self.entries: dict[int, Predecoded] = {}
+
+    def lookup(self, mem, pc: int) -> Predecoded:
+        entry = self.entries.get(pc)
+        if entry is None:
+            entry = self.entries[pc] = _predecode(mem, pc)
+        return entry
+
+    def invalidate(self, addr: int) -> None:
+        """Drop entries covering ``addr`` after a store there.
+
+        An instruction is at most two words long, so only the entry at
+        ``addr`` itself and a two-word entry starting at ``addr - 1``
+        can have consumed the written word.
+        """
+        entries = self.entries
+        entries.pop(addr, None)
+        prev = (addr - 1) & 0xFFFF
+        before = entries.get(prev)
+        if before is not None and before.words == 2:
+            del entries[prev]
+
+    def invalidate_all(self) -> None:
+        self.entries.clear()
+
+
+def cache_for(machine) -> PredecodeCache | None:
+    """The machine's predecode cache (``None`` when disabled on it)."""
+    if not machine.predecode_enabled:
+        return None
+    cache = machine._predecode
+    if cache is None:
+        cache = machine._predecode = PredecodeCache()
+    return cache
+
+
+def eligible(sim) -> bool:
+    """Should ``sim.run()`` take the stripped fast loop right now?
+
+    ``sim.use_fastpath`` (True/False) overrides everything; otherwise
+    the fast loop requires the module switch on and *no* observer --
+    telemetry capture, an execution trace, an auto-checkpointer, or a
+    profiler -- attached to the simulator (or, for the multi-cycle
+    model, its inner functional simulator).
+    """
+    forced = getattr(sim, "use_fastpath", None)
+    if forced is not None:
+        return bool(forced)
+    if not ENABLED or _obs.active:
+        return False
+    inner = getattr(sim, "_inner", None)
+    for owner in (sim,) if inner is None else (sim, inner):
+        if getattr(owner, "trace", None) is not None:
+            return False
+        if getattr(owner, "checkpointer", None) is not None:
+            return False
+        if getattr(owner, "profiler", None) is not None:
+            return False
+    return True
+
+
+def run_functional(sim, max_steps: int) -> int:
+    """Stripped equivalent of ``FunctionalSimulator.run``.
+
+    Same contract: runs to halt, fires the ``watchdog`` trap when the
+    step budget is exhausted, returns the number of steps (trapped
+    instructions included).
+    """
+    machine = sim.machine
+    syscalls = sim.syscalls
+    mem = machine.mem
+    cache = cache_for(machine)
+    entries = cache.entries if cache is not None else None
+    steps = 0
+    while not machine.halted:
+        if steps >= max_steps:
+            try:
+                machine.trap(
+                    TrapCause.WATCHDOG,
+                    detail=f"exceeded {max_steps} steps without halting",
+                )
+            except TrapDelivered:
+                break
+        pc = machine.pc
+        if entries is not None:
+            entry = entries.get(pc)
+            if entry is None:
+                entry = entries[pc] = _predecode(mem, pc)
+        else:
+            entry = _predecode(mem, pc)
+        handler = entry.handler
+        if handler is None:
+            try:
+                machine.trap(TrapCause.ILLEGAL_OPCODE, detail=entry.error)
+            except TrapDelivered:
+                steps += 1
+                continue
+        try:
+            machine.pc = handler(machine, entry.instr, entry.ops,
+                                 (pc + entry.words) & 0xFFFF, syscalls)
+            machine.instret += 1
+        except TrapDelivered:
+            pass  # deliver() already redirected/halted the machine
+        steps += 1
+    return steps
+
+
+def run_multicycle(sim, max_steps: int) -> int:
+    """Stripped equivalent of ``MultiCycleSimulator.run``.
+
+    Returns total cycles.  ``sim.cycles`` is brought up to date after
+    every step (not batched) because trap records read it through
+    ``machine.cycle_provider`` at delivery time, and the slow path
+    charges the trapping instruction only *after* delivery.
+    """
+    machine = sim.machine
+    syscalls = sim._inner.syscalls
+    costs = sim.costs
+    cost_of = {m: costs.cycles_for(m) for m in FAST_HANDLERS}
+    trap_cost = costs.sys  # synthetic "trap" effects charge exception entry
+    mem = machine.mem
+    cache = cache_for(machine)
+    entries = cache.entries if cache is not None else None
+    steps = 0
+    while not machine.halted:
+        if steps >= max_steps:
+            try:
+                machine.trap(
+                    TrapCause.WATCHDOG,
+                    detail=f"exceeded {max_steps} steps without halting",
+                )
+            except TrapDelivered:
+                break
+        pc = machine.pc
+        if entries is not None:
+            entry = entries.get(pc)
+            if entry is None:
+                entry = entries[pc] = _predecode(mem, pc)
+        else:
+            entry = _predecode(mem, pc)
+        handler = entry.handler
+        if handler is None:
+            try:
+                machine.trap(TrapCause.ILLEGAL_OPCODE, detail=entry.error)
+            except TrapDelivered:
+                sim.cycles += trap_cost
+                steps += 1
+                continue
+        try:
+            machine.pc = handler(machine, entry.instr, entry.ops,
+                                 (pc + entry.words) & 0xFFFF, syscalls)
+            machine.instret += 1
+            sim.cycles += cost_of[entry.mnemonic]
+        except TrapDelivered:
+            sim.cycles += trap_cost
+        steps += 1
+    return sim.cycles

@@ -16,6 +16,7 @@ trap-handler program.
 from __future__ import annotations
 
 from repro.aob.bitvector import QAT_WAYS
+from repro.cpu import fastpath as _fastpath
 from repro.cpu.exec_core import TRAP_MNEMONIC, Effects, execute
 from repro.cpu.state import MachineState
 from repro.cpu.syscalls import SyscallHandler
@@ -29,6 +30,10 @@ from repro.obs.spans import NULL_SPAN
 
 class FunctionalSimulator:
     """Executes a program image one instruction at a time."""
+
+    #: Fast-path override: ``None`` auto-selects (fast loop when no
+    #: observer is attached), ``False``/``True`` force slow/fast.
+    use_fastpath: bool | None = None
 
     def __init__(
         self,
@@ -96,7 +101,12 @@ class FunctionalSimulator:
         count lands on the ``cpu.instructions`` counter.  An attached
         :class:`~repro.faults.checkpoint.AutoCheckpointer` snapshots the
         machine periodically so a watchdog expiry is recoverable.
+
+        With no observer attached the architecturally identical stripped
+        loop in :mod:`repro.cpu.fastpath` is used instead.
         """
+        if _fastpath.eligible(self):
+            return _fastpath.run_functional(self, max_steps)
         telemetry = _obs.current() if _obs.active else None
         steps = 0
         checkpointer = self.checkpointer

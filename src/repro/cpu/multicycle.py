@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.aob.bitvector import QAT_WAYS
+from repro.cpu import fastpath as _fastpath
 from repro.cpu.functional import FunctionalSimulator
 from repro.cpu.syscalls import SyscallHandler
 from repro.errors import HaltedError, SimulatorError
@@ -73,6 +74,10 @@ class CycleCosts:
 
 class MultiCycleSimulator:
     """Functional execution plus a per-instruction cycle charge."""
+
+    #: Fast-path override: ``None`` auto-selects (fast loop when no
+    #: observer is attached), ``False``/``True`` force slow/fast.
+    use_fastpath: bool | None = None
 
     def __init__(
         self,
@@ -149,7 +154,13 @@ class MultiCycleSimulator:
         A blown step budget fires a ``watchdog`` trap -- a
         :class:`~repro.errors.SimulatorError` under the default policy,
         a clean stop under ``halt``.
+
+        With no observer attached (no profiler, trace, checkpointer, or
+        telemetry) the stripped loop in :mod:`repro.cpu.fastpath` runs
+        instead, with identical architectural and cycle accounting.
         """
+        if _fastpath.eligible(self):
+            return _fastpath.run_multicycle(self, max_steps)
         steps = 0
         checkpointer = self._inner.checkpointer
         while not self.machine.halted:

@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.aob.bitvector import QAT_WAYS
+from repro.cpu import fastpath as _fastpath
 from repro.cpu.exec_core import execute, static_effects
 from repro.cpu.state import MachineState
 from repro.cpu.syscalls import SyscallHandler
@@ -171,9 +172,20 @@ class PipelinedSimulator:
 
     def _start_fetch(self) -> _InFlight:
         pc = self._fetch_pc
-        try:
-            instr, words = decode(self.machine.mem, pc)
-        except EncodingError:
+        cache = _fastpath.cache_for(self.machine)
+        if cache is not None:
+            entry = cache.lookup(self.machine.mem, pc)
+            if entry.error is not None:
+                instr, words, stat = None, 1, None
+            else:
+                instr, words, stat = entry.instr, entry.words, entry.static
+        else:
+            try:
+                instr, words = decode(self.machine.mem, pc)
+                stat = static_effects(instr)
+            except EncodingError:
+                instr, words, stat = None, 1, None
+        if instr is None:
             # Wrong-path fetch of data; becomes an error only if executed.
             self._fetch_pc = (pc + 1) & 0xFFFF
             rec = _InFlight(pc=pc, instr=None, words=1, fetch_left=1)
@@ -181,7 +193,6 @@ class PipelinedSimulator:
                 rec.stage_entries = [("IF", self.stats.cycles)]
             return rec
         self._fetch_pc = (pc + words) & 0xFFFF
-        stat = static_effects(instr)
         ex_left = 1
         if not self.config.second_qat_write_port and instr.mnemonic in (
             "qswap",

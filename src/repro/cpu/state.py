@@ -48,6 +48,11 @@ class MachineState:
         self.traps: list[TrapRecord] = []
         #: set by timing simulators so trap records carry the clock
         self.cycle_provider = None
+        #: per-machine predecoded-instruction cache, created lazily by
+        #: :mod:`repro.cpu.fastpath`; ``None`` until a simulator runs
+        self._predecode = None
+        #: set False to force per-step ``decode`` (differential testing)
+        self.predecode_enabled = True
 
     def trap(self, cause: TrapCause, detail: str = "",
              instruction: str | None = None, resume_pc: int | None = None,
@@ -78,8 +83,27 @@ class MachineState:
         return int(self.mem[addr & 0xFFFF])
 
     def write_mem(self, addr: int, value: int) -> None:
-        """Write one 16-bit memory word."""
+        """Write one 16-bit memory word.
+
+        Any store may overwrite program text (self-modifying code), so
+        the predecoded-instruction cache is precisely invalidated here.
+        """
         self.mem[addr & 0xFFFF] = value & 0xFFFF
+        if self._predecode is not None:
+            self._predecode.invalidate(addr & 0xFFFF)
+
+    def invalidate_predecode(self, addr: int | None = None) -> None:
+        """Drop predecoded instructions after a direct ``mem`` mutation.
+
+        Code that bypasses :meth:`write_mem` (fault injection, checkpoint
+        restore, tests poking ``machine.mem`` arrays) must call this with
+        the touched address, or with no argument to flush everything.
+        """
+        if self._predecode is not None:
+            if addr is None:
+                self._predecode.invalidate_all()
+            else:
+                self._predecode.invalidate(addr & 0xFFFF)
 
     def load_program(self, words, origin: int = 0) -> None:
         """Copy a program image into memory and point the PC at it."""
@@ -90,6 +114,8 @@ class MachineState:
             raise SimulatorError("program image exceeds memory")
         self.mem[origin : origin + words.size] = words
         self.pc = origin
+        if self._predecode is not None:
+            self._predecode.invalidate_all()
 
     # -- Qat register access --------------------------------------------------------
 

@@ -135,6 +135,76 @@ def golden_run(program, sim: str = "functional", ways: int = 8,
     return _architectural_result(reference.machine), steps
 
 
+#: Per-worker-process program cache: campaign tasks arrive carrying only
+#: the program *name*, and loading/assembling it once per worker (not
+#: once per run) keeps the fan-out overhead flat.
+_WORKER_IMAGES: dict[str, object] = {}
+
+
+def _worker_image(program: str):
+    image = _WORKER_IMAGES.get(program)
+    if image is None:
+        image = _WORKER_IMAGES[program] = _load_program(program)
+    return image
+
+
+def _worker_init() -> None:
+    """Set up one campaign worker process.
+
+    Workers forked from an instrumented parent must not write into its
+    telemetry (the parent replays per-run hooks from the returned
+    durations), and each gets pristine process-global pattern stores.
+    """
+    from repro.pattern import reset_default_stores
+
+    _obs.install(None)
+    reset_default_stores()
+    _WORKER_IMAGES.clear()
+
+
+def _single_run(task: tuple) -> tuple[int, dict, float]:
+    """Execute one faulted run; pure function of its task tuple.
+
+    Returns ``(run index, RunResult dict, wall seconds)`` so results can
+    be merged deterministically regardless of worker scheduling.
+    """
+    (run, program, seed, sim, ways, faults_per_run, targets, qat_backend,
+     golden, golden_steps, mem_span, watchdog) = task
+    image = _worker_image(program)
+    run_seed = seed * 1_000_003 + run
+    plan = FaultPlan.from_seed(
+        run_seed,
+        faults_per_run,
+        max_step=golden_steps,
+        ways=ways,
+        targets=tuple(targets),
+        mem_span=mem_span,
+    )
+    subject = _new_simulator(sim, ways, None, qat_backend=qat_backend)
+    subject.load(image)
+    result = RunResult(
+        run=run,
+        seed=run_seed,
+        outcome=MASKED,
+        events=[e.as_dict() for e in plan.events],
+    )
+    t0 = time.perf_counter()
+    try:
+        _drive(subject, plan, watchdog)
+    except ReproError as exc:
+        result.outcome = DETECTED
+        result.error = str(exc)
+    else:
+        if subject.machine.traps:
+            result.outcome = DETECTED
+        elif _architectural_result(subject.machine) == golden:
+            result.outcome = MASKED
+        else:
+            result.outcome = SILENT
+    result.traps = [r.as_dict() for r in subject.machine.traps]
+    return run, result.as_dict(), time.perf_counter() - t0
+
+
 def run_campaign(
     program: str = "fig10",
     runs: int = 20,
@@ -144,6 +214,7 @@ def run_campaign(
     faults_per_run: int = 1,
     targets: tuple[str, ...] = ("gpr", "mem", "qreg"),
     qat_backend: str = "dense",
+    jobs: int = 1,
 ) -> dict:
     """Run a seeded soft-error campaign; returns the JSON-ready report.
 
@@ -152,9 +223,17 @@ def run_campaign(
     function of its arguments.  The process-global pattern stores are
     reset first so chunk interning from earlier work (or an earlier
     campaign) can never bleed into this one's RE-backed runs.
+
+    ``jobs > 1`` shards the runs across that many worker processes.
+    Each run is already a pure function of ``(seed, run index)`` with
+    its own simulator and stores, so the merged report -- results
+    reordered by run index, counts recomputed in run order -- is
+    byte-identical to the serial campaign.
     """
     if runs <= 0:
         raise ReproError(f"runs must be positive, got {runs}")
+    if jobs <= 0:
+        raise ReproError(f"jobs must be positive, got {jobs}")
     from repro.pattern import reset_default_stores
 
     reset_default_stores()
@@ -165,48 +244,34 @@ def run_campaign(
     mem_span = max(64, 2 * len(getattr(image, "words", image)))
     watchdog = golden_steps * _WATCHDOG_FACTOR + _WATCHDOG_SLACK
 
-    results: list[RunResult] = []
+    tasks = [
+        (run, program, seed, sim, ways, faults_per_run, tuple(targets),
+         qat_backend, golden, golden_steps, mem_span, watchdog)
+        for run in range(runs)
+    ]
+    if jobs > 1 and runs > 1:
+        import multiprocessing
+
+        _WORKER_IMAGES.setdefault(program, image)
+        with multiprocessing.Pool(min(jobs, runs),
+                                  initializer=_worker_init) as pool:
+            outcomes = pool.map(_single_run, tasks)
+        outcomes.sort(key=lambda item: item[0])
+    else:
+        _WORKER_IMAGES[program] = image
+        outcomes = [_single_run(task) for task in tasks]
+
+    results = [detail for _, detail, _ in outcomes]
     counts = {DETECTED: 0, MASKED: 0, SILENT: 0}
-    for run in range(runs):
-        run_seed = seed * 1_000_003 + run
-        plan = FaultPlan.from_seed(
-            run_seed,
-            faults_per_run,
-            max_step=golden_steps,
-            ways=ways,
-            targets=targets,
-            mem_span=mem_span,
-        )
-        subject = _new_simulator(sim, ways, None, qat_backend=qat_backend)
-        subject.load(image)
-        result = RunResult(
-            run=run,
-            seed=run_seed,
-            outcome=MASKED,
-            events=[e.as_dict() for e in plan.events],
-        )
-        t0 = time.perf_counter()
-        try:
-            _drive(subject, plan, watchdog)
-        except ReproError as exc:
-            result.outcome = DETECTED
-            result.error = str(exc)
-        else:
-            if subject.machine.traps:
-                result.outcome = DETECTED
-            elif _architectural_result(subject.machine) == golden:
-                result.outcome = MASKED
-            else:
-                result.outcome = SILENT
-        result.traps = [r.as_dict() for r in subject.machine.traps]
-        counts[result.outcome] += 1
-        results.append(result)
+    for _, detail, seconds in outcomes:
+        counts[detail["outcome"]] += 1
         if _obs.active:
             # Per-run hook: outcome counters plus a run-duration
             # histogram, so ``tangled faults --stats`` shows both the
             # classification totals and the campaign's timing profile.
-            _obs.current().fault_run(result.outcome,
-                                     time.perf_counter() - t0)
+            # Replayed here (not in workers) so parallel campaigns feed
+            # the same parent-process telemetry as serial ones.
+            _obs.current().fault_run(detail["outcome"], seconds)
 
     total = float(runs)
     return {
@@ -232,7 +297,7 @@ def run_campaign(
             "masked_rate": round(counts[MASKED] / total, 4),
             "silent_rate": round(counts[SILENT] / total, 4),
         },
-        "runs_detail": [r.as_dict() for r in results],
+        "runs_detail": results,
     }
 
 

@@ -190,6 +190,8 @@ class Checkpoint:
             raise CheckpointError(mismatch)
         machine.regs[:] = self.regs
         machine.mem[:] = self.mem
+        # Whole-memory overwrite: every predecoded instruction is stale.
+        machine.invalidate_predecode()
         if self.qat_backend == "dense":
             machine.qregs[:] = self.qregs
             if store is not None and self.store_chunks:

@@ -52,6 +52,15 @@ class BenchSpec:
     name: str
     fn: Callable[[], object]
     description: str = ""
+    #: False runs the round with telemetry *uninstalled* (so simulators
+    #: take the fast path) and records an empty counter section.
+    capture: bool = True
+    #: optional untimed per-round preparation; its return value is
+    #: passed to ``fn`` so e.g. assembly stays out of the timed region
+    setup: Callable[[], object] | None = None
+    #: optional ``fn(result) -> steps`` so the report can derive a
+    #: steps/sec rate from the timed region
+    rate_steps: Callable[[object], int] | None = None
 
 
 # ---------------------------------------------------------------------------
@@ -74,6 +83,32 @@ def _fig10(simulator: str, ways: int = 8, qat_backend: str = "dense",
         return sim
 
     return run
+
+
+def _fig10_fast_setup():
+    from repro.apps import fig10_program
+
+    return fig10_program()
+
+
+def _fig10_fast(simulator: str, qat_backend: str = "dense"):
+    """Timed region = simulator run only: assembly happens in setup and
+    telemetry stays uninstalled, so this measures the fast-path loop."""
+    def run(program):
+        from repro.apps import run_factor_program
+
+        sim, regs = run_factor_program(
+            program, ways=8, simulator=simulator, qat_backend=qat_backend,
+        )
+        if regs != (5, 3):
+            raise ReproError(f"fig10 produced {regs}, expected (5, 3)")
+        return sim
+
+    return run
+
+
+def _fig10_instret(sim) -> int:
+    return sim.machine.instret
 
 
 def _factor_n221():
@@ -149,6 +184,24 @@ def default_specs(qat_backend: str = "dense") -> list[BenchSpec]:
                   _fig10("functional", ways=24, qat_backend="re"),
                   "Figure 10 at 24-way entanglement (RE only: a dense "
                   "register file would need 512 MiB)"),
+        BenchSpec("fig10.functional_fast",
+                  _fig10_fast("functional", qat_backend=qat_backend),
+                  "Figure 10 run-loop only, fast path, capture off "
+                  "(steps/sec)",
+                  capture=False, setup=_fig10_fast_setup,
+                  rate_steps=_fig10_instret),
+        BenchSpec("fig10.multicycle_fast",
+                  _fig10_fast("multicycle", qat_backend=qat_backend),
+                  "Figure 10 multi-cycle run-loop only, fast path "
+                  "(steps/sec)",
+                  capture=False, setup=_fig10_fast_setup,
+                  rate_steps=_fig10_instret),
+        BenchSpec("fig10.pipelined_fast",
+                  _fig10_fast("pipelined", qat_backend=qat_backend),
+                  "Figure 10 pipelined run-loop only, predecoded fetch "
+                  "(steps/sec)",
+                  capture=False, setup=_fig10_fast_setup,
+                  rate_steps=_fig10_instret),
         BenchSpec("factor.n221", _factor_n221,
                   "word-level factoring of 221 (AoB kernel volume)"),
         BenchSpec("chunkstore.s12", _chunkstore_xor,
@@ -180,6 +233,13 @@ def run_spec_once(spec: BenchSpec) -> dict:
     counters are every scalar (non-histogram) metric the round touched.
     Histograms are excluded: their contents are wall-clock durations and
     would break counter determinism.
+
+    ``spec.capture=False`` rounds run with telemetry *uninstalled*
+    instead (the simulators select their fast path) and record an empty
+    counter section; ``spec.setup`` runs before the clock starts and its
+    return value is passed to ``spec.fn``.  When ``spec.rate_steps`` is
+    set the result gains a ``"steps"`` entry derived from ``fn``'s
+    return value.
     """
     from repro import obs
     from repro.obs.metrics import Histogram
@@ -191,19 +251,27 @@ def run_spec_once(spec: BenchSpec) -> dict:
     # counter determinism.
     reset_default_stores()
     previous = obs.current()
-    telemetry = obs.enable(tracing=False)
+    if spec.capture:
+        telemetry = obs.enable(tracing=False)
+    else:
+        telemetry = None
+        obs.install(None)
     try:
+        prepared = spec.setup() if spec.setup is not None else None
         t0 = time.perf_counter()
-        spec.fn()
+        result = spec.fn(prepared) if spec.setup is not None else spec.fn()
         seconds = time.perf_counter() - t0
     finally:
         obs.install(previous)
-    counters = {
+    counters = {} if telemetry is None else {
         name: metric.value
         for name, metric in telemetry.metrics.items()
         if not isinstance(metric, Histogram)
     }
-    return {"seconds": seconds, "counters": counters}
+    out = {"seconds": seconds, "counters": counters}
+    if spec.rate_steps is not None:
+        out["steps"] = int(spec.rate_steps(result))
+    return out
 
 
 def _timing_stats(samples: list[float]) -> dict:
@@ -224,44 +292,128 @@ def _timing_stats(samples: list[float]) -> dict:
     }
 
 
+#: Specs already warmed up in *this worker process* (each pool worker
+#: pays its own warmup rounds before its first timed round of a spec).
+_WARMED: set[tuple[str, str]] = set()
+
+
+def _bench_worker_init() -> None:
+    """Detach inherited telemetry and reset stores in a pool worker."""
+    from repro.obs import runtime as _rt
+    from repro.pattern import reset_default_stores
+
+    _rt.install(None)
+    reset_default_stores()
+    _WARMED.clear()
+
+
+def _bench_task(task: tuple) -> tuple[str, int, dict]:
+    """One timed round of a named suite spec, in a worker process."""
+    name, qat_backend, warmup, round_idx = task
+    spec = spec_by_name(name, qat_backend)
+    key = (name, qat_backend)
+    if key not in _WARMED:
+        for _ in range(warmup):
+            run_spec_once(spec)
+        _WARMED.add(key)
+    return name, round_idx, run_spec_once(spec)
+
+
+def _merge_rounds(name: str, results: list[dict]) -> dict:
+    """Fold per-round results into one bench entry (round order)."""
+    timings: list[float] = []
+    counters: dict | None = None
+    steps: int | None = None
+    for result in results:
+        timings.append(result["seconds"])
+        if counters is not None and counters != result["counters"]:
+            raise ReproError(
+                f"bench {name!r} is nondeterministic: counters "
+                f"changed between rounds"
+            )
+        counters = result["counters"]
+        if "steps" in result:
+            if steps is not None and steps != result["steps"]:
+                raise ReproError(
+                    f"bench {name!r} is nondeterministic: step count "
+                    f"changed between rounds"
+                )
+            steps = result["steps"]
+    entry = {
+        "counters": dict(sorted((counters or {}).items())),
+        "timing": _timing_stats(timings),
+    }
+    if steps is not None:
+        median = entry["timing"]["median"]
+        entry["rate"] = {
+            "steps": steps,
+            "steps_per_second": round(steps / median) if median > 0 else 0,
+        }
+    return entry
+
+
 def run_suite(
     specs: list[BenchSpec] | None = None,
     label: str = "local",
     rounds: int = 5,
     warmup: int = 1,
     progress: Callable[[str], None] | None = None,
+    jobs: int = 1,
+    qat_backend: str = "dense",
 ) -> dict:
     """Run every spec ``warmup + rounds`` times; return the report dict.
 
     Counters are taken from the final round (every round must agree --
     a divergence means the workload is nondeterministic and is reported
     as an error rather than silently averaged away).
+
+    ``jobs > 1`` shards the timed rounds across worker processes.  Each
+    round already runs under fresh stores and its own capture, so the
+    merged counter (and steps) sections are byte-identical to the serial
+    suite; only the wall-clock timing statistics differ.  Parallel runs
+    are restricted to suite specs resolvable by :func:`spec_by_name`
+    with the given ``qat_backend`` (bench closures do not pickle), and
+    every worker pays its own warmup before its first round of a spec.
     """
     if rounds <= 0:
         raise ReproError(f"rounds must be positive, got {rounds}")
     if warmup < 0:
         raise ReproError(f"warmup must be non-negative, got {warmup}")
+    if jobs <= 0:
+        raise ReproError(f"jobs must be positive, got {jobs}")
+    spec_list = specs if specs is not None else default_specs(qat_backend)
     benches: dict[str, dict] = {}
-    for spec in specs if specs is not None else default_specs():
+    if jobs > 1:
+        for spec in spec_list:
+            spec_by_name(spec.name, qat_backend)  # reject unknown customs
+        import multiprocessing
+
+        tasks = [
+            (spec.name, qat_backend, warmup, round_idx)
+            for spec in spec_list
+            for round_idx in range(rounds)
+        ]
         if progress is not None:
-            progress(f"bench {spec.name}: {warmup} warmup + {rounds} rounds")
-        for _ in range(warmup):
-            run_spec_once(spec)
-        timings: list[float] = []
-        counters: dict | None = None
-        for _ in range(rounds):
-            result = run_spec_once(spec)
-            timings.append(result["seconds"])
-            if counters is not None and counters != result["counters"]:
-                raise ReproError(
-                    f"bench {spec.name!r} is nondeterministic: counters "
-                    f"changed between rounds"
+            progress(f"bench fan-out: {len(spec_list)} benches x {rounds} "
+                     f"rounds across {jobs} workers")
+        with multiprocessing.Pool(min(jobs, len(tasks)),
+                                  initializer=_bench_worker_init) as pool:
+            outcomes = pool.map(_bench_task, tasks)
+        per_spec: dict[str, list] = {s.name: [None] * rounds for s in spec_list}
+        for name, round_idx, result in outcomes:
+            per_spec[name][round_idx] = result
+        for spec in spec_list:
+            benches[spec.name] = _merge_rounds(spec.name, per_spec[spec.name])
+    else:
+        for spec in spec_list:
+            if progress is not None:
+                progress(
+                    f"bench {spec.name}: {warmup} warmup + {rounds} rounds"
                 )
-            counters = result["counters"]
-        benches[spec.name] = {
-            "counters": dict(sorted((counters or {}).items())),
-            "timing": _timing_stats(timings),
-        }
+            for _ in range(warmup):
+                run_spec_once(spec)
+            results = [run_spec_once(spec) for _ in range(rounds)]
+            benches[spec.name] = _merge_rounds(spec.name, results)
     return {
         "schema": SCHEMA,
         "label": label,

@@ -19,6 +19,13 @@ from repro.aob import AoB
 from repro.errors import EntanglementError
 from repro.obs import runtime as _obs
 
+#: Default bound on each gate memo table (entries).  Long RE-backend
+#: runs keep streaming fresh symbol pairs; an unbounded memo would grow
+#: with them forever.  2^16 entries is far above the working set of any
+#: suite workload, so eviction never fires there and the memo counters
+#: stay byte-deterministic.
+MEMO_LIMIT = 1 << 16
+
 
 class ChunkStore:
     """Hash-consing store for AoB chunk symbols of a fixed width.
@@ -28,10 +35,18 @@ class ChunkStore:
     constant registers ``@0`` = 0 and ``@1`` = 1).
     """
 
-    def __init__(self, chunk_ways: int):
+    def __init__(self, chunk_ways: int, memo_limit: int = MEMO_LIMIT):
         if chunk_ways < 0:
             raise EntanglementError(f"chunk_ways must be >= 0, got {chunk_ways}")
+        if memo_limit <= 0:
+            raise EntanglementError(
+                f"memo_limit must be positive, got {memo_limit}"
+            )
         self.chunk_ways = chunk_ways
+        #: LRU bound on :attr:`_binop_cache` / :attr:`_not_cache` entries
+        self.memo_limit = memo_limit
+        #: memo entries dropped to stay under :attr:`memo_limit`
+        self.memo_evicted = 0
         self.chunk_bits = 1 << chunk_ways
         self._chunks: list[AoB] = []
         self._ids: dict[AoB, int] = {}
@@ -168,8 +183,10 @@ class ChunkStore:
         if op in ("and", "or", "xor") and a > b:
             a, b = b, a  # all three gates are commutative: halve the cache
         key = (op, a, b)
-        sym = self._binop_cache.get(key)
+        cache = self._binop_cache
+        sym = cache.pop(key, None)
         if sym is not None:
+            cache[key] = sym  # re-append: most recently used
             self._count_gate(hit=True)
             return sym
         self._count_gate(hit=False)
@@ -183,20 +200,32 @@ class ChunkStore:
         else:
             raise ValueError(f"unknown chunk binop {op!r}")
         sym = self.intern(result)
-        self._binop_cache[key] = sym
+        self._memo_insert(cache, key, sym)
         return sym
 
     def bnot(self, a: int) -> int:
         """Apply NOT to symbol ``a``."""
-        sym = self._not_cache.get(a)
+        cache = self._not_cache
+        sym = cache.pop(a, None)
         if sym is not None:
+            cache[a] = sym  # re-append: most recently used
             self._count_gate(hit=True)
             return sym
         self._count_gate(hit=False)
         sym = self.intern(~self._chunks[a])
-        self._not_cache[a] = sym
-        self._not_cache[sym] = a  # involution
+        self._memo_insert(cache, a, sym)
+        self._memo_insert(cache, sym, a)  # involution
         return sym
+
+    def _memo_insert(self, cache: dict, key, value) -> None:
+        """Insert one memo entry, evicting the least recently used past
+        :attr:`memo_limit` (dict order = recency: hits re-append)."""
+        cache[key] = value
+        if len(cache) > self.memo_limit:
+            cache.pop(next(iter(cache)))
+            self.memo_evicted += 1
+            if _obs.active:
+                _obs.current().metrics.counter("chunkstore.memo.evicted").inc()
 
     def _count_gate(self, hit: bool) -> None:
         """One memoized-gate lookup: hit = a whole chunk op avoided."""
@@ -245,5 +274,7 @@ class ChunkStore:
             "not_cache": len(self._not_cache),
             "gate_hits": self.gate_hits,
             "gate_misses": self.gate_misses,
+            "memo_limit": self.memo_limit,
+            "memo_evicted": self.memo_evicted,
             "degraded": self.degraded,
         }
