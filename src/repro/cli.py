@@ -16,6 +16,9 @@ Installed as the ``tangled`` console script::
     tangled profile fig10 --trace-out f.json    ... plus a flamegraph
     tangled bench --label nightly               statistics-aware bench run
     tangled bench --compare baseline.json       classify perf deltas
+    tangled report                              the recorded-run ledger
+    tangled report --label fig10.re             a label's trajectory
+    tangled report --compare A B --export json  byte-stable comparison
 
 Every subcommand prints to stdout and exits non-zero on error, so the
 tools compose in shell pipelines.  ``--stats``/``--trace-out`` route the
@@ -26,14 +29,32 @@ trace file loads in ``chrome://tracing`` or https://ui.perfetto.dev.
 *which instruction* the cycles went to and who it stalled on -- and
 ``bench`` writes/gates the canonical ``BENCH_<label>.json`` trajectory
 (see docs/OBSERVABILITY.md).
+
+Every ``run|fig10|faults|profile|bench`` invocation is additionally
+recorded in the persistent run ledger (``~/.tangled/ledger.db``,
+overridable with ``TANGLED_LEDGER``, opt out per command with
+``--no-ledger``): run id, resolved config, wall time, exit status, trap
+summary, the deterministic counter snapshot, per-worker ``--jobs``
+progress gauges, and emitted artifact paths.  ``tangled report`` reads
+it back as trajectories and side-by-side comparisons.
+
+Exit codes: 0 success, 1 error (I/O, bad arguments, simulator fault),
+2 ``bench --compare`` regression gate failure.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
+from contextlib import contextmanager
 
 from repro.errors import ReproError
+
+#: Exit code for a ``bench --compare`` regression (distinct from the
+#: generic error exit 1, so CI can tell a perf gate from an I/O failure).
+EXIT_REGRESSION = 2
 
 
 def _read_source(path: str) -> str:
@@ -74,6 +95,148 @@ class _TelemetryScope:
         return False
 
 
+def _sim_counters(sim, kind: str) -> dict:
+    """Deterministic counters straight off the simulator.
+
+    The ledger's fallback when no telemetry was captured for the run
+    (no ``--stats``/``--trace-out``): enough to draw instruction/CPI
+    trajectories without slowing the fast path down with a capture.
+    """
+    counters = {"cpu.instructions": sim.machine.instret}
+    if kind == "multicycle":
+        counters["pipeline.cycles"] = sim.cycles
+        counters["pipeline.cpi"] = round(sim.cpi, 6)
+    elif kind == "pipelined":
+        for key, value in sim.stats.as_dict().items():
+            counters[f"pipeline.{key}"] = value
+    return counters
+
+
+def _trap_summary(machine) -> dict | None:
+    """Cause-keyed trap counts for the ledger row (None when clean)."""
+    if not machine.traps:
+        return None
+    causes: dict[str, int] = {}
+    for record in machine.traps:
+        causes[record.cause.value] = causes.get(record.cause.value, 0) + 1
+    return {"count": len(machine.traps), "causes": dict(sorted(causes.items()))}
+
+
+class _LedgerScope:
+    """Record one CLI invocation into the persistent run ledger.
+
+    Commands attach what they learn (telemetry handle, fallback
+    counters, rate steps, trap summary, worker gauges, artifact paths);
+    :meth:`finish` turns it into one ledger row -- plus one row per
+    bench entry via :meth:`add_row` -- carrying the resolved config and
+    exit status.  Recording is best-effort: a ledger failure warns on
+    stderr and never changes the command's outcome.  ``--no-ledger``
+    (or a falsy ``TANGLED_LEDGER``-resolved path failure) disables it.
+    """
+
+    def __init__(self, args: argparse.Namespace, command: str, label: str):
+        self.enabled = not getattr(args, "no_ledger", False)
+        self.command = command
+        self.label = label
+        self.config = {
+            key: value
+            for key, value in sorted(vars(args).items())
+            if key not in ("func", "command", "no_ledger")
+            and not callable(value)
+        }
+        self.telemetry = None
+        self.counters: dict = {}
+        self.rate: dict | None = None
+        self.rate_steps: int | None = None
+        self.traps: dict | None = None
+        self.workers: dict | None = None
+        self.artifacts: list[str] = []
+        self.extra_rows: list[dict] = []
+        self.status = 0
+        self._t0 = time.perf_counter()
+
+    def add_artifact(self, path) -> None:
+        if path and path != "-":
+            self.artifacts.append(str(path))
+
+    def add_row(self, label: str, counters: dict, rate: dict | None = None,
+                config: dict | None = None) -> None:
+        """Queue a secondary row (one recorded bench entry)."""
+        self.extra_rows.append({
+            "label": label,
+            "counters": counters,
+            "rate": rate,
+            "config": config if config is not None else self.config,
+        })
+
+    def finish(self, status: int) -> None:
+        if not self.enabled:
+            return
+        wall = time.perf_counter() - self._t0
+        try:
+            from repro.obs import ledger as ledger_mod
+
+            counters, progress = ledger_mod.scalar_snapshot(self.telemetry)
+            if not counters:
+                counters = dict(self.counters)
+            workers = self.workers if self.workers is not None else \
+                (progress or None)
+            rate = self.rate
+            if rate is None and self.rate_steps and wall > 0:
+                rate = {
+                    "steps": self.rate_steps,
+                    "steps_per_second": round(self.rate_steps / wall),
+                }
+            with ledger_mod.open_ledger() as ledger:
+                ledger.record(
+                    command=self.command,
+                    label=self.label,
+                    config=self.config,
+                    counters=counters,
+                    status=status,
+                    wall_seconds=round(wall, 6),
+                    traps=self.traps,
+                    rate=rate,
+                    workers=workers,
+                    artifacts=self.artifacts,
+                )
+                for row in self.extra_rows:
+                    ledger.record(
+                        command=self.command,
+                        label=row["label"],
+                        config=row["config"],
+                        counters=row["counters"],
+                        status=status,
+                        rate=row["rate"],
+                    )
+        except Exception as exc:  # never fail the run over bookkeeping
+            print(f"tangled: ledger: {exc} (run not recorded)",
+                  file=sys.stderr)
+
+
+@contextmanager
+def _ledger_scope(args: argparse.Namespace, command: str, label: str):
+    """Context manager recording the command on both success and error."""
+    scope = _LedgerScope(args, command, label)
+    try:
+        yield scope
+    except BaseException:
+        scope.finish(1)
+        raise
+    else:
+        scope.finish(scope.status)
+
+
+def _source_stem(source: str) -> str:
+    if source == "-":
+        return "stdin"
+    return os.path.splitext(os.path.basename(source))[0] or "stdin"
+
+
+def _stderr_line(line: str) -> None:
+    print(line, file=sys.stderr)
+
+
 def cmd_asm(args: argparse.Namespace) -> int:
     from repro.asm import assemble
 
@@ -106,37 +269,54 @@ def cmd_run(args: argparse.Namespace) -> int:
         PipelinedSimulator,
     )
 
-    program = assemble(_read_source(args.source))
-    if args.sim == "functional":
-        sim = FunctionalSimulator(ways=args.ways, qat_backend=args.qat_backend)
-    elif args.sim == "multicycle":
-        sim = MultiCycleSimulator(ways=args.ways, qat_backend=args.qat_backend)
-    else:
-        sim = PipelinedSimulator(
-            ways=args.ways,
-            config=PipelineConfig(stages=args.stages, forwarding=not args.no_forwarding),
-            qat_backend=args.qat_backend,
-        )
-    sim.load(program)
-    with _TelemetryScope(args):
-        sim.run(args.limit)
-        machine = sim.machine
-        for chunk in machine.output:
-            sys.stdout.write(chunk)
-        if machine.output:
-            print()
-        print("registers:", " ".join(f"${i}={machine.read_reg(i)}" for i in range(8)))
-        if args.sim == "multicycle":
-            print(f"cycles: {sim.cycles}  cpi: {sim.cpi:.3f}")
-        elif args.sim == "pipelined":
-            stats = sim.stats.as_dict()
-            print(
-                f"cycles: {stats['cycles']}  cpi: {stats['cpi']}  "
-                f"stalls: {stats['stall_data']} data, {stats['fetch_extra']} fetch, "
-                f"{stats['branch_flushes']} flushes"
-            )
+    label = f"run.{_source_stem(args.source)}.{args.sim}.{args.qat_backend}"
+    with _ledger_scope(args, "run", label) as led:
+        program = assemble(_read_source(args.source))
+        if args.sim == "functional":
+            sim = FunctionalSimulator(ways=args.ways,
+                                      qat_backend=args.qat_backend)
+        elif args.sim == "multicycle":
+            sim = MultiCycleSimulator(ways=args.ways,
+                                      qat_backend=args.qat_backend)
         else:
-            print(f"instructions: {machine.instret}")
+            sim = PipelinedSimulator(
+                ways=args.ways,
+                config=PipelineConfig(stages=args.stages,
+                                      forwarding=not args.no_forwarding),
+                qat_backend=args.qat_backend,
+            )
+        sim.load(program)
+        machine = sim.machine
+        try:
+            with _TelemetryScope(args) as tel:
+                led.telemetry = tel.telemetry
+                sim.run(args.limit)
+                for chunk in machine.output:
+                    sys.stdout.write(chunk)
+                if machine.output:
+                    print()
+                print("registers:",
+                      " ".join(f"${i}={machine.read_reg(i)}"
+                               for i in range(8)))
+                if args.sim == "multicycle":
+                    print(f"cycles: {sim.cycles}  cpi: {sim.cpi:.3f}")
+                elif args.sim == "pipelined":
+                    stats = sim.stats.as_dict()
+                    print(
+                        f"cycles: {stats['cycles']}  cpi: {stats['cpi']}  "
+                        f"stalls: {stats['stall_data']} data, "
+                        f"{stats['fetch_extra']} fetch, "
+                        f"{stats['branch_flushes']} flushes"
+                    )
+                else:
+                    print(f"instructions: {machine.instret}")
+        finally:
+            # Even a run that dies mid-flight (trap escalated to an
+            # error) leaves its trap summary and counters in the ledger.
+            led.counters = _sim_counters(sim, args.sim)
+            led.rate_steps = machine.instret
+            led.traps = _trap_summary(machine)
+        led.add_artifact(getattr(args, "trace_out", None))
     return 0
 
 
@@ -178,37 +358,63 @@ def cmd_verilog(args: argparse.Namespace) -> int:
 def cmd_fig10(args: argparse.Namespace) -> int:
     from repro.apps import fig10_program, run_factor_program
 
-    with _TelemetryScope(args):
-        sim, (r0, r1) = run_factor_program(
-            fig10_program(), ways=args.ways, simulator=args.sim,
-            qat_backend=args.qat_backend,
-        )
-        print(f"Figure 10 on the {args.sim} simulator "
-              f"({sim.machine.qat.describe()} Qat):")
-        print(f"  $0 = {r0}   $1 = {r1}")
-        if args.sim == "pipelined":
-            print(f"  {sim.stats.as_dict()}")
+    label = f"fig10.{args.sim}.{args.qat_backend}"
+    with _ledger_scope(args, "fig10", label) as led:
+        with _TelemetryScope(args) as tel:
+            led.telemetry = tel.telemetry
+            sim, (r0, r1) = run_factor_program(
+                fig10_program(), ways=args.ways, simulator=args.sim,
+                qat_backend=args.qat_backend,
+            )
+            print(f"Figure 10 on the {args.sim} simulator "
+                  f"({sim.machine.qat.describe()} Qat):")
+            print(f"  $0 = {r0}   $1 = {r1}")
+            if args.sim == "pipelined":
+                print(f"  {sim.stats.as_dict()}")
+        led.counters = _sim_counters(sim, args.sim)
+        led.rate_steps = sim.machine.instret
+        led.traps = _trap_summary(sim.machine)
+        led.add_artifact(getattr(args, "trace_out", None))
     return 0
 
 
 def cmd_faults(args: argparse.Namespace) -> int:
     from repro.faults.campaign import render_report, run_campaign
+    from repro.obs.progress import ProgressTracker
 
-    with _TelemetryScope(args):
-        report = run_campaign(
-            program=args.program,
-            runs=args.runs,
-            seed=args.seed,
-            sim=args.sim,
-            ways=args.ways,
-            faults_per_run=args.faults_per_run,
-            targets=tuple(args.targets.split(",")),
-            qat_backend=args.qat_backend,
-            jobs=args.jobs,
-        )
-        if args.summary_only:
-            report.pop("runs_detail")
-        sys.stdout.write(render_report(report))
+    label = f"faults.{args.program}.{args.sim}.{args.qat_backend}"
+    with _ledger_scope(args, "faults", label) as led:
+        with _TelemetryScope(args) as tel:
+            led.telemetry = tel.telemetry
+            tracker = ProgressTracker(
+                total=args.runs, what="runs",
+                emit=_stderr_line if args.jobs > 1 else None,
+            )
+            report = run_campaign(
+                program=args.program,
+                runs=args.runs,
+                seed=args.seed,
+                sim=args.sim,
+                ways=args.ways,
+                faults_per_run=args.faults_per_run,
+                targets=tuple(args.targets.split(",")),
+                qat_backend=args.qat_backend,
+                jobs=args.jobs,
+                tracker=tracker,
+            )
+            led.workers = tracker.summary()
+            led.counters = {
+                f"faults.{key}": value
+                for key, value in report["summary"].items()
+            }
+            led.traps = {
+                "trapped_runs": sum(
+                    1 for run in report["runs_detail"] if run["traps"]
+                ),
+            }
+            if args.summary_only:
+                report.pop("runs_detail")
+            sys.stdout.write(render_report(report))
     return 0
 
 
@@ -220,43 +426,55 @@ def cmd_profile(args: argparse.Namespace) -> int:
         write_flamegraph,
     )
 
-    if args.source == "fig10":
-        from repro.apps import fig10_program
+    stem = "fig10" if args.source == "fig10" else _source_stem(args.source)
+    label = f"profile.{stem}.{args.sim}.{args.qat_backend}"
+    with _ledger_scope(args, "profile", label) as led:
+        if args.source == "fig10":
+            from repro.apps import fig10_program
 
-        program = fig10_program()
-        title = "fig10 (the paper's listing)"
-    else:
-        from repro.asm import assemble
+            program = fig10_program()
+            title = "fig10 (the paper's listing)"
+        else:
+            from repro.asm import assemble
 
-        program = assemble(_read_source(args.source))
-        title = args.source
-    config = None
-    if args.sim == "pipelined":
-        config = PipelineConfig(
-            stages=args.stages, forwarding=not args.no_forwarding
+            program = assemble(_read_source(args.source))
+            title = args.source
+        config = None
+        if args.sim == "pipelined":
+            config = PipelineConfig(
+                stages=args.stages, forwarding=not args.no_forwarding
+            )
+        sim, profiler = profile_program(
+            program, ways=args.ways, simulator=args.sim, config=config,
+            max_cycles=args.limit, qat_backend=args.qat_backend,
         )
-    sim, profiler = profile_program(
-        program, ways=args.ways, simulator=args.sim, config=config,
-        max_cycles=args.limit, qat_backend=args.qat_backend,
-    )
-    if args.json == "-":
-        sys.stdout.write(profiler.to_json())
-    else:
-        print(render_annotate(profiler, words=program.words,
-                              title=f"{title} [{args.sim}]"))
-        if args.json:
-            with open(args.json, "w", encoding="utf-8") as handle:
-                handle.write(profiler.to_json())
-            print(f"profile json -> {args.json}")
-    if args.trace_out:
-        write_flamegraph(args.trace_out, profiler)
-        if args.json != "-":
-            print(f"flamegraph trace -> {args.trace_out}")
+        if args.json == "-":
+            sys.stdout.write(profiler.to_json())
+        else:
+            print(render_annotate(profiler, words=program.words,
+                                  title=f"{title} [{args.sim}]"))
+            if args.json:
+                with open(args.json, "w", encoding="utf-8") as handle:
+                    handle.write(profiler.to_json())
+                print(f"profile json -> {args.json}")
+                led.add_artifact(args.json)
+        if args.trace_out:
+            write_flamegraph(args.trace_out, profiler)
+            if args.json != "-":
+                print(f"flamegraph trace -> {args.trace_out}")
+            led.add_artifact(args.trace_out)
+        led.counters = {
+            "profile.total_cycles": profiler.total_cycles,
+            "cpu.instructions": sim.machine.instret,
+        }
+        led.rate_steps = sim.machine.instret
+        led.traps = _trap_summary(sim.machine)
     return 0
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.obs import bench
+    from repro.obs.progress import ProgressTracker
 
     if args.list:
         for spec in bench.default_specs(args.qat_backend):
@@ -269,32 +487,76 @@ def cmd_bench(args: argparse.Namespace) -> int:
         specs = [bench.spec_by_name(name, args.qat_backend) for name in wanted]
     elif args.qat_backend != "dense":
         specs = bench.default_specs(args.qat_backend)
-    if args.input:
-        report = bench.load_report(args.input)
+    with _ledger_scope(args, "bench", f"bench.{args.label}") as led:
+        if args.input:
+            # Pure comparison of an existing report: nothing ran, so
+            # nothing lands in the ledger.
+            led.enabled = False
+            report = bench.load_report(args.input)
+        else:
+            spec_list = specs if specs is not None \
+                else bench.default_specs(args.qat_backend)
+            tracker = ProgressTracker(
+                total=len(spec_list) * rounds, what="rounds",
+                emit=_stderr_line if args.jobs > 1 else None,
+            )
+            report = bench.run_suite(
+                specs=specs, label=args.label, rounds=rounds,
+                warmup=args.warmup,
+                progress=_stderr_line,
+                jobs=args.jobs, qat_backend=args.qat_backend,
+                tracker=tracker,
+            )
+            out = args.out or f"BENCH_{args.label}.json"
+            bench.write_report(out, report)
+            print(f"bench report ({len(report['benches'])} benches, "
+                  f"{rounds} rounds) -> {out}")
+            led.workers = tracker.summary()
+            led.add_artifact(out)
+            entry_config = {
+                "qat_backend": args.qat_backend, "rounds": rounds,
+                "warmup": args.warmup, "jobs": args.jobs,
+            }
+            for name, entry in sorted(report["benches"].items()):
+                led.add_row(name, entry["counters"],
+                            rate=entry.get("rate"), config=entry_config)
+        if args.compare:
+            baseline = bench.load_report(args.compare)
+            rows = bench.compare_reports(
+                report, baseline,
+                counter_threshold=args.counter_threshold,
+                time_threshold=args.time_threshold,
+            )
+            print(bench.render_compare(rows, verbose=args.verbose))
+            bad = bench.regressions(rows, include_timing=args.gate_timing)
+            if bad:
+                print(f"tangled bench: {len(bad)} regression(s) vs "
+                      f"{args.compare}", file=sys.stderr)
+                print(bench.render_regressions(bad), file=sys.stderr)
+                led.status = EXIT_REGRESSION
+                return EXIT_REGRESSION
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import ledger as ledger_mod
+
+    with ledger_mod.open_ledger(args.ledger) as ledger:
+        if args.compare:
+            view = ledger_mod.compare_view(
+                ledger, args.compare[0], args.compare[1],
+                counter_threshold=args.counter_threshold,
+                time_threshold=args.time_threshold,
+            )
+        elif args.label:
+            view = ledger_mod.trajectory_view(ledger, args.label,
+                                              last=args.last)
+        else:
+            view = ledger_mod.runs_view(ledger, last=args.last)
+    if args.export == "json":
+        sys.stdout.write(ledger_mod.export_json(view))
     else:
-        report = bench.run_suite(
-            specs=specs, label=args.label, rounds=rounds,
-            warmup=args.warmup,
-            progress=lambda line: print(line, file=sys.stderr),
-            jobs=args.jobs, qat_backend=args.qat_backend,
-        )
-        out = args.out or f"BENCH_{args.label}.json"
-        bench.write_report(out, report)
-        print(f"bench report ({len(report['benches'])} benches, "
-              f"{rounds} rounds) -> {out}")
-    if args.compare:
-        baseline = bench.load_report(args.compare)
-        rows = bench.compare_reports(
-            report, baseline,
-            counter_threshold=args.counter_threshold,
-            time_threshold=args.time_threshold,
-        )
-        print(bench.render_compare(rows, verbose=args.verbose))
-        bad = bench.regressions(rows, include_timing=args.gate_timing)
-        if bad:
-            print(f"tangled bench: {len(bad)} regression(s) vs "
-                  f"{args.compare}", file=sys.stderr)
-            return 1
+        print(ledger_mod.render_view(view))
     return 0
 
 
@@ -311,6 +573,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "(hardware-faithful, ways <= 26) or 're' "
                             "run-length compression (bounded memory at "
                             "wide ways)")
+
+    def add_ledger_opt(p):
+        p.add_argument("--no-ledger", action="store_true",
+                       help="do not record this invocation in the run "
+                            "ledger (~/.tangled/ledger.db, or "
+                            "$TANGLED_LEDGER)")
 
     p = sub.add_parser("asm", help="assemble Tangled/Qat source to hex")
     p.add_argument("source", help="assembly file ('-' for stdin)")
@@ -336,6 +604,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", metavar="PATH",
                    help="write a Chrome trace_event JSON file "
                         "(chrome://tracing / Perfetto)")
+    add_ledger_opt(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("factor", help="PBP prime factoring")
@@ -360,6 +629,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print a telemetry report (CPI, stalls, Qat ops, ...)")
     p.add_argument("--trace-out", metavar="PATH",
                    help="write a Chrome trace_event JSON file")
+    add_ledger_opt(p)
     p.set_defaults(func=cmd_fig10)
 
     p = sub.add_parser(
@@ -387,6 +657,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print a telemetry report (fault counters, traps, ...)")
     p.add_argument("--trace-out", metavar="PATH",
                    help="write a Chrome trace_event JSON file")
+    add_ledger_opt(p)
     p.set_defaults(func=cmd_faults)
 
     p = sub.add_parser(
@@ -410,6 +681,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace-out", metavar="PATH",
                    help="write a Chrome trace_event flamegraph "
                         "(chrome://tracing / Perfetto)")
+    add_ledger_opt(p)
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser(
@@ -437,7 +709,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--input", metavar="PATH",
                    help="compare an existing report instead of running")
     p.add_argument("--compare", metavar="PATH",
-                   help="baseline BENCH json; exit 1 on counter regressions")
+                   help="baseline BENCH json; exit 2 on counter regressions")
     p.add_argument("--counter-threshold", type=float, default=0.05,
                    help="relative counter change treated as neutral "
                         "(default: 0.05)")
@@ -449,7 +721,31 @@ def build_parser() -> argparse.ArgumentParser:
                         "wall clock is machine-dependent)")
     p.add_argument("--verbose", action="store_true",
                    help="show neutral metrics in the comparison too")
+    add_ledger_opt(p)
     p.set_defaults(func=cmd_bench)
+
+    p = sub.add_parser("report",
+                       help="trajectory and comparison views over the "
+                            "run ledger")
+    p.add_argument("--ledger", metavar="PATH",
+                   help="ledger database (default: $TANGLED_LEDGER or "
+                        "~/.tangled/ledger.db)")
+    p.add_argument("--label", metavar="LABEL",
+                   help="render this label's trajectory across its runs")
+    p.add_argument("--last", type=int, default=10, metavar="N",
+                   help="how many recent runs to include (default: 10)")
+    p.add_argument("--compare", nargs=2, metavar=("A", "B"),
+                   help="side-by-side comparison: run ids (or unique "
+                        "prefixes), or labels (their latest run)")
+    p.add_argument("--counter-threshold", type=float, default=0.05,
+                   help="relative counter change treated as neutral "
+                        "(default: 0.05)")
+    p.add_argument("--time-threshold", type=float, default=0.25,
+                   help="relative timing change treated as neutral "
+                        "(default: 0.25)")
+    p.add_argument("--export", choices=("json",),
+                   help="byte-stable JSON instead of the text view")
+    p.set_defaults(func=cmd_report)
     return parser
 
 

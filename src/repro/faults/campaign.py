@@ -99,8 +99,11 @@ def _architectural_result(machine) -> tuple:
     return (tuple(int(r) for r in machine.regs), tuple(machine.output))
 
 
-def _drive(sim, plan: FaultPlan | None, max_steps: int) -> None:
-    """Step ``sim`` to halt, applying due fault events between steps."""
+def _drive(sim, plan: FaultPlan | None, max_steps: int) -> int:
+    """Step ``sim`` to halt, applying due fault events between steps.
+
+    Returns the number of steps executed (the fan-out progress layer
+    turns it into a steps/sec heartbeat)."""
     from repro.cpu import PipelinedSimulator
 
     pipeline = sim if isinstance(sim, PipelinedSimulator) else None
@@ -121,6 +124,7 @@ def _drive(sim, plan: FaultPlan | None, max_steps: int) -> None:
                 apply_event(sim.machine, event, pipeline=pipeline)
         sim.step()
         step += 1
+    return step
 
 
 def golden_run(program, sim: str = "functional", ways: int = 8,
@@ -162,11 +166,13 @@ def _worker_init() -> None:
     _WORKER_IMAGES.clear()
 
 
-def _single_run(task: tuple) -> tuple[int, dict, float]:
+def _single_run(task: tuple) -> tuple[int, dict, float, int, int]:
     """Execute one faulted run; pure function of its task tuple.
 
-    Returns ``(run index, RunResult dict, wall seconds)`` so results can
-    be merged deterministically regardless of worker scheduling.
+    Returns ``(run index, RunResult dict, wall seconds, steps, worker)``
+    so results can be merged deterministically regardless of worker
+    scheduling; the trailing wall/steps/worker fields feed the progress
+    layer and never enter the report.
     """
     (run, program, seed, sim, ways, faults_per_run, targets, qat_backend,
      golden, golden_steps, mem_span, watchdog) = task
@@ -189,8 +195,9 @@ def _single_run(task: tuple) -> tuple[int, dict, float]:
         events=[e.as_dict() for e in plan.events],
     )
     t0 = time.perf_counter()
+    steps = 0
     try:
-        _drive(subject, plan, watchdog)
+        steps = _drive(subject, plan, watchdog)
     except ReproError as exc:
         result.outcome = DETECTED
         result.error = str(exc)
@@ -201,8 +208,11 @@ def _single_run(task: tuple) -> tuple[int, dict, float]:
             result.outcome = MASKED
         else:
             result.outcome = SILENT
+    from repro.obs.progress import worker_ident
+
     result.traps = [r.as_dict() for r in subject.machine.traps]
-    return run, result.as_dict(), time.perf_counter() - t0
+    return (run, result.as_dict(), time.perf_counter() - t0, steps,
+            worker_ident())
 
 
 def run_campaign(
@@ -215,6 +225,7 @@ def run_campaign(
     targets: tuple[str, ...] = ("gpr", "mem", "qreg"),
     qat_backend: str = "dense",
     jobs: int = 1,
+    tracker=None,
 ) -> dict:
     """Run a seeded soft-error campaign; returns the JSON-ready report.
 
@@ -229,6 +240,11 @@ def run_campaign(
     its own simulator and stores, so the merged report -- results
     reordered by run index, counts recomputed in run order -- is
     byte-identical to the serial campaign.
+
+    ``tracker`` (a :class:`repro.obs.progress.ProgressTracker`) receives
+    one heartbeat per completed run -- worker id, wall seconds, steps --
+    as results arrive, off the report path: the report bytes are
+    identical with or without it.
     """
     if runs <= 0:
         raise ReproError(f"runs must be positive, got {runs}")
@@ -253,17 +269,31 @@ def run_campaign(
         import multiprocessing
 
         _WORKER_IMAGES.setdefault(program, image)
+        outcomes = []
         with multiprocessing.Pool(min(jobs, runs),
                                   initializer=_worker_init) as pool:
-            outcomes = pool.map(_single_run, tasks)
+            # imap_unordered so each completion reaches the progress
+            # tracker the moment its worker finishes; the sort below
+            # restores run order before anything deterministic happens.
+            for item in pool.imap_unordered(_single_run, tasks):
+                outcomes.append(item)
+                if tracker is not None:
+                    tracker.note(item[4], item[2], steps=item[3])
         outcomes.sort(key=lambda item: item[0])
     else:
         _WORKER_IMAGES[program] = image
-        outcomes = [_single_run(task) for task in tasks]
+        outcomes = []
+        for task in tasks:
+            item = _single_run(task)
+            outcomes.append(item)
+            if tracker is not None:
+                tracker.note(item[4], item[2], steps=item[3])
+    if tracker is not None:
+        tracker.finish()
 
-    results = [detail for _, detail, _ in outcomes]
+    results = [detail for _, detail, _, _, _ in outcomes]
     counts = {DETECTED: 0, MASKED: 0, SILENT: 0}
-    for _, detail, seconds in outcomes:
+    for _, detail, seconds, _, _ in outcomes:
         counts[detail["outcome"]] += 1
         if _obs.active:
             # Per-run hook: outcome counters plus a run-duration

@@ -48,9 +48,11 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "Ledger",
     "MetricRegistry",
     "NULL_SPAN",
     "Profiler",
+    "ProgressTracker",
     "Telemetry",
     "TimerHandle",
     "Tracer",
@@ -61,6 +63,7 @@ __all__ = [
     "enable",
     "events_jsonl",
     "install",
+    "open_ledger",
     "profile_program",
     "render_report",
     "runtime",
@@ -72,11 +75,20 @@ __all__ = [
 def __getattr__(name: str):
     # Lazy: repro.obs.profile imports the disassembler/simulators, which
     # import repro.obs -- resolving on first use keeps the core import
-    # cycle-free and cheap.
+    # cycle-free and cheap.  The ledger (sqlite3) and progress layers
+    # resolve the same way so plain telemetry users never pay for them.
     if name in ("Profiler", "profile_program"):
         from repro.obs import profile
 
         return getattr(profile, name)
+    if name in ("Ledger", "open_ledger"):
+        from repro.obs import ledger
+
+        return getattr(ledger, name)
+    if name == "ProgressTracker":
+        from repro.obs.progress import ProgressTracker
+
+        return ProgressTracker
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

@@ -307,8 +307,13 @@ def _bench_worker_init() -> None:
     _WARMED.clear()
 
 
-def _bench_task(task: tuple) -> tuple[str, int, dict]:
-    """One timed round of a named suite spec, in a worker process."""
+def _bench_task(task: tuple) -> tuple[str, int, dict, int]:
+    """One timed round of a named suite spec, in a worker process.
+
+    The trailing worker id feeds the parent's progress tracker and
+    never enters the report."""
+    from repro.obs.progress import worker_ident
+
     name, qat_backend, warmup, round_idx = task
     spec = spec_by_name(name, qat_backend)
     key = (name, qat_backend)
@@ -316,7 +321,7 @@ def _bench_task(task: tuple) -> tuple[str, int, dict]:
         for _ in range(warmup):
             run_spec_once(spec)
         _WARMED.add(key)
-    return name, round_idx, run_spec_once(spec)
+    return name, round_idx, run_spec_once(spec), worker_ident()
 
 
 def _merge_rounds(name: str, results: list[dict]) -> dict:
@@ -360,6 +365,7 @@ def run_suite(
     progress: Callable[[str], None] | None = None,
     jobs: int = 1,
     qat_backend: str = "dense",
+    tracker=None,
 ) -> dict:
     """Run every spec ``warmup + rounds`` times; return the report dict.
 
@@ -374,6 +380,9 @@ def run_suite(
     are restricted to suite specs resolvable by :func:`spec_by_name`
     with the given ``qat_backend`` (bench closures do not pickle), and
     every worker pays its own warmup before its first round of a spec.
+
+    ``tracker`` (a :class:`repro.obs.progress.ProgressTracker`) receives
+    one heartbeat per completed round, off the report path.
     """
     if rounds <= 0:
         raise ReproError(f"rounds must be positive, got {rounds}")
@@ -396,12 +405,17 @@ def run_suite(
         if progress is not None:
             progress(f"bench fan-out: {len(spec_list)} benches x {rounds} "
                      f"rounds across {jobs} workers")
+        per_spec: dict[str, list] = {s.name: [None] * rounds for s in spec_list}
         with multiprocessing.Pool(min(jobs, len(tasks)),
                                   initializer=_bench_worker_init) as pool:
-            outcomes = pool.map(_bench_task, tasks)
-        per_spec: dict[str, list] = {s.name: [None] * rounds for s in spec_list}
-        for name, round_idx, result in outcomes:
-            per_spec[name][round_idx] = result
+            # Unordered delivery: heartbeats reach the tracker as rounds
+            # finish; the round-indexed slots keep the merge stable.
+            for name, round_idx, result, worker in \
+                    pool.imap_unordered(_bench_task, tasks):
+                per_spec[name][round_idx] = result
+                if tracker is not None:
+                    tracker.note(worker, result["seconds"],
+                                 steps=result.get("steps", 0))
         for spec in spec_list:
             benches[spec.name] = _merge_rounds(spec.name, per_spec[spec.name])
     else:
@@ -412,8 +426,16 @@ def run_suite(
                 )
             for _ in range(warmup):
                 run_spec_once(spec)
-            results = [run_spec_once(spec) for _ in range(rounds)]
+            results = []
+            for _ in range(rounds):
+                result = run_spec_once(spec)
+                results.append(result)
+                if tracker is not None:
+                    tracker.note(0, result["seconds"],
+                                 steps=result.get("steps", 0))
             benches[spec.name] = _merge_rounds(spec.name, results)
+    if tracker is not None:
+        tracker.finish()
     return {
         "schema": SCHEMA,
         "label": label,
@@ -519,6 +541,28 @@ def regressions(rows: list[dict], include_timing: bool = False) -> list[dict]:
             continue
         bad.append(row)
     return bad
+
+
+def render_regressions(rows: list[dict]) -> str:
+    """Per-counter failure detail: old/new values and percent delta.
+
+    One line per regressed row (what the gate prints to stderr before
+    failing), so a CI log names every offending counter instead of just
+    the classification totals."""
+    lines = []
+    for row in rows:
+        base, cur = row["baseline"], row["current"]
+        if row["kind"] == "missing":
+            lines.append(f"  {row['bench']}: bench missing from current run")
+            continue
+        if isinstance(base, (int, float)) and base != 0:
+            delta = f" ({(cur - base) / abs(base):+.1%})"
+        else:
+            delta = ""
+        lines.append(
+            f"  {row['bench']}: {row['metric']} {base:g} -> {cur:g}{delta}"
+        )
+    return "\n".join(lines)
 
 
 def render_compare(rows: list[dict], verbose: bool = False) -> str:

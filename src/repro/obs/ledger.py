@@ -1,0 +1,552 @@
+"""Persistent run ledger: every ``tangled`` invocation, queryable forever.
+
+The evaluation story so far was one-shot: a run's telemetry evaporated
+at process exit, and the only durable artifacts were loose
+``BENCH_*.json`` files.  This module gives the reproduction a memory --
+a small SQLite database (default ``~/.tangled/ledger.db``, overridable
+with the ``TANGLED_LEDGER`` environment variable) into which the CLI
+records one row per ``tangled run|fig10|faults|bench|profile``
+invocation:
+
+- a unique run id and timestamp;
+- the full resolved configuration (simulator, ``--qat-backend``, ways,
+  seed, fault plan, jobs, ...) and the package version;
+- wall seconds and the command's exit status;
+- a trap summary (when the run trapped) and the **deterministic scalar
+  counter snapshot** from :mod:`repro.obs` -- histograms and the
+  volatile ``progress.*`` gauges are excluded, so two identical runs
+  store identical snapshots;
+- per-worker fan-out gauges (from :mod:`repro.obs.progress`) and the
+  paths of emitted artifacts (trace / profile / bench JSON).
+
+``tangled bench`` additionally records one row per bench entry, labeled
+with the bench name (``fig10.re``, ...), carrying that bench's counter
+section and steps/sec rate -- which is what makes cross-version
+trajectories (`tangled report --label fig10.re`) possible without
+keeping the loose JSON files around.
+
+On top of the table, three read-side views power ``tangled report``:
+
+- :func:`runs_view` -- the recent-run listing;
+- :func:`trajectory_view` -- counter/rate series and first->last deltas
+  across the last N recorded runs of one label;
+- :func:`compare_view` -- a side-by-side of two runs (ids or labels)
+  classified improved/regressed/neutral with the same logic as
+  ``tangled bench --compare``.
+
+Every view is a plain dict; :func:`export_json` serializes it with
+sorted keys so repeated exports of the same ledger are byte-identical.
+The ledger is strictly parent-process, append-mostly, and best-effort:
+CLI recording failures warn on stderr but never fail the run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+import uuid
+from dataclasses import dataclass, field
+
+from repro._version import __version__
+from repro.errors import ReproError
+
+#: Ledger schema version (sqlite ``PRAGMA user_version``).
+SCHEMA_VERSION = 1
+
+#: Environment variable overriding the database location.
+ENV_VAR = "TANGLED_LEDGER"
+
+#: Default database location (created on first record).
+DEFAULT_PATH = "~/.tangled/ledger.db"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    id           TEXT PRIMARY KEY,
+    ts           REAL NOT NULL,
+    command      TEXT NOT NULL,
+    label        TEXT NOT NULL,
+    version      TEXT NOT NULL,
+    config       TEXT NOT NULL,
+    wall_seconds REAL,
+    status       INTEGER NOT NULL,
+    traps        TEXT,
+    counters     TEXT NOT NULL,
+    rate         TEXT,
+    workers      TEXT,
+    artifacts    TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS runs_label_ts ON runs (label, ts);
+CREATE INDEX IF NOT EXISTS runs_ts ON runs (ts);
+"""
+
+
+def ledger_path(path: str | None = None) -> str:
+    """Resolve the database path: explicit > ``TANGLED_LEDGER`` > default."""
+    if path:
+        return path
+    env = os.environ.get(ENV_VAR)
+    if env:
+        return env
+    return os.path.expanduser(DEFAULT_PATH)
+
+
+@dataclass
+class RunRecord:
+    """One recorded invocation (or one bench entry of one invocation)."""
+
+    id: str
+    ts: float
+    command: str
+    label: str
+    version: str
+    config: dict
+    wall_seconds: float | None
+    status: int
+    traps: dict | None
+    counters: dict
+    rate: dict | None
+    workers: dict | None
+    artifacts: list = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        """JSON-ready rendering (stable for byte-stable exports)."""
+        return {
+            "id": self.id,
+            "ts": self.ts,
+            "command": self.command,
+            "label": self.label,
+            "version": self.version,
+            "config": self.config,
+            "wall_seconds": self.wall_seconds,
+            "status": self.status,
+            "traps": self.traps,
+            "counters": self.counters,
+            "rate": self.rate,
+            "workers": self.workers,
+            "artifacts": self.artifacts,
+        }
+
+    def metrics(self) -> dict[str, float]:
+        """Counters plus the rate, flattened for trajectory/compare views.
+
+        ``rate.steps_per_second`` is wall-clock derived; the views keep
+        it but classify it with the (looser) timing threshold.
+        """
+        out = dict(self.counters)
+        if self.rate:
+            for key, value in self.rate.items():
+                out[f"rate.{key}"] = value
+        return out
+
+
+def _row_to_record(row: sqlite3.Row) -> RunRecord:
+    return RunRecord(
+        id=row["id"],
+        ts=row["ts"],
+        command=row["command"],
+        label=row["label"],
+        version=row["version"],
+        config=json.loads(row["config"]),
+        wall_seconds=row["wall_seconds"],
+        status=row["status"],
+        traps=json.loads(row["traps"]) if row["traps"] else None,
+        counters=json.loads(row["counters"]),
+        rate=json.loads(row["rate"]) if row["rate"] else None,
+        workers=json.loads(row["workers"]) if row["workers"] else None,
+        artifacts=json.loads(row["artifacts"]),
+    )
+
+
+class Ledger:
+    """SQLite-backed run ledger.  One connection, parent process only."""
+
+    def __init__(self, path: str | None = None):
+        self.path = ledger_path(path)
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        self._conn = sqlite3.connect(self.path)
+        self._conn.row_factory = sqlite3.Row
+        self._conn.executescript(_SCHEMA)
+        version = self._conn.execute("PRAGMA user_version").fetchone()[0]
+        if version == 0:
+            self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+        elif version != SCHEMA_VERSION:
+            raise ReproError(
+                f"{self.path}: unsupported ledger schema {version} "
+                f"(this build reads {SCHEMA_VERSION})"
+            )
+        self._conn.commit()
+
+    # -- write side ----------------------------------------------------------
+
+    def record(
+        self,
+        command: str,
+        label: str,
+        config: dict,
+        counters: dict,
+        status: int = 0,
+        wall_seconds: float | None = None,
+        traps: dict | None = None,
+        rate: dict | None = None,
+        workers: dict | None = None,
+        artifacts: list | None = None,
+        ts: float | None = None,
+        run_id: str | None = None,
+    ) -> str:
+        """Insert one run row; returns the run id."""
+        run_id = run_id or uuid.uuid4().hex[:12]
+        self._conn.execute(
+            "INSERT INTO runs (id, ts, command, label, version, config, "
+            "wall_seconds, status, traps, counters, rate, workers, artifacts) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                run_id,
+                time.time() if ts is None else ts,
+                command,
+                label,
+                __version__,
+                json.dumps(config, sort_keys=True),
+                wall_seconds,
+                status,
+                json.dumps(traps, sort_keys=True) if traps else None,
+                json.dumps(counters, sort_keys=True),
+                json.dumps(rate, sort_keys=True) if rate else None,
+                json.dumps(workers, sort_keys=True) if workers else None,
+                json.dumps(list(artifacts or [])),
+            ),
+        )
+        self._conn.commit()
+        return run_id
+
+    # -- read side -----------------------------------------------------------
+
+    def runs(self, label: str | None = None, command: str | None = None,
+             last: int | None = None) -> list[RunRecord]:
+        """Recorded runs, oldest first; ``last`` keeps the newest N."""
+        clauses, params = [], []
+        if label is not None:
+            clauses.append("label = ?")
+            params.append(label)
+        if command is not None:
+            clauses.append("command = ?")
+            params.append(command)
+        sql = "SELECT * FROM runs"
+        if clauses:
+            sql += " WHERE " + " AND ".join(clauses)
+        # ``id`` breaks ties so same-second runs still order stably.
+        sql += " ORDER BY ts DESC, id DESC"
+        if last is not None:
+            sql += " LIMIT ?"
+            params.append(last)
+        rows = self._conn.execute(sql, params).fetchall()
+        return [_row_to_record(row) for row in reversed(rows)]
+
+    def get(self, ref: str) -> RunRecord:
+        """The run with id ``ref`` (full or unique prefix)."""
+        rows = self._conn.execute(
+            "SELECT * FROM runs WHERE id = ? OR id LIKE ? ORDER BY ts",
+            (ref, ref + "%"),
+        ).fetchall()
+        if not rows:
+            raise ReproError(f"no recorded run with id {ref!r}")
+        if len(rows) > 1:
+            ids = ", ".join(row["id"] for row in rows[:5])
+            raise ReproError(f"run id {ref!r} is ambiguous ({ids})")
+        return _row_to_record(rows[0])
+
+    def resolve(self, ref: str) -> RunRecord:
+        """``ref`` as a run id (prefix), else the latest run of that label."""
+        try:
+            return self.get(ref)
+        except ReproError:
+            runs = self.runs(label=ref, last=1)
+            if runs:
+                return runs[-1]
+            raise ReproError(
+                f"{ref!r} matches no recorded run id or label "
+                f"(see `tangled report` for what the ledger holds)"
+            ) from None
+
+    def labels(self) -> list[tuple[str, int]]:
+        """Every distinct label with its recorded-run count."""
+        rows = self._conn.execute(
+            "SELECT label, COUNT(*) AS n FROM runs GROUP BY label "
+            "ORDER BY label"
+        ).fetchall()
+        return [(row["label"], row["n"]) for row in rows]
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "Ledger":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+
+def open_ledger(path: str | None = None) -> Ledger:
+    """Open (creating if needed) the ledger at ``path`` (resolved)."""
+    return Ledger(path)
+
+
+# ---------------------------------------------------------------------------
+# Telemetry snapshot split
+# ---------------------------------------------------------------------------
+
+def scalar_snapshot(telemetry) -> tuple[dict, dict]:
+    """Split a telemetry instance into ``(counters, progress)``.
+
+    ``counters`` holds every scalar (non-histogram) metric *except* the
+    ``progress.`` namespace -- the deterministic part, safe to diff
+    across identical runs.  ``progress`` holds the per-worker fan-out
+    gauges, which are wall-clock shaped and stored beside the snapshot.
+    """
+    from repro.obs.metrics import Histogram
+
+    counters: dict = {}
+    progress: dict = {}
+    if telemetry is None:
+        return counters, progress
+    for name, metric in telemetry.metrics.items():
+        if isinstance(metric, Histogram):
+            continue
+        if name.startswith("progress."):
+            progress[name] = metric.value
+        else:
+            counters[name] = metric.value
+    return counters, progress
+
+
+# ---------------------------------------------------------------------------
+# Views (the read side behind ``tangled report``)
+# ---------------------------------------------------------------------------
+
+def runs_view(ledger: Ledger, last: int = 20) -> dict:
+    """The recent-run listing."""
+    return {
+        "view": "runs",
+        "ledger": ledger.path,
+        "runs": [run.as_dict() for run in ledger.runs(last=last)],
+        "labels": [
+            {"label": label, "runs": count}
+            for label, count in ledger.labels()
+        ],
+    }
+
+
+def trajectory_view(ledger: Ledger, label: str, last: int = 10) -> dict:
+    """Counter/rate series across the last N recorded runs of ``label``.
+
+    ``series`` maps each metric name to one value per run (None where a
+    run lacks it); ``deltas`` carries first/last/pct for every metric
+    present at both ends of the window.
+    """
+    runs = ledger.runs(label=label, last=last)
+    if not runs:
+        known = ", ".join(name for name, _ in ledger.labels()) or "(empty)"
+        raise ReproError(
+            f"no recorded runs for label {label!r} (ledger has: {known})"
+        )
+    metrics_per_run = [run.metrics() for run in runs]
+    names = sorted(set().union(*metrics_per_run))
+    series = {
+        name: [metrics.get(name) for metrics in metrics_per_run]
+        for name in names
+    }
+    deltas = {}
+    for name, values in series.items():
+        first, final = values[0], values[-1]
+        if first is None or final is None:
+            continue
+        pct = None if first == 0 else round((final - first) / abs(first), 6)
+        deltas[name] = {"first": first, "last": final, "pct": pct}
+    return {
+        "view": "trajectory",
+        "ledger": ledger.path,
+        "label": label,
+        "runs": [
+            {
+                "id": run.id,
+                "ts": run.ts,
+                "version": run.version,
+                "status": run.status,
+                "wall_seconds": run.wall_seconds,
+            }
+            for run in runs
+        ],
+        "series": series,
+        "deltas": deltas,
+    }
+
+
+def compare_view(ledger: Ledger, ref_a: str, ref_b: str,
+                 counter_threshold: float = 0.05,
+                 time_threshold: float = 0.25) -> dict:
+    """Side-by-side of two recorded runs (ids or labels, A = baseline).
+
+    Classification reuses the bench ``--compare`` logic: every shared
+    metric becomes improved/regressed/neutral, with the wall-clock
+    ``rate.*`` entries judged against the looser timing threshold.
+    """
+    from repro.obs.bench import _classify
+
+    a, b = ledger.resolve(ref_a), ledger.resolve(ref_b)
+    metrics_a, metrics_b = a.metrics(), b.metrics()
+    rows = []
+    for name in sorted(set(metrics_a) | set(metrics_b)):
+        in_a, in_b = name in metrics_a, name in metrics_b
+        if not (in_a and in_b):
+            rows.append({
+                "metric": name, "kind": "missing",
+                "baseline": metrics_a.get(name),
+                "current": metrics_b.get(name),
+                "verdict": "neutral",
+            })
+            continue
+        timing = name.startswith("rate.")
+        threshold = time_threshold if timing else counter_threshold
+        # _classify treats unknown metrics as costs; steps/sec is a
+        # throughput, so its non-neutral verdicts flip.
+        verdict = _classify(name, metrics_a[name], metrics_b[name], threshold)
+        if name == "rate.steps_per_second" and verdict != "neutral":
+            verdict = "improved" if verdict == "regressed" else "regressed"
+        rows.append({
+            "metric": name, "kind": "timing" if timing else "counter",
+            "baseline": metrics_a[name], "current": metrics_b[name],
+            "verdict": verdict,
+        })
+    def _meta(run: RunRecord) -> dict:
+        return {
+            "id": run.id,
+            "ts": run.ts,
+            "command": run.command,
+            "label": run.label,
+            "version": run.version,
+            "status": run.status,
+            "config": run.config,
+        }
+    return {
+        "view": "compare",
+        "ledger": ledger.path,
+        "a": _meta(a),
+        "b": _meta(b),
+        "rows": rows,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+def export_json(view: dict) -> str:
+    """Canonical serialization: same ledger content, same bytes."""
+    return json.dumps(view, sort_keys=True, indent=2) + "\n"
+
+
+def _when(ts: float) -> str:
+    return time.strftime("%Y-%m-%d %H:%M:%S", time.gmtime(ts))
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return str(int(value))
+
+
+def _render_runs(view: dict) -> str:
+    lines = [f"== run ledger ({view['ledger']}) =="]
+    if not view["runs"]:
+        lines.append("  (empty -- run any tangled command to record)")
+        return "\n".join(lines)
+    lines.append(f"  {'id':<12} {'when (UTC)':<19} {'command':<8} "
+                 f"{'status':<6} {'wall':>8}  label")
+    for run in view["runs"]:
+        wall = "-" if run["wall_seconds"] is None else \
+            f"{run['wall_seconds']:.2f}s"
+        lines.append(
+            f"  {run['id']:<12} {_when(run['ts']):<19} "
+            f"{run['command']:<8} {run['status']:<6} {wall:>8}  "
+            f"{run['label']}"
+        )
+    lines.append("labels:")
+    for entry in view["labels"]:
+        lines.append(f"  {entry['label']:<40} {entry['runs']} run(s)")
+    return "\n".join(lines)
+
+
+def _render_trajectory(view: dict) -> str:
+    runs = view["runs"]
+    lines = [
+        f"== trajectory: {view['label']} "
+        f"({len(runs)} run(s), oldest first) =="
+    ]
+    for run in runs:
+        wall = "-" if run["wall_seconds"] is None else \
+            f"{run['wall_seconds']:.2f}s"
+        lines.append(
+            f"  {run['id']:<12} {_when(run['ts'])}  v{run['version']}  "
+            f"status {run['status']}  wall {wall}"
+        )
+    moved, flat = [], []
+    for name, values in sorted(view["series"].items()):
+        delta = view["deltas"].get(name)
+        path = " -> ".join(_fmt(v) for v in values)
+        if delta and delta["first"] != delta["last"]:
+            pct = "" if delta["pct"] is None else f"  ({delta['pct']:+.2%})"
+            moved.append(f"  {name}: {path}{pct}")
+        else:
+            flat.append(f"  {name}: {_fmt(values[-1])}")
+    if moved:
+        lines += ["changed:"] + moved
+    if flat:
+        lines += [f"unchanged across the window ({len(flat)}):"] + flat
+    return "\n".join(lines)
+
+
+def _render_compare(view: dict) -> str:
+    a, b = view["a"], view["b"]
+    lines = [
+        "== ledger comparison ==",
+        f"  A (baseline): {a['id']}  {a['label']}  "
+        f"{_when(a['ts'])}  v{a['version']}",
+        f"  B (current) : {b['id']}  {b['label']}  "
+        f"{_when(b['ts'])}  v{b['version']}",
+    ]
+    shown = [r for r in view["rows"] if r["verdict"] != "neutral"]
+    if not shown:
+        lines.append("  all shared metrics neutral")
+    for row in shown:
+        lines.append(
+            f"  [{row['verdict']:<9}] {row['metric']}: "
+            f"{_fmt(row['baseline'])} -> {_fmt(row['current'])}"
+        )
+    counts: dict[str, int] = {}
+    for row in view["rows"]:
+        counts[row["verdict"]] = counts.get(row["verdict"], 0) + 1
+    lines.append(
+        f"  {counts.get('improved', 0)} improved, "
+        f"{counts.get('regressed', 0)} regressed, "
+        f"{counts.get('neutral', 0)} neutral"
+    )
+    return "\n".join(lines)
+
+
+def render_view(view: dict) -> str:
+    """Human-readable rendering of any report view."""
+    renderers = {
+        "runs": _render_runs,
+        "trajectory": _render_trajectory,
+        "compare": _render_compare,
+    }
+    kind = view.get("view")
+    if kind not in renderers:
+        raise ReproError(f"unknown report view {kind!r}")
+    return renderers[kind](view)

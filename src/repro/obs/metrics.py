@@ -123,6 +123,21 @@ class Histogram:
         frac = rank - lo
         return ordered[lo] * (1 - frac) + ordered[hi] * frac
 
+    def percentiles(
+        self, ps: tuple[float, ...] = (50, 95, 99)
+    ) -> dict[str, float]:
+        """Named percentiles in one call: ``{"p50": ..., "p95": ...}``.
+
+        The convenience wrapper the sinks use; tolerates the same edge
+        cases as :meth:`percentile` (empty and single-sample histograms,
+        reservoir-truncated sample sets).
+        """
+        out = {}
+        for p in ps:
+            key = f"p{int(p)}" if float(p).is_integer() else f"p{p}"
+            out[key] = self.percentile(p)
+        return out
+
     def merge(self, other: "Histogram") -> None:
         """Fold ``other``'s observations into this histogram."""
         self.count += other.count
@@ -144,9 +159,7 @@ class Histogram:
             "count": self.count,
             "mean": self.mean,
             "min": self.min,
-            "p50": self.percentile(50),
-            "p90": self.percentile(90),
-            "p99": self.percentile(99),
+            **self.percentiles((50, 90, 99)),
             "max": self.max,
         }
 

@@ -20,7 +20,13 @@ from __future__ import annotations
 import json
 
 from repro.obs.metrics import Histogram, MetricRegistry
-from repro.obs.spans import PID_PIPELINE, PID_WALL, Tracer
+from repro.obs.spans import (
+    PID_PIPELINE,
+    PID_PROFILE,
+    PID_WALL,
+    PID_WORKERS,
+    Tracer,
+)
 
 
 # ---------------------------------------------------------------------------
@@ -71,10 +77,11 @@ def render_report(metrics: MetricRegistry, tracer: Tracer | None = None) -> str:
     for name, metric in metrics.items():
         if isinstance(metric, Histogram):
             s = metric.summary()
+            pct = metric.percentiles((50, 95, 99))
             histograms.append(
                 f"  {name}: n={s['count']} mean={s['mean']:.4g} "
-                f"p50={s['p50']:.4g} p90={s['p90']:.4g} "
-                f"p99={s['p99']:.4g} max={s['max']:.4g}"
+                f"p50={pct['p50']:.4g} p95={pct['p95']:.4g} "
+                f"p99={pct['p99']:.4g} max={s['max']:.4g}"
             )
         elif type(metric).__name__ == "Gauge":
             gauges.append(f"  {name} = {_fmt(metric.value)}")
@@ -133,6 +140,13 @@ def events_jsonl(metrics: MetricRegistry, tracer: Tracer) -> str:
 _PROCESS_NAMES = {
     PID_WALL: "tangled (wall clock)",
     PID_PIPELINE: "pipeline (1 cycle = 1 us)",
+    PID_PROFILE: "profile flamegraph (1 cycle = 1 us)",
+    PID_WORKERS: "--jobs workers (wall clock)",
+}
+
+#: Default labels for threads whose emitter did not name them.
+_THREAD_NAMES = {
+    (PID_PROFILE, 1): "attributed cycles",
 }
 
 
@@ -222,13 +236,66 @@ def chrome_trace(metrics: MetricRegistry, tracer: Tracer) -> dict:
     }
 
 
+def _metadata_events(events: list[dict]) -> list[dict]:
+    """``process_name``/``thread_name`` M events for anything unnamed.
+
+    Trace emitters name what they know about; this fills the gaps so
+    no pid/tid ever renders as a bare number in the trace viewer --
+    the profiler's PID 3 flamegraph and the ``--jobs`` worker
+    heartbeat tracks (PID 4) get labels even when the emitter skipped
+    its own metadata.
+    """
+    named_processes = set()
+    named_threads = set()
+    pids = set()
+    tids = set()
+    for event in events:
+        pid = event.get("pid")
+        if pid is None:
+            continue
+        if event.get("ph") == "M":
+            if event.get("name") == "process_name":
+                named_processes.add(pid)
+            elif event.get("name") == "thread_name":
+                named_threads.add((pid, event.get("tid")))
+            continue
+        pids.add(pid)
+        tid = event.get("tid")
+        if tid:
+            tids.add((pid, tid))
+    extra: list[dict] = []
+    for pid in sorted(pids - named_processes):
+        extra.append({
+            "name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+            "args": {"name": _PROCESS_NAMES.get(pid, f"process {pid}")},
+        })
+    for pid, tid in sorted(tids - named_threads, key=lambda k: (k[0], str(k[1]))):
+        extra.append({
+            "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+            "args": {
+                "name": _THREAD_NAMES.get(
+                    (pid, tid),
+                    f"worker {tid}" if pid == PID_WORKERS else f"thread {tid}",
+                ),
+            },
+        })
+    return extra
+
+
 def write_trace(path: str, trace: dict) -> None:
     """The one Chrome ``trace_event`` file writer.
 
     Every trace artifact -- ``--trace-out`` telemetry traces and the
     profiler's flamegraph export alike -- goes through here, so the
-    on-disk format (single JSON object, UTF-8) cannot fork.
+    on-disk format (single JSON object, UTF-8) cannot fork.  Missing
+    ``process_name``/``thread_name`` metadata is filled in on the way
+    out (see :func:`_metadata_events`).
     """
+    events = trace.get("traceEvents", [])
+    extra = _metadata_events(events)
+    if extra:
+        trace = dict(trace)
+        trace["traceEvents"] = list(events) + extra
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(trace, handle)
 

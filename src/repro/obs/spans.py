@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 PID_WALL = 1       # real-time spans (perf_counter_ns domain)
 PID_PIPELINE = 2   # synthetic cycle-domain spans from the pipeline
 PID_PROFILE = 3    # profiler flamegraph (attributed-cycle domain)
+PID_WORKERS = 4    # --jobs fan-out worker heartbeats (wall-clock domain)
 
 
 class _NullSpan:

@@ -17,6 +17,16 @@ def rng() -> np.random.Generator:
     return np.random.default_rng(0xC0FFEE)
 
 
+@pytest.fixture(autouse=True)
+def _isolated_ledger(tmp_path, monkeypatch):
+    """Point the run ledger at a per-test path.
+
+    CLI tests call ``main()`` in-process; without this they would write
+    real rows into the developer's ``~/.tangled/ledger.db``.
+    """
+    monkeypatch.setenv("TANGLED_LEDGER", str(tmp_path / "ledger.db"))
+
+
 def assemble_and_run(source: str, ways: int = 8, simulator: str = "functional"):
     """Assemble source (auto-appending a halting sys) and run it."""
     from repro.asm import assemble

@@ -162,10 +162,36 @@ class TestCli:
         base = _report_with({"pipeline.cpi": 1.0})
         current.write_text(bench.render_json(cur))
         baseline.write_text(bench.render_json(base))
+        # Regression gate exits 2 (distinct from the generic error 1).
         assert main(["bench", "--input", str(current),
                      "--compare", str(baseline),
-                     "--counter-threshold", "0.25"]) == 1
-        assert "pipeline.cpi" in capsys.readouterr().out
+                     "--counter-threshold", "0.25"]) == 2
+        captured = capsys.readouterr()
+        assert "pipeline.cpi" in captured.out
+        # Each regressed counter is itemized on stderr with old/new
+        # values and the percent delta.
+        assert "pipeline.cpi 1 -> 2 (+100.0%)" in captured.err
+
+    def test_bench_io_error_exits_one_not_two(self, tmp_path, capsys):
+        missing = tmp_path / "nope.json"
+        assert main(["bench", "--input", str(missing),
+                     "--compare", str(missing)]) == 1
+
+    def test_render_regressions_itemizes_rows(self):
+        base = _report_with({"pipeline.cpi": 1.0, "qat.ops": 50})
+        cur = _report_with({"pipeline.cpi": 2.0, "qat.ops": 50})
+        rows = bench.regressions(bench.compare_reports(cur, base))
+        text = bench.render_regressions(rows)
+        assert "pipeline.cpi 1 -> 2 (+100.0%)" in text
+        assert "qat.ops" not in text
+
+    def test_render_regressions_missing_bench(self):
+        base = _report_with({"pipeline.cycles": 100})
+        cur = {"schema": bench.SCHEMA, "label": "x", "rounds": 2,
+               "warmup": 0, "benches": {}}
+        rows = bench.regressions(bench.compare_reports(cur, base))
+        text = bench.render_regressions(rows)
+        assert "missing from current run" in text
 
     def test_bench_list(self, capsys):
         assert main(["bench", "--list"]) == 0

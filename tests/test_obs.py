@@ -312,3 +312,115 @@ class TestReportSink:
         assert "gauges:" in report
         assert "histograms:" in report
         assert "trace:" in report
+
+
+class TestPercentilesHelper:
+    """Histogram.percentiles(): the one-call p50/p95/p99 summary."""
+
+    def test_named_keys_and_values(self):
+        h = Histogram("t")
+        for v in range(1, 101):
+            h.observe(float(v))
+        pct = h.percentiles((50, 95, 99))
+        assert set(pct) == {"p50", "p95", "p99"}
+        assert pct["p50"] == pytest.approx(50.5)
+        assert pct["p95"] == pytest.approx(95.05)
+        assert pct["p99"] == pytest.approx(99.01)
+
+    def test_empty_histogram_is_all_zero(self):
+        assert Histogram("t").percentiles() == {
+            "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+    def test_single_sample_is_every_percentile(self):
+        h = Histogram("t")
+        h.observe(42.0)
+        assert h.percentiles((50, 95, 99)) == {
+            "p50": 42.0, "p95": 42.0, "p99": 42.0}
+
+    def test_reservoir_truncated_estimates_stay_in_range(self):
+        h = Histogram("t", max_samples=8)
+        for v in range(1, 10_001):
+            h.observe(float(v))
+        assert h._stride > 1  # the reservoir actually truncated
+        pct = h.percentiles((50, 95, 99))
+        assert 1.0 <= pct["p50"] <= pct["p95"] <= pct["p99"] <= 10_000.0
+
+    def test_fractional_percentile_key(self):
+        h = Histogram("t")
+        h.observe(1.0)
+        assert set(h.percentiles((99.9,))) == {"p99.9"}
+
+    def test_report_sink_shows_p50_p95_p99(self):
+        tel = Telemetry(enabled=True, tracing=False)
+        for v in range(1, 101):
+            tel.histogram("fault.run_seconds").observe(float(v))
+        report = tel.report()
+        assert "p50=50.5" in report
+        assert "p95=95.05" in report
+        assert "p99=99.01" in report
+
+
+class TestTraceMetadataInjection:
+    """write_trace() fills in process_name/thread_name metadata."""
+
+    def test_unnamed_pids_and_tids_get_labeled(self, tmp_path):
+        from repro.obs.sinks import write_trace
+        from repro.obs.spans import PID_PROFILE, PID_WORKERS
+
+        trace = {"traceEvents": [
+            {"name": "pc", "ph": "X", "ts": 0, "dur": 1,
+             "pid": PID_PROFILE, "tid": 1},
+            {"name": "hb", "ph": "i", "s": "t", "ts": 0,
+             "pid": PID_WORKERS, "tid": 2},
+        ]}
+        path = tmp_path / "t.json"
+        write_trace(str(path), trace)
+        loaded = json.loads(path.read_text())
+        meta = {(e["name"], e["pid"], e.get("tid")): e["args"]["name"]
+                for e in loaded["traceEvents"] if e["ph"] == "M"}
+        assert meta[("process_name", PID_PROFILE, 0)] == \
+            "profile flamegraph (1 cycle = 1 us)"
+        assert meta[("process_name", PID_WORKERS, 0)] == \
+            "--jobs workers (wall clock)"
+        assert meta[("thread_name", PID_PROFILE, 1)] == "attributed cycles"
+        assert meta[("thread_name", PID_WORKERS, 2)] == "worker 2"
+
+    def test_existing_metadata_not_duplicated(self, tmp_path):
+        from repro.obs.sinks import write_trace
+
+        trace = {"traceEvents": [
+            {"name": "x", "ph": "X", "ts": 0, "dur": 1, "pid": 9, "tid": 1},
+            {"name": "process_name", "ph": "M", "pid": 9, "tid": 0,
+             "args": {"name": "mine"}},
+            {"name": "thread_name", "ph": "M", "pid": 9, "tid": 1,
+             "args": {"name": "mine too"}},
+        ]}
+        path = tmp_path / "t.json"
+        write_trace(str(path), trace)
+        loaded = json.loads(path.read_text())
+        meta = [e for e in loaded["traceEvents"] if e["ph"] == "M"]
+        assert len(meta) == 2  # nothing added
+        assert {e["args"]["name"] for e in meta} == {"mine", "mine too"}
+
+    def test_caller_trace_dict_not_mutated(self, tmp_path):
+        from repro.obs.sinks import write_trace
+
+        events = [{"name": "x", "ph": "X", "ts": 0, "dur": 1,
+                   "pid": 7, "tid": 1}]
+        trace = {"traceEvents": events}
+        write_trace(str(tmp_path / "t.json"), trace)
+        assert trace["traceEvents"] is events
+        assert len(events) == 1
+
+    def test_jobs_campaign_trace_has_worker_tracks(self, tmp_path):
+        from repro.cli import main
+        from repro.obs.spans import PID_WORKERS
+
+        trace = tmp_path / "campaign.json"
+        assert main(["faults", "--runs", "4", "--jobs", "2",
+                     "--summary-only", "--trace-out", str(trace)]) == 0
+        loaded = json.loads(trace.read_text())
+        names = [e["args"]["name"] for e in loaded["traceEvents"]
+                 if e["ph"] == "M" and e["pid"] == PID_WORKERS]
+        assert "--jobs workers (wall clock)" in names
+        assert any(n.startswith("worker ") for n in names)

@@ -1,0 +1,162 @@
+"""ProgressTracker tests: heartbeats, stragglers, rendering, gauges."""
+
+from __future__ import annotations
+
+from repro import obs
+from repro.obs.progress import STRAGGLER_FACTOR, ProgressTracker, worker_ident
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _tracker(total=10, **kw):
+    clock = FakeClock()
+    kw.setdefault("clock", clock)
+    return ProgressTracker(total, **kw), clock
+
+
+class TestHeartbeats:
+    def test_note_accumulates_per_worker(self):
+        tracker, clock = _tracker()
+        clock.advance(2.0)
+        tracker.note(1, 0.5, steps=100)
+        tracker.note(2, 0.25, steps=50)
+        tracker.note(1, 0.5, steps=100)
+        assert tracker.done == 3
+        assert tracker.steps == 250
+        assert tracker.workers[1] == {
+            "items": 2, "busy_seconds": 1.0, "steps": 200}
+        assert tracker.workers[2] == {
+            "items": 1, "busy_seconds": 0.25, "steps": 50}
+
+    def test_worker_ident_in_parent_is_zero(self):
+        assert worker_ident() == 0
+
+    def test_emit_throttled_to_interval(self):
+        lines = []
+        tracker, clock = _tracker(total=100, emit=lines.append,
+                                  interval=0.5)
+        tracker.note(1, 0.01)          # first note: 0s elapsed, throttled
+        assert lines == []
+        clock.advance(0.6)
+        tracker.note(1, 0.01)          # past the interval: emits
+        assert len(lines) == 1
+        tracker.note(1, 0.01)          # immediately after: throttled
+        assert len(lines) == 1
+
+    def test_final_item_always_emits(self):
+        lines = []
+        tracker, _ = _tracker(total=2, emit=lines.append, interval=60.0)
+        tracker.note(1, 0.01)
+        assert lines == []
+        tracker.note(1, 0.01)          # done == total beats the throttle
+        assert len(lines) == 1
+
+
+class TestStragglers:
+    def test_single_worker_never_flagged(self):
+        tracker, _ = _tracker()
+        for _ in range(8):
+            tracker.note(1, 0.1)
+        assert tracker.stragglers() == []
+
+    def test_lagging_worker_flagged(self):
+        tracker, _ = _tracker(total=20)
+        for _ in range(10):
+            tracker.note(1, 0.1)
+            tracker.note(2, 0.1)
+        tracker.note(3, 0.1)           # 1 item vs median 10: > 2x behind
+        assert 10 > 1 * STRAGGLER_FACTOR
+        assert tracker.stragglers() == [3]
+        line = tracker.render_line()
+        assert "straggler: w3" in line
+        assert tracker.summary()["workers"]["3"]["straggler"] is True
+
+    def test_balanced_workers_not_flagged(self):
+        tracker, _ = _tracker(total=9)
+        for _ in range(3):
+            for wid in (1, 2, 3):
+                tracker.note(wid, 0.1)
+        assert tracker.stragglers() == []
+
+
+class TestRendering:
+    def test_render_line_shape(self):
+        tracker, clock = _tracker(total=10, what="runs")
+        clock.advance(1.0)
+        tracker.note(1, 0.2, steps=500)
+        tracker.note(2, 0.2, steps=500)
+        line = tracker.render_line()
+        assert line.startswith("progress: 2/10 runs")
+        assert "2 worker(s)" in line
+        assert "steps/s" in line
+        assert "eta" in line
+
+    def test_eta_omitted_when_done(self):
+        tracker, clock = _tracker(total=1)
+        clock.advance(1.0)
+        tracker.note(1, 0.1)
+        assert "eta" not in tracker.render_line()
+
+    def test_summary_is_json_ready(self):
+        import json
+
+        tracker, clock = _tracker(total=4, what="rounds")
+        clock.advance(2.0)
+        tracker.note(1, 0.5, steps=200)
+        tracker.note(2, 0.4, steps=100)
+        summary = tracker.summary()
+        json.dumps(summary)  # no exotic types
+        assert summary["what"] == "rounds"
+        assert summary["done"] == 2
+        assert summary["total"] == 4
+        assert summary["workers"]["1"]["steps_per_second"] == 400
+        assert summary["workers"]["2"]["items"] == 1
+
+
+class TestTelemetry:
+    def test_publish_sets_progress_gauges(self):
+        tracker, clock = _tracker(total=2)
+        clock.advance(1.0)
+        tracker.note(1, 0.5, steps=100)
+        tracker.note(2, 0.25, steps=50)
+        telemetry = obs.Telemetry(enabled=True, tracing=False)
+        tracker.publish(telemetry)
+        assert telemetry.gauge("progress.workers").value == 2
+        assert telemetry.gauge("progress.runs.done").value == 2
+        assert telemetry.gauge("progress.worker.1.runs").value == 1
+        assert telemetry.gauge("progress.worker.1.steps_per_sec").value == 200
+        assert telemetry.gauge("progress.worker.2.straggler").value == 0.0
+
+    def test_heartbeats_land_on_worker_pid_when_tracing(self):
+        from repro.obs.spans import PID_WORKERS
+
+        with obs.capture() as telemetry:
+            tracker, _ = _tracker(total=1)
+            tracker.note(3, 0.1)
+        marks = [e for e in telemetry.tracer.instants
+                 if e.pid == PID_WORKERS]
+        assert marks, "expected a heartbeat instant on the workers pid"
+        assert marks[0].tid == "worker 3"
+        assert marks[0].name == "progress.runs"
+
+    def test_finish_publishes_to_active_telemetry(self):
+        with obs.capture() as telemetry:
+            tracker, _ = _tracker(total=1)
+            tracker.note(1, 0.1)
+            summary = tracker.finish()
+        assert summary["done"] == 1
+        assert telemetry.gauge("progress.worker.1.runs").value == 1
+
+    def test_no_telemetry_needed(self):
+        tracker, _ = _tracker(total=1)
+        tracker.note(1, 0.1)
+        assert tracker.finish()["done"] == 1
