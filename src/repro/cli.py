@@ -12,6 +12,8 @@ Installed as the ``tangled`` console script::
     tangled verilog qatnext --ways 8            emit the Figure 7/8 Verilog
     tangled fig10 [--stats]                     run the paper's listing
     tangled faults --seed 7 --runs 20           seeded soft-error campaign
+    tangled faults --jobs 8 --shard-timeout 60  supervised fan-out
+    tangled faults --resume 3f2a...             finish an interrupted campaign
     tangled profile program.s                   per-PC cycle attribution
     tangled profile fig10 --trace-out f.json    ... plus a flamegraph
     tangled bench --label nightly               statistics-aware bench run
@@ -39,7 +41,11 @@ progress gauges, and emitted artifact paths.  ``tangled report`` reads
 it back as trajectories and side-by-side comparisons.
 
 Exit codes: 0 success, 1 error (I/O, bad arguments, simulator fault),
-2 ``bench --compare`` regression gate failure.
+2 ``bench --compare`` regression gate failure, 3 every quarantined
+shard of a ``--jobs`` fan-out died to timeouts alone, 4 shards were
+quarantined as toxic for any other mix of failures, 130 interrupted
+(Ctrl-C; the partial report is still flushed and the run recorded, and
+``--resume <run-id>`` finishes it).
 """
 
 from __future__ import annotations
@@ -48,6 +54,7 @@ import argparse
 import os
 import sys
 import time
+import uuid
 from contextlib import contextmanager
 
 from repro.errors import ReproError
@@ -55,6 +62,29 @@ from repro.errors import ReproError
 #: Exit code for a ``bench --compare`` regression (distinct from the
 #: generic error exit 1, so CI can tell a perf gate from an I/O failure).
 EXIT_REGRESSION = 2
+
+#: Every quarantined shard of a supervised fan-out failed only by
+#: exceeding ``--shard-timeout`` -- the work is likely just slow, so CI
+#: can retry with a looser budget instead of treating it as broken.
+EXIT_TIMEOUT = 3
+
+#: Shards were quarantined as toxic for crashes / errors (or a mix
+#: including timeouts): the report completed but holds toxic entries.
+EXIT_TOXIC_SHARDS = 4
+
+#: Interrupted by Ctrl-C (the conventional 128 + SIGINT).  The partial
+#: report is flushed and the ledger row recorded before exiting.
+EXIT_INTERRUPTED = 130
+
+
+def _quarantine_status(failure_lists: list) -> int:
+    """Exit status from the failure kinds of every quarantined shard:
+    :data:`EXIT_TIMEOUT` when timeouts are the *only* kind observed,
+    :data:`EXIT_TOXIC_SHARDS` for anything else, 0 for no quarantine."""
+    if not failure_lists:
+        return 0
+    kinds = {kind for failures in failure_lists for kind in failures}
+    return EXIT_TIMEOUT if kinds == {"timeout"} else EXIT_TOXIC_SHARDS
 
 
 def _read_source(path: str) -> str:
@@ -138,6 +168,10 @@ class _LedgerScope:
         self.enabled = not getattr(args, "no_ledger", False)
         self.command = command
         self.label = label
+        # Pre-generated so sharded commands can journal shard results
+        # under this id while the run is still in flight; the final
+        # row is recorded under the same id at :meth:`finish`.
+        self.run_id = uuid.uuid4().hex[:12]
         self.config = {
             key: value
             for key, value in sorted(vars(args).items())
@@ -191,6 +225,7 @@ class _LedgerScope:
                 ledger.record(
                     command=self.command,
                     label=self.label,
+                    run_id=self.run_id,
                     config=self.config,
                     counters=counters,
                     status=status,
@@ -220,6 +255,11 @@ def _ledger_scope(args: argparse.Namespace, command: str, label: str):
     scope = _LedgerScope(args, command, label)
     try:
         yield scope
+    except KeyboardInterrupt:
+        # Ctrl-C still leaves a queryable row: the run happened, it was
+        # interrupted, and its journaled shards are the resume target.
+        scope.finish(EXIT_INTERRUPTED)
+        raise
     except BaseException:
         scope.finish(1)
         raise
@@ -235,6 +275,115 @@ def _source_stem(source: str) -> str:
 
 def _stderr_line(line: str) -> None:
     print(line, file=sys.stderr)
+
+
+#: ``--resume`` restores these fingerprint keys onto the argparse
+#: namespace so the bare ``tangled faults --resume <id>`` finishes the
+#: original campaign.  List-valued keys (``targets``, ``benches``) are
+#: handled separately in :func:`_adopt_resume_args`.
+_RESUME_ARGS = {
+    "faults": ("program", "runs", "seed", "sim", "ways",
+               "faults_per_run", "qat_backend"),
+    "bench": ("label", "rounds", "warmup", "qat_backend"),
+}
+
+
+def _adopt_resume_args(args: argparse.Namespace, command: str) -> None:
+    """Restore the journaled campaign shape for ``--resume``.
+
+    The journal's fingerprint row defines *what* ran -- program, seed,
+    runs, bench set, rounds -- so a resume adopts those values instead
+    of requiring the caller to repeat them; only the execution knobs
+    (``--jobs``, ``--shard-timeout``, ``--retries``,
+    ``--worker-mem-mib``) come from the new command line.  The runner
+    re-verifies the fingerprint when it opens the journal, so a drifted
+    journal between this read and that open is still refused.
+    """
+    if getattr(args, "resume", None) is None:
+        return
+    if args.no_ledger:
+        raise ReproError(
+            "--resume reads the shard journal in the run ledger; "
+            "drop --no-ledger"
+        )
+    from repro.obs import ledger as ledger_mod
+
+    args.resume = ledger_mod.resolve_journal_run(args.resume)
+    record = ledger_mod.journal_fingerprint(args.resume)
+    if record.get("kind") != command:
+        raise ReproError(
+            f"run {args.resume!r} journaled a {record.get('kind')!r} "
+            f"run; resume it with: tangled {record.get('kind')} "
+            f"--resume {args.resume}"
+        )
+    fingerprint = record.get("fingerprint", {})
+    for key in _RESUME_ARGS[command]:
+        if key in fingerprint:
+            setattr(args, key, fingerprint[key])
+    if command == "faults" and "targets" in fingerprint:
+        args.targets = ",".join(fingerprint["targets"])
+    if command == "bench":
+        if "benches" in fingerprint:
+            args.only = ",".join(fingerprint["benches"])
+        args.quick = False  # rounds were restored explicitly above
+
+
+def _shard_setup(args: argparse.Namespace, led: _LedgerScope):
+    """``(supervise, journal)`` for a sharded command's CLI arguments.
+
+    The supervision config exists only for ``--jobs > 1`` (the serial
+    path needs no worker pool); the shard journal exists whenever the
+    ledger does -- serial campaigns journal too, so even a Ctrl-C that
+    never reached the fan-out machinery leaves a resumable trail.  With
+    ``--resume`` the journal reopens the *original* run's id (resolved
+    like ledger run ids, prefixes allowed), so repeated resumes keep
+    accumulating under one journal.
+    """
+    from repro.obs import ledger as ledger_mod
+
+    supervise = None
+    if args.jobs > 1:
+        from repro.runtime.supervisor import SupervisorConfig
+
+        supervise = SupervisorConfig(
+            jobs=args.jobs,
+            shard_timeout=args.shard_timeout,
+            max_attempts=1 + max(args.retries, 0),
+            worker_mem_mib=args.worker_mem_mib,
+        )
+    journal = None
+    if args.resume is not None:
+        if not led.enabled:
+            raise ReproError(
+                "--resume reads the shard journal in the run ledger; "
+                "drop --no-ledger"
+            )
+        run_id = ledger_mod.resolve_journal_run(args.resume)
+        journal = ledger_mod.ShardJournal(run_id, resume=True)
+    elif led.enabled:
+        journal = ledger_mod.ShardJournal(led.run_id)
+    return supervise, journal
+
+
+def _interrupt_note(command: str, done: int, total: int, what: str,
+                    journal) -> None:
+    hint = ""
+    if journal is not None and journal.enabled:
+        hint = (f"; resume with: tangled {command} --resume "
+                f"{journal.run_id}")
+    print(f"tangled: {command}: interrupted after {done}/{total} {what}"
+          f"{hint}", file=sys.stderr)
+
+
+def _quarantine_note(command: str, count: int, status: int,
+                     journal) -> None:
+    kind = "timeout" if status == EXIT_TIMEOUT else "toxic"
+    hint = ""
+    if journal is not None and journal.enabled:
+        hint = (f"; retry them with: tangled {command} --resume "
+                f"{journal.run_id}")
+    print(f"tangled: {command}: {count} shard(s) quarantined "
+          f"({kind}; exit {status}){hint}", file=sys.stderr)
 
 
 def cmd_asm(args: argparse.Namespace) -> int:
@@ -379,43 +528,67 @@ def cmd_fig10(args: argparse.Namespace) -> int:
 
 
 def cmd_faults(args: argparse.Namespace) -> int:
-    from repro.faults.campaign import render_report, run_campaign
+    from repro.faults.campaign import (
+        CampaignInterrupted,
+        render_report,
+        run_campaign,
+    )
     from repro.obs.progress import ProgressTracker
 
+    _adopt_resume_args(args, "faults")
     label = f"faults.{args.program}.{args.sim}.{args.qat_backend}"
     with _ledger_scope(args, "faults", label) as led:
         with _TelemetryScope(args) as tel:
             led.telemetry = tel.telemetry
+            supervise, journal = _shard_setup(args, led)
             tracker = ProgressTracker(
                 total=args.runs, what="runs",
                 emit=_stderr_line if args.jobs > 1 else None,
             )
-            report = run_campaign(
-                program=args.program,
-                runs=args.runs,
-                seed=args.seed,
-                sim=args.sim,
-                ways=args.ways,
-                faults_per_run=args.faults_per_run,
-                targets=tuple(args.targets.split(",")),
-                qat_backend=args.qat_backend,
-                jobs=args.jobs,
-                tracker=tracker,
-            )
+            status = 0
+            try:
+                report = run_campaign(
+                    program=args.program,
+                    runs=args.runs,
+                    seed=args.seed,
+                    sim=args.sim,
+                    ways=args.ways,
+                    faults_per_run=args.faults_per_run,
+                    targets=tuple(args.targets.split(",")),
+                    qat_backend=args.qat_backend,
+                    jobs=args.jobs,
+                    tracker=tracker,
+                    supervise=supervise,
+                    journal=journal,
+                )
+            except CampaignInterrupted as stop:
+                report = stop.report
+                status = EXIT_INTERRUPTED
+                _interrupt_note("faults", stop.done, stop.total, "runs",
+                                journal)
             led.workers = tracker.summary()
             led.counters = {
                 f"faults.{key}": value
                 for key, value in report["summary"].items()
             }
+            for kind, count in sorted(tracker.supervisor.items()):
+                led.counters[f"supervisor.{kind}"] = count
             led.traps = {
                 "trapped_runs": sum(
                     1 for run in report["runs_detail"] if run["traps"]
                 ),
             }
+            toxic = [run["failures"] for run in report["runs_detail"]
+                     if run["outcome"] == "toxic"]
+            if status == 0:
+                status = _quarantine_status(toxic)
+                if status:
+                    _quarantine_note("faults", len(toxic), status, journal)
+            led.status = status
             if args.summary_only:
                 report.pop("runs_detail")
             sys.stdout.write(render_report(report))
-    return 0
+    return status
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -480,6 +653,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         for spec in bench.default_specs(args.qat_backend):
             print(f"{spec.name:<24} {spec.description}")
         return 0
+    _adopt_resume_args(args, "bench")
     rounds = 2 if args.quick else args.rounds
     specs = None
     if args.only:
@@ -496,30 +670,52 @@ def cmd_bench(args: argparse.Namespace) -> int:
         else:
             spec_list = specs if specs is not None \
                 else bench.default_specs(args.qat_backend)
+            supervise, journal = _shard_setup(args, led)
             tracker = ProgressTracker(
                 total=len(spec_list) * rounds, what="rounds",
                 emit=_stderr_line if args.jobs > 1 else None,
             )
-            report = bench.run_suite(
-                specs=specs, label=args.label, rounds=rounds,
-                warmup=args.warmup,
-                progress=_stderr_line,
-                jobs=args.jobs, qat_backend=args.qat_backend,
-                tracker=tracker,
-            )
+            try:
+                report = bench.run_suite(
+                    specs=specs, label=args.label, rounds=rounds,
+                    warmup=args.warmup,
+                    progress=_stderr_line,
+                    jobs=args.jobs, qat_backend=args.qat_backend,
+                    tracker=tracker,
+                    supervise=supervise, journal=journal,
+                )
+            except bench.BenchInterrupted as stop:
+                report = stop.report
+                led.status = EXIT_INTERRUPTED
+                _interrupt_note("bench", stop.done, stop.total, "benches",
+                                journal)
             out = args.out or f"BENCH_{args.label}.json"
             bench.write_report(out, report)
             print(f"bench report ({len(report['benches'])} benches, "
                   f"{rounds} rounds) -> {out}")
             led.workers = tracker.summary()
             led.add_artifact(out)
+            for kind, count in sorted(tracker.supervisor.items()):
+                led.counters[f"supervisor.{kind}"] = count
             entry_config = {
                 "qat_backend": args.qat_backend, "rounds": rounds,
                 "warmup": args.warmup, "jobs": args.jobs,
             }
             for name, entry in sorted(report["benches"].items()):
+                if entry.get("toxic"):
+                    continue  # quarantined: no counters to record
                 led.add_row(name, entry["counters"],
                             rate=entry.get("rate"), config=entry_config)
+            toxic = [entry["failures"]
+                     for entry in report["benches"].values()
+                     if entry.get("toxic")]
+            if led.status == 0:
+                led.status = _quarantine_status(toxic)
+                if led.status:
+                    _quarantine_note("bench", len(toxic), led.status,
+                                     journal)
+            if led.status:
+                return led.status
         if args.compare:
             baseline = bench.load_report(args.compare)
             rows = bench.compare_reports(
@@ -579,6 +775,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="do not record this invocation in the run "
                             "ledger (~/.tangled/ledger.db, or "
                             "$TANGLED_LEDGER)")
+
+    def add_supervise_opts(p, what):
+        p.add_argument("--shard-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help=f"kill and retry a {what} whose worker runs "
+                            "longer than this (only with --jobs > 1)")
+        p.add_argument("--retries", type=int, default=2, metavar="N",
+                       help=f"retries per {what} (with backoff) before "
+                            "it is quarantined as toxic (default: 2)")
+        p.add_argument("--worker-mem-mib", type=int, default=None,
+                       metavar="MIB",
+                       help="address-space ceiling per worker process "
+                            "(RLIMIT_AS; exceeding it fails the shard, "
+                            "not the campaign)")
+        p.add_argument("--resume", metavar="RUN_ID",
+                       help="finish the journaled run RUN_ID (id or "
+                            "unique prefix): re-execute only its "
+                            "missing and toxic shards, byte-identical "
+                            "to a one-shot run")
 
     p = sub.add_parser("asm", help="assemble Tangled/Qat source to hex")
     p.add_argument("source", help="assembly file ('-' for stdin)")
@@ -651,8 +866,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--summary-only", action="store_true",
                    help="omit the per-run detail from the report")
     p.add_argument("--jobs", type=int, default=1, metavar="N",
-                   help="shard the runs across N worker processes "
-                        "(report stays byte-identical to serial)")
+                   help="shard the runs across N supervised worker "
+                        "processes (report stays byte-identical to "
+                        "serial)")
+    add_supervise_opts(p, "run")
     p.add_argument("--stats", action="store_true",
                    help="print a telemetry report (fault counters, traps, ...)")
     p.add_argument("--trace-out", metavar="PATH",
@@ -700,8 +917,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--quick", action="store_true",
                    help="2 measured rounds (CI smoke mode)")
     p.add_argument("--jobs", type=int, default=1, metavar="N",
-                   help="shard bench rounds across N worker processes "
-                        "(counter sections stay byte-identical to serial)")
+                   help="shard bench rounds across N supervised worker "
+                        "processes (counter sections stay "
+                        "byte-identical to serial)")
+    add_supervise_opts(p, "round")
     p.add_argument("--only", metavar="NAMES",
                    help="comma-separated bench names to run")
     p.add_argument("--list", action="store_true",
@@ -754,6 +973,9 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except KeyboardInterrupt:
+        print("tangled: interrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
     except (ReproError, OSError, ValueError) as exc:
         print(f"tangled: error: {exc}", file=sys.stderr)
         return 1

@@ -95,6 +95,19 @@ class SyscallError(TrapError):
         super().__init__(message, record=record, **context)
 
 
+class SupervisorError(ReproError):
+    """The supervised worker pool cannot proceed.
+
+    Raised for invalid supervision config (non-positive jobs, timeout,
+    or memory ceiling), a resume request whose journaled fingerprint
+    does not match the current arguments, and a pool whose workers die
+    faster than shards complete (e.g. an initializer that cannot
+    allocate under the ``RLIMIT_AS`` ceiling).  Per-shard failures are
+    *not* errors: they are retried and, at worst, quarantined as toxic
+    shards in the report.
+    """
+
+
 class CheckpointError(ReproError):
     """A machine checkpoint failed integrity verification or is unusable."""
 

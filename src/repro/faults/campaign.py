@@ -34,9 +34,12 @@ from repro.errors import ReproError
 from repro.faults.inject import FaultPlan, apply_event
 from repro.faults.traps import TrapPolicy
 from repro.obs import runtime as _obs
+from repro.runtime.supervisor import chaos_hook
 
-#: Run outcome labels.
-DETECTED, MASKED, SILENT = "detected", "masked", "silent"
+#: Run outcome labels.  ``toxic`` is the supervised fan-out's poison
+#: shard: a run whose worker crashed or hung on every allowed attempt
+#: and was quarantined instead of aborting the campaign.
+DETECTED, MASKED, SILENT, TOXIC = "detected", "masked", "silent", "toxic"
 
 #: Watchdog slack: a faulted run may legitimately take longer than the
 #: golden run (a corrupted branch can re-execute work) before we call it
@@ -166,16 +169,20 @@ def _worker_init() -> None:
     _WORKER_IMAGES.clear()
 
 
-def _single_run(task: tuple) -> tuple[int, dict, float, int, int]:
+def _single_run(task: tuple, attempt: int = 0) -> tuple[int, dict, float, int, int]:
     """Execute one faulted run; pure function of its task tuple.
 
     Returns ``(run index, RunResult dict, wall seconds, steps, worker)``
     so results can be merged deterministically regardless of worker
     scheduling; the trailing wall/steps/worker fields feed the progress
-    layer and never enter the report.
+    layer and never enter the report.  ``attempt`` is the supervisor's
+    retry ordinal (0 on the first execution); the result is attempt-
+    independent, but the chaos hook uses it to model faults that heal
+    on retry.
     """
     (run, program, seed, sim, ways, faults_per_run, targets, qat_backend,
      golden, golden_steps, mem_span, watchdog) = task
+    chaos_hook(run, attempt)
     image = _worker_image(program)
     run_seed = seed * 1_000_003 + run
     plan = FaultPlan.from_seed(
@@ -215,95 +222,44 @@ def _single_run(task: tuple) -> tuple[int, dict, float, int, int]:
             worker_ident())
 
 
-def run_campaign(
-    program: str = "fig10",
-    runs: int = 20,
-    seed: int = 7,
-    sim: str = "functional",
-    ways: int = 8,
-    faults_per_run: int = 1,
-    targets: tuple[str, ...] = ("gpr", "mem", "qreg"),
-    qat_backend: str = "dense",
-    jobs: int = 1,
-    tracker=None,
-) -> dict:
-    """Run a seeded soft-error campaign; returns the JSON-ready report.
+class CampaignInterrupted(ReproError):
+    """A fan-out campaign was interrupted (Ctrl-C) mid-flight.
 
-    Every run gets its own simulator and a per-run fault plan seeded
-    from ``seed`` and the run index, so the whole campaign is a pure
-    function of its arguments.  The process-global pattern stores are
-    reset first so chunk interning from earlier work (or an earlier
-    campaign) can never bleed into this one's RE-backed runs.
-
-    ``jobs > 1`` shards the runs across that many worker processes.
-    Each run is already a pure function of ``(seed, run index)`` with
-    its own simulator and stores, so the merged report -- results
-    reordered by run index, counts recomputed in run order -- is
-    byte-identical to the serial campaign.
-
-    ``tracker`` (a :class:`repro.obs.progress.ProgressTracker`) receives
-    one heartbeat per completed run -- worker id, wall seconds, steps --
-    as results arrive, off the report path: the report bytes are
-    identical with or without it.
+    Carries the partial ``report`` (completed runs only, marked with
+    ``"interrupted": true``) so the CLI can still flush it and record a
+    ledger row with the ``interrupted`` exit status instead of losing
+    the run to a traceback.  Already-completed shards were journaled,
+    so ``tangled faults --resume <run-id>`` finishes the campaign.
     """
-    if runs <= 0:
-        raise ReproError(f"runs must be positive, got {runs}")
-    if jobs <= 0:
-        raise ReproError(f"jobs must be positive, got {jobs}")
-    from repro.pattern import reset_default_stores
 
-    reset_default_stores()
-    image = _load_program(program)
-    golden, golden_steps = golden_run(image, sim=sim, ways=ways,
-                                      qat_backend=qat_backend)
-    # Concentrate memory faults on the loaded image plus a data margin.
-    mem_span = max(64, 2 * len(getattr(image, "words", image)))
-    watchdog = golden_steps * _WATCHDOG_FACTOR + _WATCHDOG_SLACK
+    def __init__(self, report: dict, done: int, total: int):
+        self.report = report
+        self.done = done
+        self.total = total
+        super().__init__(f"campaign interrupted after {done}/{total} runs")
 
-    tasks = [
-        (run, program, seed, sim, ways, faults_per_run, tuple(targets),
-         qat_backend, golden, golden_steps, mem_span, watchdog)
-        for run in range(runs)
-    ]
-    if jobs > 1 and runs > 1:
-        import multiprocessing
 
-        _WORKER_IMAGES.setdefault(program, image)
-        outcomes = []
-        with multiprocessing.Pool(min(jobs, runs),
-                                  initializer=_worker_init) as pool:
-            # imap_unordered so each completion reaches the progress
-            # tracker the moment its worker finishes; the sort below
-            # restores run order before anything deterministic happens.
-            for item in pool.imap_unordered(_single_run, tasks):
-                outcomes.append(item)
-                if tracker is not None:
-                    tracker.note(item[4], item[2], steps=item[3])
-        outcomes.sort(key=lambda item: item[0])
-    else:
-        _WORKER_IMAGES[program] = image
-        outcomes = []
-        for task in tasks:
-            item = _single_run(task)
-            outcomes.append(item)
-            if tracker is not None:
-                tracker.note(item[4], item[2], steps=item[3])
-    if tracker is not None:
-        tracker.finish()
+def _toxic_detail(run: int, seed: int, outcome) -> dict:
+    """RunResult-shaped dict for a quarantined (poison) shard."""
+    return {
+        "run": run,
+        "seed": seed * 1_000_003 + run,
+        "outcome": TOXIC,
+        "events": [],
+        "traps": [],
+        "error": outcome.quarantine_message(),
+        "failures": outcome.failure_kinds,
+    }
 
-    results = [detail for _, detail, _, _, _ in outcomes]
-    counts = {DETECTED: 0, MASKED: 0, SILENT: 0}
-    for _, detail, seconds, _, _ in outcomes:
+
+def _campaign_report(program, sim, ways, qat_backend, seed, runs,
+                     faults_per_run, targets, golden, golden_steps,
+                     results: list[dict]) -> dict:
+    """Fold run details into the JSON-ready campaign report."""
+    counts = {DETECTED: 0, MASKED: 0, SILENT: 0, TOXIC: 0}
+    for detail in results:
         counts[detail["outcome"]] += 1
-        if _obs.active:
-            # Per-run hook: outcome counters plus a run-duration
-            # histogram, so ``tangled faults --stats`` shows both the
-            # classification totals and the campaign's timing profile.
-            # Replayed here (not in workers) so parallel campaigns feed
-            # the same parent-process telemetry as serial ones.
-            _obs.current().fault_run(detail["outcome"], seconds)
-
-    total = float(runs)
+    total = float(max(len(results), 1))
     return {
         "program": program,
         "sim": sim,
@@ -323,12 +279,173 @@ def run_campaign(
             "detected": counts[DETECTED],
             "masked": counts[MASKED],
             "silent": counts[SILENT],
+            "toxic": counts[TOXIC],
             "detected_rate": round(counts[DETECTED] / total, 4),
             "masked_rate": round(counts[MASKED] / total, 4),
             "silent_rate": round(counts[SILENT] / total, 4),
+            "toxic_rate": round(counts[TOXIC] / total, 4),
         },
         "runs_detail": results,
     }
+
+
+def run_campaign(
+    program: str = "fig10",
+    runs: int = 20,
+    seed: int = 7,
+    sim: str = "functional",
+    ways: int = 8,
+    faults_per_run: int = 1,
+    targets: tuple[str, ...] = ("gpr", "mem", "qreg"),
+    qat_backend: str = "dense",
+    jobs: int = 1,
+    tracker=None,
+    supervise=None,
+    journal=None,
+) -> dict:
+    """Run a seeded soft-error campaign; returns the JSON-ready report.
+
+    Every run gets its own simulator and a per-run fault plan seeded
+    from ``seed`` and the run index, so the whole campaign is a pure
+    function of its arguments.  The process-global pattern stores are
+    reset first so chunk interning from earlier work (or an earlier
+    campaign) can never bleed into this one's RE-backed runs.
+
+    ``jobs > 1`` shards the runs across a *supervised* worker pool
+    (:class:`repro.runtime.supervisor.Supervisor`): a worker that
+    crashes or exceeds the shard timeout is killed and replaced and its
+    run retried with backoff; a run that fails every allowed attempt is
+    quarantined as outcome ``toxic`` instead of aborting the campaign.
+    Each run is a pure function of ``(seed, run index)`` with its own
+    simulator and stores, so the merged report -- results reordered by
+    run index, counts recomputed in run order -- is byte-identical to
+    the serial campaign whenever nothing was quarantined.
+    ``supervise`` (a :class:`~repro.runtime.supervisor.SupervisorConfig`)
+    tunes timeouts, retry budget, and the per-worker memory ceiling.
+
+    ``journal`` (a :class:`repro.obs.ledger.ShardJournal`) records every
+    completed run as it lands; a journal opened with ``resume=True``
+    replays already-completed runs from the ledger and re-executes only
+    the missing and toxic ones -- still byte-identical to a one-shot
+    campaign.  A ``KeyboardInterrupt`` during the fan-out terminates the
+    workers and raises :class:`CampaignInterrupted` carrying the partial
+    report instead of losing the run.
+
+    ``tracker`` (a :class:`repro.obs.progress.ProgressTracker`) receives
+    one heartbeat per completed run -- worker id, wall seconds, steps --
+    as results arrive, off the report path: the report bytes are
+    identical with or without it.
+    """
+    if runs <= 0:
+        raise ReproError(f"runs must be positive, got {runs}")
+    if jobs <= 0:
+        raise ReproError(f"jobs must be positive, got {jobs}")
+    from repro.obs.ledger import SHARD_DONE, SHARD_TOXIC
+    from repro.pattern import reset_default_stores
+
+    reset_default_stores()
+    image = _load_program(program)
+    golden, golden_steps = golden_run(image, sim=sim, ways=ways,
+                                      qat_backend=qat_backend)
+    # Concentrate memory faults on the loaded image plus a data margin.
+    mem_span = max(64, 2 * len(getattr(image, "words", image)))
+    watchdog = golden_steps * _WATCHDOG_FACTOR + _WATCHDOG_SLACK
+
+    tasks = [
+        (run, program, seed, sim, ways, faults_per_run, tuple(targets),
+         qat_backend, golden, golden_steps, mem_span, watchdog)
+        for run in range(runs)
+    ]
+    fingerprint = {
+        "program": program, "runs": runs, "seed": seed, "sim": sim,
+        "ways": ways, "faults_per_run": faults_per_run,
+        "targets": list(targets), "qat_backend": qat_backend,
+    }
+    done: dict[int, dict] = {}
+    if journal is not None:
+        done = journal.begin("faults", fingerprint)
+    completed: list[dict] = list(done.values())
+    pending = [task for task in tasks if task[0] not in done]
+    if tracker is not None and done:
+        # Replayed shards never heartbeat; track only what will run.
+        tracker.total = len(pending)
+
+    def _settle(run_idx: int, detail: dict, seconds: float, steps: int,
+                attempts: int, worker: int) -> None:
+        payload = {"run": run_idx, "detail": detail,
+                   "seconds": seconds, "steps": steps}
+        completed.append(payload)
+        if journal is not None:
+            status = SHARD_TOXIC if detail["outcome"] == TOXIC \
+                else SHARD_DONE
+            journal.record(run_idx, status, attempts, payload)
+        if tracker is not None:
+            tracker.note(worker, seconds, steps=steps)
+
+    interrupted = None
+    if pending and jobs > 1 and len(pending) > 1:
+        from repro.runtime.supervisor import (
+            Supervisor,
+            SupervisorConfig,
+            SupervisorInterrupted,
+        )
+
+        config = supervise if supervise is not None \
+            else SupervisorConfig(jobs=jobs)
+        _WORKER_IMAGES.setdefault(program, image)
+
+        def _on_result(outcome) -> None:
+            if outcome.ok:
+                run_idx, detail, seconds, steps, worker = outcome.result
+                _settle(run_idx, detail, seconds, steps,
+                        outcome.attempts, worker)
+            else:
+                _settle(outcome.shard,
+                        _toxic_detail(outcome.shard, seed, outcome),
+                        0.0, 0, outcome.attempts, 0)
+
+        supervisor = Supervisor(
+            _single_run, config, initializer=_worker_init,
+            on_event=(tracker.note_supervisor
+                      if tracker is not None else None),
+        )
+        try:
+            supervisor.run({task[0]: task for task in pending},
+                           on_result=_on_result)
+        except SupervisorInterrupted as stop:
+            interrupted = stop
+        if _obs.active:
+            # The recovery tallies are parent-side state, published
+            # whether or not anything failed -- a clean fan-out records
+            # explicit zeros in the supervisor.* counter taxonomy.
+            _obs.current().supervisor_run(supervisor.stats.as_dict())
+    elif pending:
+        _WORKER_IMAGES[program] = image
+        for task in pending:
+            run_idx, detail, seconds, steps, worker = _single_run(task)
+            _settle(run_idx, detail, seconds, steps, 1, worker)
+    if tracker is not None:
+        tracker.finish()
+
+    completed.sort(key=lambda payload: payload["run"])
+    results = [payload["detail"] for payload in completed]
+    if _obs.active:
+        for payload in completed:
+            # Per-run hook: outcome counters plus a run-duration
+            # histogram, so ``tangled faults --stats`` shows both the
+            # classification totals and the campaign's timing profile.
+            # Replayed here (not in workers) so parallel campaigns feed
+            # the same parent-process telemetry as serial ones.
+            _obs.current().fault_run(payload["detail"]["outcome"],
+                                     payload["seconds"])
+
+    report = _campaign_report(program, sim, ways, qat_backend, seed, runs,
+                              faults_per_run, targets, golden, golden_steps,
+                              results)
+    if interrupted is not None:
+        report["interrupted"] = True
+        raise CampaignInterrupted(report, done=len(completed), total=runs)
+    return report
 
 
 def render_report(report: dict) -> str:

@@ -307,21 +307,25 @@ def _bench_worker_init() -> None:
     _WARMED.clear()
 
 
-def _bench_task(task: tuple) -> tuple[str, int, dict, int]:
+def _bench_task(task: tuple, attempt: int = 0) -> tuple[int, str, int, dict, int]:
     """One timed round of a named suite spec, in a worker process.
 
-    The trailing worker id feeds the parent's progress tracker and
-    never enters the report."""
+    ``attempt`` is the supervisor's retry ordinal for this shard (0 on
+    the first try); it exists so the chaos hook can model faults that
+    heal on retry.  The trailing worker id feeds the parent's progress
+    tracker and never enters the report."""
     from repro.obs.progress import worker_ident
+    from repro.runtime.supervisor import chaos_hook
 
-    name, qat_backend, warmup, round_idx = task
+    shard, name, qat_backend, warmup, round_idx = task
+    chaos_hook(shard, attempt)
     spec = spec_by_name(name, qat_backend)
     key = (name, qat_backend)
     if key not in _WARMED:
         for _ in range(warmup):
             run_spec_once(spec)
         _WARMED.add(key)
-    return name, round_idx, run_spec_once(spec), worker_ident()
+    return shard, name, round_idx, run_spec_once(spec), worker_ident()
 
 
 def _merge_rounds(name: str, results: list[dict]) -> dict:
@@ -357,6 +361,24 @@ def _merge_rounds(name: str, results: list[dict]) -> dict:
     return entry
 
 
+class BenchInterrupted(ReproError):
+    """A bench fan-out was interrupted (Ctrl-C) mid-flight.
+
+    Carries the partial ``report`` (fully-merged benches only, marked
+    with ``"interrupted": true``) so the CLI can still flush it and
+    record a ledger row with the ``interrupted`` exit status.  Completed
+    rounds were journaled, so ``tangled bench --resume <run-id>``
+    finishes the suite.
+    """
+
+    def __init__(self, report: dict, done: int, total: int):
+        self.report = report
+        self.done = done
+        self.total = total
+        super().__init__(f"bench suite interrupted after {done}/{total} "
+                         f"rounds")
+
+
 def run_suite(
     specs: list[BenchSpec] | None = None,
     label: str = "local",
@@ -366,6 +388,8 @@ def run_suite(
     jobs: int = 1,
     qat_backend: str = "dense",
     tracker=None,
+    supervise=None,
+    journal=None,
 ) -> dict:
     """Run every spec ``warmup + rounds`` times; return the report dict.
 
@@ -373,13 +397,27 @@ def run_suite(
     a divergence means the workload is nondeterministic and is reported
     as an error rather than silently averaged away).
 
-    ``jobs > 1`` shards the timed rounds across worker processes.  Each
-    round already runs under fresh stores and its own capture, so the
-    merged counter (and steps) sections are byte-identical to the serial
-    suite; only the wall-clock timing statistics differ.  Parallel runs
-    are restricted to suite specs resolvable by :func:`spec_by_name`
-    with the given ``qat_backend`` (bench closures do not pickle), and
-    every worker pays its own warmup before its first round of a spec.
+    ``jobs > 1`` shards the timed rounds across a *supervised* worker
+    pool (:class:`repro.runtime.supervisor.Supervisor`): crashed or
+    timed-out workers are replaced and their round retried with backoff;
+    a round that exhausts its retry budget quarantines the whole bench
+    as a ``{"toxic": true, ...}`` entry instead of aborting the suite.
+    Each round already runs under fresh stores and its own capture, so
+    the merged counter (and steps) sections are byte-identical to the
+    serial suite; only the wall-clock timing statistics differ.
+    Parallel runs are restricted to suite specs resolvable by
+    :func:`spec_by_name` with the given ``qat_backend`` (bench closures
+    do not pickle), and every worker pays its own warmup before its
+    first round of a spec.  ``supervise`` (a
+    :class:`~repro.runtime.supervisor.SupervisorConfig`) tunes timeouts,
+    retry budget, and the per-worker memory ceiling.
+
+    ``journal`` (a :class:`repro.obs.ledger.ShardJournal`) records every
+    completed round as it lands; a journal opened with ``resume=True``
+    replays completed rounds from the ledger and re-executes only the
+    missing and toxic ones.  A ``KeyboardInterrupt`` during the fan-out
+    terminates the workers and raises :class:`BenchInterrupted` carrying
+    the partial report.
 
     ``tracker`` (a :class:`repro.obs.progress.ProgressTracker`) receives
     one heartbeat per completed round, off the report path.
@@ -390,59 +428,137 @@ def run_suite(
         raise ReproError(f"warmup must be non-negative, got {warmup}")
     if jobs <= 0:
         raise ReproError(f"jobs must be positive, got {jobs}")
+    from repro.obs import runtime as _obs
+    from repro.obs.ledger import SHARD_DONE, SHARD_TOXIC
+
     spec_list = specs if specs is not None else default_specs(qat_backend)
-    benches: dict[str, dict] = {}
     if jobs > 1:
         for spec in spec_list:
             spec_by_name(spec.name, qat_backend)  # reject unknown customs
-        import multiprocessing
+    # Shard id = flat round index in suite order, stable across resumes.
+    tasks = [
+        (pos * rounds + round_idx, spec.name, qat_backend, warmup, round_idx)
+        for pos, spec in enumerate(spec_list)
+        for round_idx in range(rounds)
+    ]
+    fingerprint = {
+        "label": label, "benches": [s.name for s in spec_list],
+        "rounds": rounds, "warmup": warmup, "qat_backend": qat_backend,
+    }
+    done: dict[int, dict] = {}
+    if journal is not None:
+        done = journal.begin("bench", fingerprint)
+    per_spec: dict[str, list] = {s.name: [None] * rounds for s in spec_list}
+    toxic: dict[str, dict] = {}
+    for payload in done.values():
+        per_spec[payload["name"]][payload["round"]] = payload["result"]
+    pending = [task for task in tasks if task[0] not in done]
+    if tracker is not None and done:
+        # Replayed rounds never heartbeat; track only what will run.
+        tracker.total = len(pending)
 
-        tasks = [
-            (spec.name, qat_backend, warmup, round_idx)
-            for spec in spec_list
-            for round_idx in range(rounds)
-        ]
+    def _settle(shard: int, name: str, round_idx: int, result: dict,
+                attempts: int, worker: int) -> None:
+        per_spec[name][round_idx] = result
+        if journal is not None:
+            journal.record(shard, SHARD_DONE, attempts,
+                           {"shard": shard, "name": name,
+                            "round": round_idx, "result": result})
+        if tracker is not None:
+            tracker.note(worker, result["seconds"],
+                         steps=result.get("steps", 0))
+
+    def _settle_toxic(shard: int, name: str, round_idx: int,
+                      outcome) -> None:
+        entry = {"toxic": True, "error": outcome.quarantine_message(),
+                 "failures": outcome.failure_kinds}
+        toxic[name] = entry
+        if journal is not None:
+            journal.record(shard, SHARD_TOXIC, outcome.attempts,
+                           {"shard": shard, "name": name,
+                            "round": round_idx, **entry})
+        if tracker is not None:
+            tracker.note(0, 0.0)
+
+    interrupted = False
+    if pending and jobs > 1:
+        from repro.runtime.supervisor import (
+            Supervisor,
+            SupervisorConfig,
+            SupervisorInterrupted,
+        )
+
+        config = supervise if supervise is not None \
+            else SupervisorConfig(jobs=jobs)
         if progress is not None:
             progress(f"bench fan-out: {len(spec_list)} benches x {rounds} "
-                     f"rounds across {jobs} workers")
-        per_spec: dict[str, list] = {s.name: [None] * rounds for s in spec_list}
-        with multiprocessing.Pool(min(jobs, len(tasks)),
-                                  initializer=_bench_worker_init) as pool:
-            # Unordered delivery: heartbeats reach the tracker as rounds
-            # finish; the round-indexed slots keep the merge stable.
-            for name, round_idx, result, worker in \
-                    pool.imap_unordered(_bench_task, tasks):
-                per_spec[name][round_idx] = result
-                if tracker is not None:
-                    tracker.note(worker, result["seconds"],
-                                 steps=result.get("steps", 0))
-        for spec in spec_list:
-            benches[spec.name] = _merge_rounds(spec.name, per_spec[spec.name])
-    else:
-        for spec in spec_list:
+                     f"rounds across {config.jobs} workers")
+        by_shard = {task[0]: task for task in pending}
+
+        def _on_result(outcome) -> None:
+            if outcome.ok:
+                shard, name, round_idx, result, worker = outcome.result
+                _settle(shard, name, round_idx, result,
+                        outcome.attempts, worker)
+            else:
+                task = by_shard[outcome.shard]
+                _settle_toxic(outcome.shard, task[1], task[4], outcome)
+
+        supervisor = Supervisor(
+            _bench_task, config, initializer=_bench_worker_init,
+            on_event=(tracker.note_supervisor
+                      if tracker is not None else None),
+        )
+        try:
+            supervisor.run(by_shard, on_result=_on_result)
+        except SupervisorInterrupted:
+            interrupted = True
+        if _obs.active:
+            _obs.current().supervisor_run(supervisor.stats.as_dict())
+    elif pending:
+        pending_shards = {task[0] for task in pending}
+        for pos, spec in enumerate(spec_list):
+            todo = [round_idx for round_idx in range(rounds)
+                    if pos * rounds + round_idx in pending_shards]
+            if not todo:
+                continue
             if progress is not None:
                 progress(
-                    f"bench {spec.name}: {warmup} warmup + {rounds} rounds"
+                    f"bench {spec.name}: {warmup} warmup + {len(todo)} rounds"
                 )
             for _ in range(warmup):
                 run_spec_once(spec)
-            results = []
-            for _ in range(rounds):
+            for round_idx in todo:
                 result = run_spec_once(spec)
-                results.append(result)
-                if tracker is not None:
-                    tracker.note(0, result["seconds"],
-                                 steps=result.get("steps", 0))
-            benches[spec.name] = _merge_rounds(spec.name, results)
+                _settle(pos * rounds + round_idx, spec.name, round_idx,
+                        result, 1, 0)
     if tracker is not None:
         tracker.finish()
-    return {
+
+    benches: dict[str, dict] = {}
+    merged = 0
+    for spec in spec_list:
+        if spec.name in toxic:
+            benches[spec.name] = toxic[spec.name]
+            continue
+        round_results = per_spec[spec.name]
+        if any(result is None for result in round_results):
+            # Only reachable on an interrupted fan-out: the partial
+            # report carries fully-merged benches, nothing half-done.
+            continue
+        benches[spec.name] = _merge_rounds(spec.name, round_results)
+        merged += 1
+    report = {
         "schema": SCHEMA,
         "label": label,
         "rounds": rounds,
         "warmup": warmup,
         "benches": benches,
     }
+    if interrupted:
+        report["interrupted"] = True
+        raise BenchInterrupted(report, done=merged, total=len(spec_list))
+    return report
 
 
 def render_json(report: dict) -> str:
@@ -514,6 +630,18 @@ def compare_reports(current: dict, baseline: dict,
                 "verdict": REGRESSED if cur is None else NEUTRAL,
             })
             continue
+        if cur.get("toxic") or base.get("toxic"):
+            # A quarantined bench has no counters or timing to compare.
+            # Toxic *now* fails the gate like a missing bench would; a
+            # toxic baseline only makes the current (healthy) run
+            # incomparable, not wrong.
+            rows.append({
+                "bench": name, "metric": "-", "kind": "toxic",
+                "baseline": "toxic" if base.get("toxic") else "present",
+                "current": "toxic" if cur.get("toxic") else "present",
+                "verdict": REGRESSED if cur.get("toxic") else NEUTRAL,
+            })
+            continue
         for metric in sorted(set(cur["counters"]) & set(base["counters"])):
             b, c = base["counters"][metric], cur["counters"][metric]
             rows.append({
@@ -554,6 +682,9 @@ def render_regressions(rows: list[dict]) -> str:
         base, cur = row["baseline"], row["current"]
         if row["kind"] == "missing":
             lines.append(f"  {row['bench']}: bench missing from current run")
+            continue
+        if row["kind"] == "toxic":
+            lines.append(f"  {row['bench']}: bench quarantined as toxic")
             continue
         if isinstance(base, (int, float)) and base != 0:
             delta = f" ({(cur - base) / abs(base):+.1%})"

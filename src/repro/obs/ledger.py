@@ -52,8 +52,10 @@ from dataclasses import dataclass, field
 from repro._version import __version__
 from repro.errors import ReproError
 
-#: Ledger schema version (sqlite ``PRAGMA user_version``).
-SCHEMA_VERSION = 1
+#: Ledger schema version (sqlite ``PRAGMA user_version``).  Version 2
+#: added the ``shards`` journal table; version-1 databases migrate in
+#: place on open (the table is simply created).
+SCHEMA_VERSION = 2
 
 #: Environment variable overriding the database location.
 ENV_VAR = "TANGLED_LEDGER"
@@ -79,7 +81,60 @@ CREATE TABLE IF NOT EXISTS runs (
 );
 CREATE INDEX IF NOT EXISTS runs_label_ts ON runs (label, ts);
 CREATE INDEX IF NOT EXISTS runs_ts ON runs (ts);
+CREATE TABLE IF NOT EXISTS shards (
+    run_id   TEXT NOT NULL,
+    shard    INTEGER NOT NULL,
+    status   TEXT NOT NULL,
+    attempts INTEGER NOT NULL,
+    payload  TEXT NOT NULL,
+    PRIMARY KEY (run_id, shard)
+);
 """
+
+#: ``shards.status`` values.  ``meta`` rows (shard ``-1``) carry the
+#: campaign fingerprint a resume must match; ``done`` rows hold the
+#: shard's merged-report payload; ``toxic`` rows mark quarantined
+#: shards that a resume re-executes.
+SHARD_META, SHARD_DONE, SHARD_TOXIC = "meta", "done", "toxic"
+
+
+def _connect(path: str) -> sqlite3.Connection:
+    """Open ``path`` hardened for concurrent writers.
+
+    WAL mode lets resumable shard journaling and future service-layer
+    writers commit while readers hold the database open; the busy
+    timeout makes SQLite itself wait out short write locks instead of
+    failing with ``database is locked``.  WAL can be refused on some
+    filesystems (network mounts) -- that is survivable, the busy
+    timeout still applies.
+    """
+    conn = sqlite3.connect(path)
+    conn.row_factory = sqlite3.Row
+    conn.execute("PRAGMA busy_timeout = 5000")
+    try:
+        conn.execute("PRAGMA journal_mode = WAL")
+    except sqlite3.OperationalError:
+        pass
+    return conn
+
+
+def _locked_retry(fn, attempts: int = 5, delay: float = 0.05):
+    """Run ``fn`` retrying on ``database is locked``/``busy`` errors.
+
+    The busy timeout handles locks held *within* a query; this covers
+    the gap where a concurrent writer wins the race between our
+    statements.  Backoff doubles per attempt; the final attempt
+    propagates whatever SQLite raises.
+    """
+    for attempt in range(attempts):
+        try:
+            return fn()
+        except sqlite3.OperationalError as exc:
+            message = str(exc).lower()
+            if "locked" not in message and "busy" not in message:
+                raise
+            time.sleep(delay * (2 ** attempt))
+    return fn()
 
 
 def ledger_path(path: str | None = None) -> str:
@@ -167,11 +222,14 @@ class Ledger:
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        self._conn = sqlite3.connect(self.path)
-        self._conn.row_factory = sqlite3.Row
-        self._conn.executescript(_SCHEMA)
+        self._conn = _connect(self.path)
+        _locked_retry(lambda: self._conn.executescript(_SCHEMA))
         version = self._conn.execute("PRAGMA user_version").fetchone()[0]
-        if version == 0:
+        if version in (0, 1):
+            # 0 = fresh database; 1 = pre-journal schema, whose tables
+            # are a strict subset -- the executescript above already
+            # created the ``shards`` table, so stamping the version is
+            # the whole migration.
             self._conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
         elif version != SCHEMA_VERSION:
             raise ReproError(
@@ -197,29 +255,39 @@ class Ledger:
         ts: float | None = None,
         run_id: str | None = None,
     ) -> str:
-        """Insert one run row; returns the run id."""
+        """Insert one run row; returns the run id.
+
+        Retries on ``database is locked`` so the best-effort CLI write
+        path survives concurrent writers (resumable shard journaling,
+        parallel invocations, the future service layer).
+        """
         run_id = run_id or uuid.uuid4().hex[:12]
-        self._conn.execute(
-            "INSERT INTO runs (id, ts, command, label, version, config, "
-            "wall_seconds, status, traps, counters, rate, workers, artifacts) "
-            "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
-            (
-                run_id,
-                time.time() if ts is None else ts,
-                command,
-                label,
-                __version__,
-                json.dumps(config, sort_keys=True),
-                wall_seconds,
-                status,
-                json.dumps(traps, sort_keys=True) if traps else None,
-                json.dumps(counters, sort_keys=True),
-                json.dumps(rate, sort_keys=True) if rate else None,
-                json.dumps(workers, sort_keys=True) if workers else None,
-                json.dumps(list(artifacts or [])),
-            ),
+        row = (
+            run_id,
+            time.time() if ts is None else ts,
+            command,
+            label,
+            __version__,
+            json.dumps(config, sort_keys=True),
+            wall_seconds,
+            status,
+            json.dumps(traps, sort_keys=True) if traps else None,
+            json.dumps(counters, sort_keys=True),
+            json.dumps(rate, sort_keys=True) if rate else None,
+            json.dumps(workers, sort_keys=True) if workers else None,
+            json.dumps(list(artifacts or [])),
         )
-        self._conn.commit()
+
+        def _insert():
+            self._conn.execute(
+                "INSERT INTO runs (id, ts, command, label, version, config, "
+                "wall_seconds, status, traps, counters, rate, workers, "
+                "artifacts) VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                row,
+            )
+            self._conn.commit()
+
+        _locked_retry(_insert)
         return run_id
 
     # -- read side -----------------------------------------------------------
@@ -293,6 +361,205 @@ class Ledger:
 def open_ledger(path: str | None = None) -> Ledger:
     """Open (creating if needed) the ledger at ``path`` (resolved)."""
     return Ledger(path)
+
+
+# ---------------------------------------------------------------------------
+# Shard journal (resumable campaigns and sweeps)
+# ---------------------------------------------------------------------------
+
+class ShardJournal:
+    """Per-shard result journal for one resumable fan-out.
+
+    The supervised campaign/bench runners record every shard's terminal
+    state here as it completes, keyed by ``(run_id, shard)``: ``done``
+    rows carry the exact payload that enters the merged report, so
+    ``tangled faults|bench --resume <run-id>`` can re-execute only the
+    missing and ``toxic`` shards and still emit byte-identical output.
+    A ``meta`` row (shard ``-1``) pins the run's semantic fingerprint --
+    a resume with different campaign arguments is refused rather than
+    silently merged into nonsense.
+
+    Writes are best-effort in the same sense as the run ledger: one
+    short-lived WAL connection per write, retried on lock contention; a
+    journaling failure disables the journal for the rest of the run
+    and warns once on stderr, never failing the campaign itself.
+    """
+
+    def __init__(self, run_id: str, path: str | None = None,
+                 resume: bool = False):
+        from repro.errors import SupervisorError
+
+        self.run_id = run_id
+        self.path = ledger_path(path)
+        self.resume = resume
+        self.enabled = True
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        # The journal may open before the CLI's Ledger (which owns the
+        # schema on the record path) ever touches this database --
+        # create the tables here so the first shard write cannot fail.
+        conn = _connect(self.path)
+        try:
+            _locked_retry(lambda: conn.executescript(_SCHEMA))
+            conn.commit()
+            if resume:
+                # Resume target must exist before any work is scheduled.
+                row = conn.execute(
+                    "SELECT COUNT(*) FROM shards WHERE run_id = ?",
+                    (run_id,),
+                ).fetchone()
+        finally:
+            conn.close()
+        if resume:
+            if not row[0]:
+                raise SupervisorError(
+                    f"no journaled shards for run id {run_id!r} "
+                    f"(nothing to resume)"
+                )
+
+    def _write(self, fn) -> None:
+        if not self.enabled:
+            return
+        try:
+            conn = _connect(self.path)
+            try:
+                def _commit():
+                    fn(conn)
+                    conn.commit()
+
+                _locked_retry(_commit)
+            finally:
+                conn.close()
+        except Exception as exc:  # journaling must never fail the run
+            self.enabled = False
+            import sys
+
+            print(f"tangled: shard journal: {exc} (resume disabled for "
+                  f"this run)", file=sys.stderr)
+
+    def begin(self, kind: str, fingerprint: dict) -> dict[int, dict]:
+        """Open the journal; returns already-completed shard payloads.
+
+        On a fresh run the ``meta`` row is written and ``{}`` returned.
+        On resume the stored fingerprint must equal ``fingerprint``
+        (same kind, same semantic arguments) or a
+        :class:`~repro.errors.SupervisorError` is raised; the returned
+        mapping holds every ``done`` shard's payload.
+        """
+        from repro.errors import SupervisorError
+
+        record = {"kind": kind, "fingerprint": fingerprint}
+        if not self.resume:
+            self._write(lambda conn: conn.execute(
+                "INSERT OR REPLACE INTO shards "
+                "(run_id, shard, status, attempts, payload) "
+                "VALUES (?, -1, ?, 0, ?)",
+                (self.run_id, SHARD_META,
+                 json.dumps(record, sort_keys=True)),
+            ))
+            return {}
+        conn = _connect(self.path)
+        try:
+            _locked_retry(lambda: conn.executescript(_SCHEMA))
+            meta = conn.execute(
+                "SELECT payload FROM shards WHERE run_id = ? AND shard = -1",
+                (self.run_id,),
+            ).fetchone()
+            if meta is None:
+                raise SupervisorError(
+                    f"run {self.run_id!r} has journaled shards but no "
+                    f"fingerprint; cannot verify a resume against it"
+                )
+            stored = json.loads(meta["payload"])
+            if stored != record:
+                drift = sorted(
+                    key for key in set(stored.get("fingerprint", {}))
+                    | set(fingerprint)
+                    if stored.get("fingerprint", {}).get(key)
+                    != fingerprint.get(key)
+                ) or ["kind"]
+                raise SupervisorError(
+                    f"cannot resume run {self.run_id!r}: arguments differ "
+                    f"from the journaled campaign ({', '.join(drift)})"
+                )
+            rows = conn.execute(
+                "SELECT shard, payload FROM shards "
+                "WHERE run_id = ? AND shard >= 0 AND status = ?",
+                (self.run_id, SHARD_DONE),
+            ).fetchall()
+        finally:
+            conn.close()
+        return {row["shard"]: json.loads(row["payload"]) for row in rows}
+
+    def record(self, shard: int, status: str, attempts: int,
+               payload: dict) -> None:
+        """Journal one shard's terminal state (replacing any prior row)."""
+        self._write(lambda conn: conn.execute(
+            "INSERT OR REPLACE INTO shards "
+            "(run_id, shard, status, attempts, payload) "
+            "VALUES (?, ?, ?, ?, ?)",
+            (self.run_id, shard, status, attempts,
+             json.dumps(payload, sort_keys=True)),
+        ))
+
+
+def journal_fingerprint(run_id: str, path: str | None = None) -> dict:
+    """The journaled ``{"kind", "fingerprint"}`` meta record for a run.
+
+    This is how ``--resume <run-id>`` restores the original campaign
+    shape (program, seed, rounds ...) without the caller repeating it
+    on the command line.  Raises :class:`~repro.errors.SupervisorError`
+    when the run journaled shards but never a ``meta`` row.
+    """
+    from repro.errors import SupervisorError
+
+    conn = _connect(ledger_path(path))
+    try:
+        row = conn.execute(
+            "SELECT payload FROM shards WHERE run_id = ? AND shard = -1",
+            (run_id,),
+        ).fetchone()
+    finally:
+        conn.close()
+    if row is None:
+        raise SupervisorError(
+            f"run {run_id!r} has journaled shards but no fingerprint; "
+            f"cannot restore its arguments for a resume"
+        )
+    return json.loads(row["payload"])
+
+
+def resolve_journal_run(ref: str, path: str | None = None) -> str:
+    """Resolve ``ref`` (a run id or unique prefix) against the journal."""
+    resolved = ledger_path(path)
+    if not os.path.exists(resolved):
+        raise ReproError(
+            f"no run ledger at {resolved}; nothing to resume"
+        )
+    conn = _connect(resolved)
+    try:
+        _locked_retry(lambda: conn.executescript(_SCHEMA))
+        rows = conn.execute(
+            "SELECT DISTINCT run_id FROM shards "
+            "WHERE run_id = ? OR run_id LIKE ? ORDER BY run_id",
+            (ref, ref + "%"),
+        ).fetchall()
+    finally:
+        conn.close()
+    ids = [row["run_id"] for row in rows]
+    if not ids:
+        raise ReproError(
+            f"no journaled run matches {ref!r} (resume needs a run id "
+            f"from an interrupted or toxic campaign)"
+        )
+    if ref in ids:
+        return ref
+    if len(ids) > 1:
+        raise ReproError(
+            f"run id {ref!r} is ambiguous ({', '.join(ids[:5])})"
+        )
+    return ids[0]
 
 
 # ---------------------------------------------------------------------------

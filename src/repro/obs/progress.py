@@ -87,6 +87,9 @@ class ProgressTracker:
         self.steps = 0
         #: worker id -> {"items", "busy_seconds", "steps"}
         self.workers: dict[int, dict] = {}
+        #: supervisor event kind -> count (retries, timeouts, crashes,
+        #: errors, workers.replaced, shards.toxic)
+        self.supervisor: dict[str, int] = {}
         self._last_emit = self.t0
         self._wall = 0.0
 
@@ -117,6 +120,15 @@ class ProgressTracker:
         ):
             self._last_emit = now
             self.emit(self.render_line())
+
+    def note_supervisor(self, kind: str) -> None:
+        """One supervision event (``"retries"``, ``"timeouts"``,
+        ``"crashes"``, ``"errors"``, ``"workers.replaced"``,
+        ``"shards.toxic"``) from the supervised pool.  Tallied beside
+        the heartbeats so recovery activity reaches the status line,
+        :meth:`summary`, and the published gauges without touching the
+        report bytes."""
+        self.supervisor[kind] = self.supervisor.get(kind, 0) + 1
 
     # -- derived state -------------------------------------------------------
 
@@ -149,6 +161,11 @@ class ProgressTracker:
             parts.append(
                 "straggler: " + ",".join(f"w{wid}" for wid in flagged)
             )
+        if self.supervisor:
+            parts.append("recovery: " + ",".join(
+                f"{kind}={count}"
+                for kind, count in sorted(self.supervisor.items())
+            ))
         return " | ".join(parts)
 
     def summary(self) -> dict:
@@ -170,6 +187,7 @@ class ProgressTracker:
             "total": self.total,
             "wall_seconds": round(self._wall, 6),
             "workers": workers,
+            "supervisor": dict(sorted(self.supervisor.items())),
         }
 
     # -- sinks ---------------------------------------------------------------
@@ -193,6 +211,8 @@ class ProgressTracker:
             telemetry.gauge(f"{prefix}.straggler").set(
                 1.0 if w["straggler"] else 0.0
             )
+        for kind, count in sorted(self.supervisor.items()):
+            telemetry.gauge(f"progress.supervisor.{kind}").set(count)
 
     def finish(self) -> dict:
         """Emit the final line, publish gauges to any active telemetry,

@@ -134,6 +134,15 @@ class Telemetry:
         self.metrics.counter("faults.runs").inc()
         self.metrics.histogram("faults.run_seconds").observe(seconds)
 
+    def supervisor_run(self, stats: dict) -> None:
+        """One supervised fan-out finished; ``stats`` is
+        :meth:`repro.runtime.supervisor.SupervisorStats.as_dict` --
+        ``{"retries", "timeouts", "crashes", "errors",
+        "workers.replaced", "shards.toxic"}``.  Recorded even when all
+        zero so a clean run snapshots an explicit all-clear."""
+        for key, value in stats.items():
+            self.metrics.counter(f"supervisor.{key}").add(value)
+
     def publish_pipeline(self, stats) -> None:
         """Fold one pipelined run's :class:`PipelineStats` into the registry."""
         m = self.metrics

@@ -95,3 +95,112 @@ class TestVerilogAndFig10:
     def test_fig10_pipelined_stats(self, capsys):
         assert main(["fig10"]) == 0
         assert "cycles" in capsys.readouterr().out
+
+
+class TestExitTaxonomy:
+    """The documented exit-status contract for supervised fan-outs."""
+
+    def test_exit_code_constants(self):
+        from repro.cli import (
+            EXIT_INTERRUPTED,
+            EXIT_REGRESSION,
+            EXIT_TIMEOUT,
+            EXIT_TOXIC_SHARDS,
+        )
+
+        assert EXIT_REGRESSION == 2
+        assert EXIT_TIMEOUT == 3
+        assert EXIT_TOXIC_SHARDS == 4
+        assert EXIT_INTERRUPTED == 130
+
+    def test_toxic_crash_shards_exit_4(self, monkeypatch, capsys):
+        from repro.cli import EXIT_TOXIC_SHARDS
+
+        monkeypatch.setenv("TANGLED_CHAOS", "crash:1:99")
+        code = main(["faults", "--runs", "4", "--seed", "7",
+                     "--jobs", "2", "--retries", "1"])
+        assert code == EXIT_TOXIC_SHARDS
+        captured = capsys.readouterr()
+        assert "quarantined (toxic; exit 4)" in captured.err
+        import json
+
+        report = json.loads(captured.out)
+        assert report["summary"]["toxic"] == 1
+        assert report["runs_detail"][1]["outcome"] == "toxic"
+
+    def test_timeout_only_shards_exit_3(self, monkeypatch, capsys):
+        from repro.cli import EXIT_TIMEOUT
+
+        monkeypatch.setenv("TANGLED_CHAOS", "hang:1:99")
+        code = main(["faults", "--runs", "4", "--seed", "7",
+                     "--jobs", "2", "--retries", "0",
+                     "--shard-timeout", "0.5"])
+        assert code == EXIT_TIMEOUT
+        captured = capsys.readouterr()
+        assert "quarantined (timeout; exit 3)" in captured.err
+        import json
+
+        report = json.loads(captured.out)
+        assert report["runs_detail"][1]["failures"] == ["timeout"]
+
+    def test_resume_requires_the_ledger(self, capsys):
+        assert main(["faults", "--runs", "4", "--resume", "abc",
+                     "--no-ledger"]) == 1
+        assert "--no-ledger" in capsys.readouterr().err
+
+    def test_resume_unknown_run_id_is_an_error(self, capsys):
+        assert main(["faults", "--runs", "4", "--resume",
+                     "deadbeef"]) == 1
+        assert "resume" in capsys.readouterr().err
+
+    def test_toxic_run_then_resume_byte_identical(self, monkeypatch,
+                                                  capsys):
+        import json
+        import os
+        import sqlite3
+
+        from repro.cli import EXIT_TOXIC_SHARDS
+
+        assert main(["faults", "--runs", "4", "--seed", "7"]) == 0
+        serial_out = capsys.readouterr().out
+
+        monkeypatch.setenv("TANGLED_CHAOS", "crash:1:99")
+        assert main(["faults", "--runs", "4", "--seed", "7",
+                     "--jobs", "2", "--retries", "0"]) == EXIT_TOXIC_SHARDS
+        toxic = capsys.readouterr()
+        assert json.loads(toxic.out)["summary"]["toxic"] == 1
+        assert "--resume" in toxic.err
+        monkeypatch.delenv("TANGLED_CHAOS")
+
+        conn = sqlite3.connect(os.environ["TANGLED_LEDGER"])
+        run_ids = [row[0] for row in conn.execute(
+            "SELECT DISTINCT run_id FROM shards"
+        )]
+        conn.close()
+        # Two journaled runs: the serial reference and the toxic one;
+        # resume the one whose journal holds a toxic shard.
+        conn = sqlite3.connect(os.environ["TANGLED_LEDGER"])
+        toxic_id = conn.execute(
+            "SELECT run_id FROM shards WHERE status = 'toxic'"
+        ).fetchone()[0]
+        conn.close()
+        assert toxic_id in run_ids
+        # A bare --resume restores runs/seed/... from the journaled
+        # fingerprint -- the original arguments need not be repeated.
+        assert main(["faults", "--resume", toxic_id]) == 0
+        resumed_out = capsys.readouterr().out
+        assert resumed_out == serial_out
+
+    def test_resume_refuses_the_wrong_command(self, capsys):
+        import os
+        import sqlite3
+
+        assert main(["faults", "--runs", "2", "--seed", "7"]) == 0
+        capsys.readouterr()
+        conn = sqlite3.connect(os.environ["TANGLED_LEDGER"])
+        run_id = conn.execute(
+            "SELECT DISTINCT run_id FROM shards").fetchone()[0]
+        conn.close()
+        assert main(["bench", "--resume", run_id]) == 1
+        err = capsys.readouterr().err
+        assert "journaled a 'faults' run" in err

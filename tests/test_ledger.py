@@ -307,3 +307,136 @@ class TestFanOutInterplay:
         assert "progress:" in captured.err
         # ...and none of it leaks into the merged report.
         assert "progress" not in captured.out
+
+
+class TestConcurrencyHardening:
+    def test_connections_use_wal_and_busy_timeout(self, tmp_path):
+        conn = ledger_mod._connect(str(tmp_path / "ledger.db"))
+        try:
+            assert conn.execute("PRAGMA busy_timeout").fetchone()[0] == 5000
+            mode = conn.execute("PRAGMA journal_mode").fetchone()[0]
+            assert mode.lower() == "wal"
+        finally:
+            conn.close()
+
+    def test_locked_retry_survives_transient_locks(self):
+        import sqlite3
+
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise sqlite3.OperationalError("database is locked")
+            return "ok"
+
+        assert ledger_mod._locked_retry(flaky, delay=0.001) == "ok"
+        assert len(calls) == 3
+
+    def test_locked_retry_propagates_other_errors(self):
+        import sqlite3
+
+        def broken():
+            raise sqlite3.OperationalError("no such table: nope")
+
+        with pytest.raises(sqlite3.OperationalError, match="no such table"):
+            ledger_mod._locked_retry(broken, delay=0.001)
+
+    def test_v1_database_migrates_in_place(self, tmp_path):
+        import sqlite3
+
+        path = str(tmp_path / "v1.db")
+        conn = sqlite3.connect(path)
+        conn.executescript(
+            "CREATE TABLE runs (id TEXT PRIMARY KEY, ts REAL NOT NULL, "
+            "command TEXT NOT NULL, label TEXT NOT NULL, version TEXT "
+            "NOT NULL, config TEXT NOT NULL, wall_seconds REAL, status "
+            "INTEGER NOT NULL, traps TEXT, counters TEXT NOT NULL, rate "
+            "TEXT, workers TEXT, artifacts TEXT NOT NULL); "
+            "PRAGMA user_version = 1;"
+        )
+        conn.commit()
+        conn.close()
+        with ledger_mod.open_ledger(path) as ledger:
+            ledger.record("run", "migrated", {}, {})
+        conn = sqlite3.connect(path)
+        assert conn.execute("PRAGMA user_version").fetchone()[0] == \
+            ledger_mod.SCHEMA_VERSION
+        assert conn.execute(
+            "SELECT COUNT(*) FROM sqlite_master WHERE name = 'shards'"
+        ).fetchone()[0] == 1
+        conn.close()
+
+
+class TestShardJournal:
+    def test_roundtrip_returns_done_payloads_only(self, tmp_path):
+        path = str(tmp_path / "ledger.db")
+        journal = ledger_mod.ShardJournal("jrnl", path=path)
+        assert journal.begin("faults", {"seed": 7}) == {}
+        journal.record(0, ledger_mod.SHARD_DONE, 1, {"run": 0, "x": 1})
+        journal.record(1, ledger_mod.SHARD_TOXIC, 3, {"run": 1})
+        resumed = ledger_mod.ShardJournal("jrnl", path=path, resume=True)
+        done = resumed.begin("faults", {"seed": 7})
+        assert done == {0: {"run": 0, "x": 1}}
+
+    def test_resume_missing_run_raises(self, tmp_path):
+        from repro.errors import SupervisorError
+
+        path = str(tmp_path / "ledger.db")
+        ledger_mod.ShardJournal("exists", path=path).begin("faults", {})
+        with pytest.raises(SupervisorError, match="nothing to resume"):
+            ledger_mod.ShardJournal("absent", path=path, resume=True)
+
+    def test_resume_fingerprint_mismatch_names_drifted_keys(self,
+                                                            tmp_path):
+        from repro.errors import SupervisorError
+
+        path = str(tmp_path / "ledger.db")
+        journal = ledger_mod.ShardJournal("jrnl", path=path)
+        journal.begin("faults", {"seed": 7, "runs": 4})
+        resumed = ledger_mod.ShardJournal("jrnl", path=path, resume=True)
+        with pytest.raises(SupervisorError, match="seed"):
+            resumed.begin("faults", {"seed": 8, "runs": 4})
+
+    def test_record_replaces_prior_row(self, tmp_path):
+        path = str(tmp_path / "ledger.db")
+        journal = ledger_mod.ShardJournal("jrnl", path=path)
+        journal.begin("faults", {})
+        journal.record(0, ledger_mod.SHARD_TOXIC, 3, {"run": 0})
+        journal.record(0, ledger_mod.SHARD_DONE, 1, {"run": 0, "ok": 1})
+        resumed = ledger_mod.ShardJournal("jrnl", path=path, resume=True)
+        assert resumed.begin("faults", {}) == {0: {"run": 0, "ok": 1}}
+
+    def test_write_failure_disables_journal_not_run(self, tmp_path,
+                                                    monkeypatch, capsys):
+        import sqlite3
+
+        path = str(tmp_path / "ledger.db")
+        journal = ledger_mod.ShardJournal("jrnl", path=path)
+
+        def exploding(_path):
+            raise sqlite3.OperationalError("disk I/O error")
+
+        monkeypatch.setattr(ledger_mod, "_connect", exploding)
+        journal.record(0, ledger_mod.SHARD_DONE, 1, {})
+        assert journal.enabled is False
+        assert "resume disabled" in capsys.readouterr().err
+        journal.record(1, ledger_mod.SHARD_DONE, 1, {})  # silent no-op
+
+    def test_resolve_journal_run_prefix_and_errors(self, tmp_path):
+        path = str(tmp_path / "ledger.db")
+        ledger_mod.ShardJournal("abc123", path=path).begin("faults", {})
+        ledger_mod.ShardJournal("abd999", path=path).begin("faults", {})
+        assert ledger_mod.resolve_journal_run("abc", path=path) == "abc123"
+        assert ledger_mod.resolve_journal_run("abc123", path=path) == \
+            "abc123"
+        with pytest.raises(ReproError, match="ambiguous"):
+            ledger_mod.resolve_journal_run("ab", path=path)
+        with pytest.raises(ReproError, match="no journaled run"):
+            ledger_mod.resolve_journal_run("zzz", path=path)
+
+    def test_resolve_journal_run_without_ledger_file(self, tmp_path):
+        with pytest.raises(ReproError, match="nothing to resume"):
+            ledger_mod.resolve_journal_run(
+                "abc", path=str(tmp_path / "missing.db")
+            )

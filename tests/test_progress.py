@@ -160,3 +160,41 @@ class TestTelemetry:
         tracker, _ = _tracker(total=1)
         tracker.note(1, 0.1)
         assert tracker.finish()["done"] == 1
+
+
+class TestSupervisorEvents:
+    def test_note_supervisor_tallies_kinds(self):
+        tracker = ProgressTracker(total=4)
+        tracker.note_supervisor("retries")
+        tracker.note_supervisor("retries")
+        tracker.note_supervisor("crashes")
+        assert tracker.supervisor == {"retries": 2, "crashes": 1}
+
+    def test_render_line_annotates_recovery(self):
+        tracker = ProgressTracker(total=4, clock=FakeClock())
+        tracker.note(1, 0.5)
+        assert "recovery:" not in tracker.render_line()
+        tracker.note_supervisor("timeouts")
+        tracker.note_supervisor("workers.replaced")
+        line = tracker.render_line()
+        assert "recovery: timeouts=1,workers.replaced=1" in line
+
+    def test_summary_carries_supervisor_tallies(self):
+        tracker = ProgressTracker(total=2)
+        tracker.note(1, 0.1)
+        tracker.note_supervisor("shards.toxic")
+        summary = tracker.summary()
+        assert summary["supervisor"] == {"shards.toxic": 1}
+
+    def test_publish_sets_supervisor_gauges(self):
+        telemetry = obs.enable(tracing=False)
+        try:
+            tracker = ProgressTracker(total=2)
+            tracker.note(1, 0.1)
+            tracker.note_supervisor("retries")
+            tracker.note_supervisor("retries")
+            tracker.publish(telemetry)
+            gauge = telemetry.metrics.gauge("progress.supervisor.retries")
+            assert gauge.value == 2
+        finally:
+            obs.disable()
