@@ -21,6 +21,8 @@ Installed as the ``tangled`` console script::
     tangled report                              the recorded-run ledger
     tangled report --label fig10.re             a label's trajectory
     tangled report --compare A B --export json  byte-stable comparison
+    tangled blackbox <run-id>                   post-mortem flight recorder
+    tangled blackbox box.json --export json     ... as byte-stable JSON
 
 Every subcommand prints to stdout and exits non-zero on error, so the
 tools compose in shell pipelines.  ``--stats``/``--trace-out`` route the
@@ -45,7 +47,17 @@ Exit codes: 0 success, 1 error (I/O, bad arguments, simulator fault),
 shard of a ``--jobs`` fan-out died to timeouts alone, 4 shards were
 quarantined as toxic for any other mix of failures, 130 interrupted
 (Ctrl-C; the partial report is still flushed and the run recorded, and
-``--resume <run-id>`` finishes it).
+``--resume <run-id>`` finishes it).  The taxonomy lives in
+:mod:`repro.errors` (``EXIT_OK`` .. ``EXIT_INTERRUPTED``) -- this
+module only imports it.
+
+Every execution command keeps the architectural flight recorder
+(:mod:`repro.obs.flight`) armed: on an abnormal end -- a trap-halted
+run, a simulator error, Ctrl-C, or a worker killed at its
+``--shard-timeout`` deadline -- the final ring contents spill to a
+``blackbox-<run-id>[-shardN].json`` beside the ledger, linked in the
+run's artifacts.  ``tangled blackbox <run-id|path>`` renders it as a
+disassembled listing (``--export json`` is byte-stable).
 """
 
 from __future__ import annotations
@@ -57,32 +69,24 @@ import time
 import uuid
 from contextlib import contextmanager
 
-from repro.errors import ReproError
-
-#: Exit code for a ``bench --compare`` regression (distinct from the
-#: generic error exit 1, so CI can tell a perf gate from an I/O failure).
-EXIT_REGRESSION = 2
-
-#: Every quarantined shard of a supervised fan-out failed only by
-#: exceeding ``--shard-timeout`` -- the work is likely just slow, so CI
-#: can retry with a looser budget instead of treating it as broken.
-EXIT_TIMEOUT = 3
-
-#: Shards were quarantined as toxic for crashes / errors (or a mix
-#: including timeouts): the report completed but holds toxic entries.
-EXIT_TOXIC_SHARDS = 4
-
-#: Interrupted by Ctrl-C (the conventional 128 + SIGINT).  The partial
-#: report is flushed and the ledger row recorded before exiting.
-EXIT_INTERRUPTED = 130
+from repro.errors import (
+    EXIT_FAILURE,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    EXIT_REGRESSION,
+    EXIT_TIMEOUT,
+    EXIT_TOXIC_SHARDS,
+    ReproError,
+)
 
 
 def _quarantine_status(failure_lists: list) -> int:
     """Exit status from the failure kinds of every quarantined shard:
     :data:`EXIT_TIMEOUT` when timeouts are the *only* kind observed,
-    :data:`EXIT_TOXIC_SHARDS` for anything else, 0 for no quarantine."""
+    :data:`EXIT_TOXIC_SHARDS` for anything else, :data:`EXIT_OK` for no
+    quarantine."""
     if not failure_lists:
-        return 0
+        return EXIT_OK
     kinds = {kind for failures in failure_lists for kind in failures}
     return EXIT_TIMEOUT if kinds == {"timeout"} else EXIT_TOXIC_SHARDS
 
@@ -193,6 +197,30 @@ class _LedgerScope:
         if path and path != "-":
             self.artifacts.append(str(path))
 
+    def spill_blackbox(self, reason: str) -> str | None:
+        """Dump the flight recorder to a blackbox file and link it.
+
+        Called on abnormal ends (trap-halt, error, Ctrl-C).  Best-effort
+        like the rest of the ledger: an empty ring or an unwritable
+        directory never changes the command's outcome.
+        """
+        try:
+            from repro.obs import flight
+
+            if not flight.RECORDER.enabled or not flight.RECORDER.events:
+                return None
+            path = flight.spill_path(self.run_id)
+            flight.spill(path, reason, run_id=self.run_id,
+                         context={"command": self.command,
+                                  "label": self.label})
+            self.add_artifact(path)
+            print(f"tangled: blackbox -> {path}", file=sys.stderr)
+            return path
+        except Exception as exc:  # forensics must never mask the error
+            print(f"tangled: blackbox: {exc} (not written)",
+                  file=sys.stderr)
+            return None
+
     def add_row(self, label: str, counters: dict, rate: dict | None = None,
                 config: dict | None = None) -> None:
         """Queue a secondary row (one recorded bench entry)."""
@@ -251,20 +279,35 @@ class _LedgerScope:
 
 @contextmanager
 def _ledger_scope(args: argparse.Namespace, command: str, label: str):
-    """Context manager recording the command on both success and error."""
+    """Context manager recording the command on both success and error.
+
+    Also owns the flight recorder for the invocation: the ring is reset
+    at entry (one command, one recording), marked with the command name,
+    and spilled to a linked blackbox artifact when the command ends in
+    an error or a Ctrl-C.  Any worker spool configured by
+    :func:`_shard_setup` is cleared on the way out.
+    """
+    from repro.obs import flight
+
     scope = _LedgerScope(args, command, label)
+    flight.RECORDER.reset()
+    flight.RECORDER.mark(f"cli.{command}", label)
     try:
         yield scope
     except KeyboardInterrupt:
         # Ctrl-C still leaves a queryable row: the run happened, it was
         # interrupted, and its journaled shards are the resume target.
+        scope.spill_blackbox("interrupt")
         scope.finish(EXIT_INTERRUPTED)
         raise
     except BaseException:
-        scope.finish(1)
+        scope.spill_blackbox("error")
+        scope.finish(EXIT_FAILURE)
         raise
     else:
         scope.finish(scope.status)
+    finally:
+        flight.clear_spool()
 
 
 def _source_stem(source: str) -> str:
@@ -275,6 +318,43 @@ def _source_stem(source: str) -> str:
 
 def _stderr_line(line: str) -> None:
     print(line, file=sys.stderr)
+
+
+class _StatusLine:
+    """Throttled stderr progress sink for ``ProgressTracker``.
+
+    On a TTY the line rewrites in place (``\\r`` + pad-erase) so a long
+    fan-out shows one live gauge instead of scrolling hundreds of
+    lines; :meth:`clear` erases it and :meth:`println` prints durably
+    -- ``ProgressTracker.finish`` calls both so the final summaries
+    never interleave with a stale status line.  On a non-TTY (CI logs,
+    pipes) every call is a plain line and :meth:`clear` is a no-op.
+    """
+
+    def __init__(self, stream=None):
+        self.stream = stream if stream is not None else sys.stderr
+        isatty = getattr(self.stream, "isatty", None)
+        self.tty = bool(isatty()) if callable(isatty) else False
+        self._width = 0
+
+    def __call__(self, line: str) -> None:
+        if not self.tty:
+            print(line, file=self.stream)
+            return
+        pad = max(self._width - len(line), 0)
+        self.stream.write("\r" + line + " " * pad)
+        self.stream.flush()
+        self._width = len(line)
+
+    def clear(self) -> None:
+        if self.tty and self._width:
+            self.stream.write("\r" + " " * self._width + "\r")
+            self.stream.flush()
+            self._width = 0
+
+    def println(self, line: str) -> None:
+        self.clear()
+        print(line, file=self.stream)
 
 
 #: ``--resume`` restores these fingerprint keys onto the argparse
@@ -362,6 +442,13 @@ def _shard_setup(args: argparse.Namespace, led: _LedgerScope):
         journal = ledger_mod.ShardJournal(run_id, resume=True)
     elif led.enabled:
         journal = ledger_mod.ShardJournal(led.run_id)
+    if led.enabled:
+        # Arm the worker-side blackbox spool: forked workers inherit the
+        # spool env and self-dump their rings on crash / deadline; the
+        # supervisor collects the files for toxic shards only.
+        from repro.obs import flight
+
+        flight.configure_spool(led.run_id)
     return supervise, journal
 
 
@@ -398,7 +485,7 @@ def cmd_asm(args: argparse.Namespace) -> int:
         print(f"{len(program.words)} words -> {args.output}")
     else:
         sys.stdout.write(text)
-    return 0
+    return EXIT_OK
 
 
 def cmd_dis(args: argparse.Namespace) -> int:
@@ -406,7 +493,7 @@ def cmd_dis(args: argparse.Namespace) -> int:
 
     words = [int(tok, 16) for tok in _read_source(args.image).split()]
     print(render_listing(words))
-    return 0
+    return EXIT_OK
 
 
 def cmd_run(args: argparse.Namespace) -> int:
@@ -466,7 +553,13 @@ def cmd_run(args: argparse.Namespace) -> int:
             led.rate_steps = machine.instret
             led.traps = _trap_summary(machine)
         led.add_artifact(getattr(args, "trace_out", None))
-    return 0
+        if machine.traps:
+            # A trap-halted run ended abnormally even though the
+            # simulator returned: keep the forensic trail.
+            led.spill_blackbox("trap-halt")
+            led.status = EXIT_FAILURE
+            return EXIT_FAILURE
+    return EXIT_OK
 
 
 def cmd_factor(args: argparse.Namespace) -> int:
@@ -488,7 +581,7 @@ def cmd_factor(args: argparse.Namespace) -> int:
         print("nontrivial factors:", result.nontrivial)
     else:
         print("no nontrivial factors (prime or out of range)")
-    return 0
+    return EXIT_OK
 
 
 def cmd_verilog(args: argparse.Namespace) -> int:
@@ -501,7 +594,7 @@ def cmd_verilog(args: argparse.Namespace) -> int:
         "all": emit_design_bundle,
     }
     sys.stdout.write(emitters[args.module](args.ways))
-    return 0
+    return EXIT_OK
 
 
 def cmd_fig10(args: argparse.Namespace) -> int:
@@ -524,7 +617,7 @@ def cmd_fig10(args: argparse.Namespace) -> int:
         led.rate_steps = sim.machine.instret
         led.traps = _trap_summary(sim.machine)
         led.add_artifact(getattr(args, "trace_out", None))
-    return 0
+    return EXIT_OK
 
 
 def cmd_faults(args: argparse.Namespace) -> int:
@@ -543,7 +636,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
             supervise, journal = _shard_setup(args, led)
             tracker = ProgressTracker(
                 total=args.runs, what="runs",
-                emit=_stderr_line if args.jobs > 1 else None,
+                emit=_StatusLine() if args.jobs > 1 else None,
             )
             status = 0
             try:
@@ -567,6 +660,10 @@ def cmd_faults(args: argparse.Namespace) -> int:
                 _interrupt_note("faults", stop.done, stop.total, "runs",
                                 journal)
             led.workers = tracker.summary()
+            # Worker blackboxes collected from toxic shards' spools:
+            # link each one so ``tangled blackbox <run-id>`` finds them.
+            for box in report.get("blackbox", ()):
+                led.add_artifact(box)
             led.counters = {
                 f"faults.{key}": value
                 for key, value in report["summary"].items()
@@ -642,7 +739,7 @@ def cmd_profile(args: argparse.Namespace) -> int:
         }
         led.rate_steps = sim.machine.instret
         led.traps = _trap_summary(sim.machine)
-    return 0
+    return EXIT_OK
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -652,7 +749,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if args.list:
         for spec in bench.default_specs(args.qat_backend):
             print(f"{spec.name:<24} {spec.description}")
-        return 0
+        return EXIT_OK
     _adopt_resume_args(args, "bench")
     rounds = 2 if args.quick else args.rounds
     specs = None
@@ -673,7 +770,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
             supervise, journal = _shard_setup(args, led)
             tracker = ProgressTracker(
                 total=len(spec_list) * rounds, what="rounds",
-                emit=_stderr_line if args.jobs > 1 else None,
+                emit=_StatusLine() if args.jobs > 1 else None,
             )
             try:
                 report = bench.run_suite(
@@ -731,7 +828,48 @@ def cmd_bench(args: argparse.Namespace) -> int:
                 print(bench.render_regressions(bad), file=sys.stderr)
                 led.status = EXIT_REGRESSION
                 return EXIT_REGRESSION
-    return 0
+    return EXIT_OK
+
+
+def cmd_blackbox(args: argparse.Namespace) -> int:
+    from repro.obs import flight
+
+    if os.path.exists(args.target):
+        paths = [args.target]
+    else:
+        from repro.obs import ledger as ledger_mod
+
+        with ledger_mod.open_ledger(args.ledger) as ledger:
+            run = ledger.resolve(args.target)
+        paths = [
+            path for path in run.artifacts
+            if os.path.basename(path).startswith("blackbox-")
+        ]
+        if not paths:
+            raise ReproError(
+                f"run {run.id} has no blackbox artifacts (it ended "
+                f"cleanly, or the spill predates this ledger)"
+            )
+    docs = [flight.load_blackbox(path) for path in paths]
+    if args.export == "json":
+        # Deterministic: single spill exports bare, several export as a
+        # sorted collection keyed by their spill file names.
+        if len(docs) == 1:
+            sys.stdout.write(flight.export_json(docs[0]))
+        else:
+            bundle = {
+                "blackboxes": {
+                    os.path.basename(path): doc
+                    for path, doc in sorted(zip(paths, docs))
+                }
+            }
+            sys.stdout.write(flight.export_json(bundle))
+    else:
+        for index, doc in enumerate(docs):
+            if index:
+                print()
+            print(flight.render_blackbox(doc, last=args.last))
+    return EXIT_OK
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -753,7 +891,7 @@ def cmd_report(args: argparse.Namespace) -> int:
         sys.stdout.write(ledger_mod.export_json(view))
     else:
         print(ledger_mod.render_view(view))
-    return 0
+    return EXIT_OK
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -943,6 +1081,24 @@ def build_parser() -> argparse.ArgumentParser:
     add_ledger_opt(p)
     p.set_defaults(func=cmd_bench)
 
+    p = sub.add_parser(
+        "blackbox",
+        help="render a run's flight-recorder blackbox as a disassembled "
+             "post-mortem listing",
+    )
+    p.add_argument("target",
+                   help="run id (or unique prefix / label) whose linked "
+                        "blackbox artifacts to render, or a path to a "
+                        "blackbox-*.json spill file")
+    p.add_argument("--last", type=int, default=None, metavar="K",
+                   help="only the final K events (default: all spilled)")
+    p.add_argument("--ledger", metavar="PATH",
+                   help="ledger database (default: $TANGLED_LEDGER or "
+                        "~/.tangled/ledger.db)")
+    p.add_argument("--export", choices=("json",),
+                   help="byte-stable JSON instead of the text listing")
+    p.set_defaults(func=cmd_blackbox)
+
     p = sub.add_parser("report",
                        help="trajectory and comparison views over the "
                             "run ledger")
@@ -978,7 +1134,7 @@ def main(argv: list[str] | None = None) -> int:
         return EXIT_INTERRUPTED
     except (ReproError, OSError, ValueError) as exc:
         print(f"tangled: error: {exc}", file=sys.stderr)
-        return 1
+        return EXIT_FAILURE
 
 
 if __name__ == "__main__":

@@ -30,6 +30,7 @@ from repro.bf16 import (
 from repro.errors import SimulatorError
 from repro.faults.traps import TrapCause
 from repro.isa.instructions import INSTRUCTIONS, Instr
+from repro.obs import flight as _flight
 from repro.obs import runtime as _obs
 
 #: Mnemonic of the synthetic :class:`Effects` a simulator returns when an
@@ -179,6 +180,19 @@ def execute(machine, instr: Instr, syscalls=None) -> Effects:
     read = machine.read_reg
     read_s = machine.read_reg_signed
     write = machine.write_reg
+
+    # Flight recorder: capture PC and raw word(s) *before* execution so a
+    # store over its own encoding still records what actually ran.  The
+    # retire event is appended at the tail, after the instruction
+    # completes without trapping, mirroring the fast loops.
+    _fr = _flight.RECORDER
+    if _fr.enabled:
+        _fr_pc = machine.pc
+        _w0 = int(machine.mem[_fr_pc])
+        if spec.words == 2:
+            _fr_raw = (_w0, int(machine.mem[(_fr_pc + 1) & 0xFFFF]))
+        else:
+            _fr_raw = (_w0,)
 
     # Telemetry: time Qat coprocessor ops, count syscalls.  One branch
     # per instruction when observability is off (the default).
@@ -365,6 +379,8 @@ def execute(machine, instr: Instr, syscalls=None) -> Effects:
     eff.next_pc = pc_next
     machine.pc = pc_next
     machine.instret += 1
+    if _fr.enabled:
+        _fr.note_retire(_fr_pc, _fr_raw)
     if _t0 and _obs.active:
         _obs.current().qat_executed(m, _t0)
     return eff

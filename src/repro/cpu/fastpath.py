@@ -24,7 +24,10 @@ changing a single architectural outcome:
   ``REPRO_FASTPATH=0`` in the environment (or ``sim.use_fastpath =
   False``) to force the slow path; ``sim.use_fastpath = True`` forces
   the fast loop even when an observer is attached (testing only -- the
-  observer is then bypassed).
+  observer is then bypassed).  The flight recorder
+  (:mod:`repro.obs.flight`) is *not* an observer in this sense: its
+  retire append is cheap enough to stay inside the fast loop, so it
+  never costs eligibility.
 
 Trap behaviour is identical to the slow path by construction: handlers
 raise through the same :func:`repro.faults.traps.deliver` machinery with
@@ -41,6 +44,7 @@ from repro.cpu.exec_core import FAST_HANDLERS, static_effects
 from repro.errors import EncodingError
 from repro.faults.traps import TrapCause, TrapDelivered
 from repro.isa.encoding import decode
+from repro.obs import flight as _flight
 from repro.obs import runtime as _obs
 
 #: Master switch: ``REPRO_FASTPATH=0`` disables fast-loop selection
@@ -57,15 +61,19 @@ class Predecoded:
     """One decoded program word (or decode error), ready to dispatch."""
 
     __slots__ = ("instr", "ops", "mnemonic", "words", "handler", "static",
-                 "error")
+                 "raw", "error")
 
-    def __init__(self, instr, words, handler, static, error=None):
+    def __init__(self, instr, words, handler, static, raw=(), error=None):
         self.instr = instr
         self.ops = instr.ops if instr is not None else ()
         self.mnemonic = instr.mnemonic if instr is not None else None
         self.words = words
         self.handler = handler
         self.static = static
+        #: the raw instruction word(s) as a tuple -- interned alongside
+        #: the entry so the flight recorder's retire events never fetch
+        #: or allocate on the hot path
+        self.raw = raw
         #: the EncodingError text when the word(s) do not decode
         self.error = error
 
@@ -86,13 +94,15 @@ def _predecode(mem, pc: int) -> Predecoded:
         key = word
     entry = _INTERN.get(key)
     if entry is None:
+        raw = key if isinstance(key, tuple) else (key,)
         try:
             instr, words = decode(mem, pc)
         except EncodingError as exc:
-            entry = Predecoded(None, 1, None, None, error=str(exc))
+            entry = Predecoded(None, 1, None, None, raw=raw[:1],
+                               error=str(exc))
         else:
             entry = Predecoded(instr, words, FAST_HANDLERS[instr.mnemonic],
-                               static_effects(instr))
+                               static_effects(instr), raw=raw[:words])
         _INTERN[key] = entry
     return entry
 
@@ -176,6 +186,13 @@ def run_functional(sim, max_steps: int) -> int:
     mem = machine.mem
     cache = cache_for(machine)
     entries = cache.entries if cache is not None else None
+    # Flight-recorder hot-path state: a bound ``list.append`` and a
+    # countdown to the next trim, so a retire costs one branch, one
+    # tuple, one append, and one integer compare -- no ``len()`` global
+    # lookup, no method resolution.
+    recorder = _flight.RECORDER
+    fr_append = recorder.events.append if recorder.enabled else None
+    fr_room = recorder.limit - len(recorder.events)
     steps = 0
     while not machine.halted:
         if steps >= max_steps:
@@ -204,6 +221,12 @@ def run_functional(sim, max_steps: int) -> int:
             machine.pc = handler(machine, entry.instr, entry.ops,
                                  (pc + entry.words) & 0xFFFF, syscalls)
             machine.instret += 1
+            if fr_append is not None:
+                fr_append((0, pc, entry.raw))
+                fr_room -= 1
+                if fr_room <= 0:
+                    recorder._trim()
+                    fr_room = recorder.limit - len(recorder.events)
         except TrapDelivered:
             pass  # deliver() already redirected/halted the machine
         steps += 1
@@ -226,6 +249,9 @@ def run_multicycle(sim, max_steps: int) -> int:
     mem = machine.mem
     cache = cache_for(machine)
     entries = cache.entries if cache is not None else None
+    recorder = _flight.RECORDER
+    fr_append = recorder.events.append if recorder.enabled else None
+    fr_room = recorder.limit - len(recorder.events)
     steps = 0
     while not machine.halted:
         if steps >= max_steps:
@@ -256,6 +282,12 @@ def run_multicycle(sim, max_steps: int) -> int:
                                  (pc + entry.words) & 0xFFFF, syscalls)
             machine.instret += 1
             sim.cycles += cost_of[entry.mnemonic]
+            if fr_append is not None:
+                fr_append((0, pc, entry.raw))
+                fr_room -= 1
+                if fr_room <= 0:
+                    recorder._trim()
+                    fr_room = recorder.limit - len(recorder.events)
         except TrapDelivered:
             sim.cycles += trap_cost
         steps += 1

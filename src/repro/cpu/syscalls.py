@@ -47,6 +47,12 @@ class SyscallHandler:
     def handle(self, machine) -> None:
         """Dispatch one ``sys`` instruction on ``machine``."""
         service = machine.read_reg(RV)
+        # Flight recorder: machine.pc still addresses the ``sys`` word
+        # here in both the slow path and the fast handlers.
+        from repro.obs import flight as _flight
+
+        if _flight.RECORDER.enabled:
+            _flight.RECORDER.note_syscall(machine.pc, service)
         custom = self._custom.get(service)
         if custom is not None:
             custom(machine)

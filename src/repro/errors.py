@@ -11,6 +11,33 @@ these lives in :mod:`repro.faults.traps`.
 
 from __future__ import annotations
 
+# ---------------------------------------------------------------------------
+# Process exit-status taxonomy
+# ---------------------------------------------------------------------------
+#
+# One documented home for every exit code the ``tangled`` CLI (and the
+# subsystems behind it) can produce, so scripts and CI jobs gate on
+# names, not magic numbers.  ``cli.py`` imports these -- a test asserts
+# no literal exit codes remain there.
+
+#: Success.
+EXIT_OK = 0
+#: Generic failure: a :class:`ReproError`, OS error, or bad arguments.
+EXIT_FAILURE = 1
+#: ``tangled bench --compare``: the regression gate tripped (counter or
+#: opted-in timing regressions found).  Distinct from :data:`EXIT_FAILURE`
+#: so CI can tell "the benchmark got worse" from "the benchmark broke".
+EXIT_REGRESSION = 2
+#: Supervised fan-out: the whole run was dominated by shard deadline
+#: kills (every failure was a timeout).
+EXIT_TIMEOUT = 3
+#: Supervised fan-out: at least one shard exhausted its retry budget
+#: and was quarantined as toxic (its blackbox, when collected, is
+#: linked in the run ledger's artifacts).
+EXIT_TOXIC_SHARDS = 4
+#: Interrupted by Ctrl-C (the conventional ``128 + SIGINT``).
+EXIT_INTERRUPTED = 130
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` package."""

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from repro.errors import ReproError
 from repro.faults.inject import FaultPlan, apply_event
 from repro.faults.traps import TrapPolicy
+from repro.obs import flight as _flight
 from repro.obs import runtime as _obs
 from repro.runtime.supervisor import chaos_hook
 
@@ -182,6 +183,19 @@ def _single_run(task: tuple, attempt: int = 0) -> tuple[int, dict, float, int, i
     """
     (run, program, seed, sim, ways, faults_per_run, targets, qat_backend,
      golden, golden_steps, mem_span, watchdog) = task
+    # Flight recorder: a boundary mark per run (the worker's ring spans
+    # runs, so a post-mortem can tell whose events the tail belongs to)
+    # plus fresh spill context -- recorded *before* the chaos hook so a
+    # chaos crash spills a ring already labeled with this run.
+    if _flight.RECORDER.enabled:
+        _flight.RECORDER.mark(
+            "campaign.run", f"run={run} attempt={attempt} sim={sim}"
+        )
+    _flight.WORKER_CONTEXT.clear()
+    _flight.WORKER_CONTEXT.update(
+        program=program, sim=sim, ways=ways, qat_backend=qat_backend,
+        run=run, attempt=attempt,
+    )
     chaos_hook(run, attempt)
     image = _worker_image(program)
     run_seed = seed * 1_000_003 + run
@@ -249,6 +263,7 @@ def _toxic_detail(run: int, seed: int, outcome) -> dict:
         "traps": [],
         "error": outcome.quarantine_message(),
         "failures": outcome.failure_kinds,
+        "blackbox": getattr(outcome, "blackbox", None),
     }
 
 
@@ -442,6 +457,14 @@ def run_campaign(
     report = _campaign_report(program, sim, ways, qat_backend, seed, runs,
                               faults_per_run, targets, golden, golden_steps,
                               results)
+    # Blackbox spool files collected from quarantined shards.  Only
+    # present when something was actually quarantined, so a healed or
+    # clean fan-out stays byte-identical to the serial report.
+    blackboxes = sorted(
+        detail["blackbox"] for detail in results if detail.get("blackbox")
+    )
+    if blackboxes:
+        report["blackbox"] = blackboxes
     if interrupted is not None:
         report["interrupted"] = True
         raise CampaignInterrupted(report, done=len(completed), total=runs)

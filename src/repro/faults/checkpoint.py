@@ -124,6 +124,12 @@ class Checkpoint:
             store_chunk_ways = store.chunk_ways
         if _obs.active:
             _obs.current().checkpoint_op("capture", t0)
+        from repro.obs import flight as _flight
+
+        if _flight.RECORDER.enabled:
+            _flight.RECORDER.note_checkpoint(
+                "capture", f"pc={machine.pc:#06x} instret={machine.instret}"
+            )
         return cls(
             pc=machine.pc,
             halted=machine.halted,
@@ -204,6 +210,12 @@ class Checkpoint:
         machine.output[:] = list(self.output)
         if _obs.active:
             _obs.current().checkpoint_op("restore", t0)
+        from repro.obs import flight as _flight
+
+        if _flight.RECORDER.enabled:
+            _flight.RECORDER.note_checkpoint(
+                "restore", f"pc={self.pc:#06x} instret={self.instret}"
+            )
 
     # -- file round trip -----------------------------------------------------
 
@@ -238,6 +250,10 @@ class Checkpoint:
             np.savez_compressed(handle, **arrays)
         if _obs.active:
             _obs.current().checkpoint_op("save", t0)
+        from repro.obs import flight as _flight
+
+        if _flight.RECORDER.enabled:
+            _flight.RECORDER.note_checkpoint("save", path)
 
     @classmethod
     def load(cls, path: str) -> "Checkpoint":
@@ -252,6 +268,10 @@ class Checkpoint:
             raise CheckpointError(f"unreadable checkpoint {path!r}: {exc}") from exc
         if _obs.active:
             _obs.current().checkpoint_op("load", t0)
+        from repro.obs import flight as _flight
+
+        if _flight.RECORDER.enabled:
+            _flight.RECORDER.note_checkpoint("load", path)
         if header.get("version") != FORMAT_VERSION:
             raise CheckpointError(
                 f"unsupported checkpoint version {header.get('version')!r}"

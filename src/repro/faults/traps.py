@@ -189,8 +189,12 @@ def deliver(machine, cause: TrapCause, detail: str = "",
     )
     machine.traps.append(record)
 
+    from repro.obs import flight as _flight
     from repro.obs import runtime as _obs
 
+    if _flight.RECORDER.enabled:
+        _flight.RECORDER.note_trap(record.pc, cause.value, cycle,
+                                   record.instret, detail)
     if _obs.active:
         _obs.current().metrics.counter(f"traps.{cause.value}").inc()
 

@@ -46,6 +46,7 @@ from repro.obs.telemetry import Telemetry, TimerHandle
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "Ledger",
@@ -53,6 +54,7 @@ __all__ = [
     "NULL_SPAN",
     "Profiler",
     "ProgressTracker",
+    "flight",
     "Telemetry",
     "TimerHandle",
     "Tracer",
@@ -89,6 +91,14 @@ def __getattr__(name: str):
         from repro.obs.progress import ProgressTracker
 
         return ProgressTracker
+    if name in ("FlightRecorder", "flight"):
+        # import_module, not ``from repro.obs import flight``: the
+        # fromlist lookup would re-enter this __getattr__ for "flight"
+        # and recurse before the submodule lands in sys.modules.
+        import importlib
+
+        flight = importlib.import_module("repro.obs.flight")
+        return flight if name == "flight" else flight.FlightRecorder
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 

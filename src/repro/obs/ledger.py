@@ -347,6 +347,29 @@ class Ledger:
         ).fetchall()
         return [(row["label"], row["n"]) for row in rows]
 
+    def shard_summary(self, run_id: str) -> dict | None:
+        """Schema-v2 shard journal rollup for one run, or None.
+
+        Counts the journaled shards of a supervised fan-out (the meta
+        fingerprint row at shard ``-1`` is excluded): how many landed,
+        how many needed more than one attempt, and how many were
+        quarantined as toxic.  Runs without journal rows (serial runs,
+        ``run``/``profile`` commands) report None, not zeros.
+        """
+        rows = self._conn.execute(
+            "SELECT status, attempts FROM shards "
+            "WHERE run_id = ? AND shard >= 0",
+            (run_id,),
+        ).fetchall()
+        if not rows:
+            return None
+        return {
+            "recorded": len(rows),
+            "done": sum(1 for r in rows if r["status"] == SHARD_DONE),
+            "toxic": sum(1 for r in rows if r["status"] == SHARD_TOXIC),
+            "retried": sum(1 for r in rows if r["attempts"] > 1),
+        }
+
     def close(self) -> None:
         self._conn.close()
 
@@ -595,11 +618,16 @@ def scalar_snapshot(telemetry) -> tuple[dict, dict]:
 # ---------------------------------------------------------------------------
 
 def runs_view(ledger: Ledger, last: int = 20) -> dict:
-    """The recent-run listing."""
+    """The recent-run listing (with per-run shard journal rollups)."""
+    entries = []
+    for run in ledger.runs(last=last):
+        entry = run.as_dict()
+        entry["shards"] = ledger.shard_summary(run.id)
+        entries.append(entry)
     return {
         "view": "runs",
         "ledger": ledger.path,
-        "runs": [run.as_dict() for run in ledger.runs(last=last)],
+        "runs": entries,
         "labels": [
             {"label": label, "runs": count}
             for label, count in ledger.labels()
@@ -697,6 +725,7 @@ def compare_view(ledger: Ledger, ref_a: str, ref_b: str,
             "version": run.version,
             "status": run.status,
             "config": run.config,
+            "shards": ledger.shard_summary(run.id),
         }
     return {
         "view": "compare",
@@ -728,6 +757,20 @@ def _fmt(value) -> str:
     return str(int(value))
 
 
+def _shard_note(shards: dict | None) -> str:
+    """Suffix annotating a run's journaled fan-out recovery, if any."""
+    if not shards:
+        return ""
+    parts = []
+    if shards.get("retried"):
+        parts.append(f"{shards['retried']} retried")
+    if shards.get("toxic"):
+        parts.append(f"{shards['toxic']} toxic")
+    if not parts:
+        return ""
+    return f"  [shards: {', '.join(parts)}]"
+
+
 def _render_runs(view: dict) -> str:
     lines = [f"== run ledger ({view['ledger']}) =="]
     if not view["runs"]:
@@ -738,11 +781,13 @@ def _render_runs(view: dict) -> str:
     for run in view["runs"]:
         wall = "-" if run["wall_seconds"] is None else \
             f"{run['wall_seconds']:.2f}s"
-        lines.append(
+        line = (
             f"  {run['id']:<12} {_when(run['ts']):<19} "
             f"{run['command']:<8} {run['status']:<6} {wall:>8}  "
             f"{run['label']}"
         )
+        line += _shard_note(run.get("shards"))
+        lines.append(line)
     lines.append("labels:")
     for entry in view["labels"]:
         lines.append(f"  {entry['label']:<40} {entry['runs']} run(s)")
@@ -780,12 +825,19 @@ def _render_trajectory(view: dict) -> str:
 
 def _render_compare(view: dict) -> str:
     a, b = view["a"], view["b"]
+
+    def _quarantine_suffix(meta: dict) -> str:
+        shards = meta.get("shards") or {}
+        if not shards.get("toxic"):
+            return ""
+        return f"  [quarantined: {shards['toxic']} toxic shard(s)]"
+
     lines = [
         "== ledger comparison ==",
         f"  A (baseline): {a['id']}  {a['label']}  "
-        f"{_when(a['ts'])}  v{a['version']}",
+        f"{_when(a['ts'])}  v{a['version']}" + _quarantine_suffix(a),
         f"  B (current) : {b['id']}  {b['label']}  "
-        f"{_when(b['ts'])}  v{b['version']}",
+        f"{_when(b['ts'])}  v{b['version']}" + _quarantine_suffix(b),
     ]
     shown = [r for r in view["rows"] if r["verdict"] != "neutral"]
     if not shown:

@@ -216,10 +216,22 @@ class ProgressTracker:
 
     def finish(self) -> dict:
         """Emit the final line, publish gauges to any active telemetry,
-        and return :meth:`summary`."""
+        and return :meth:`summary`.
+
+        When the sink is a status line (it has ``clear``/``println``,
+        like the CLI's in-place stderr line), the throttled line is
+        cleared first and the final line is printed durably -- summaries
+        that follow ``finish()`` never interleave with a stale progress
+        line.  A plain callable sink behaves as before.
+        """
         self._wall = self.clock() - self.t0
-        if self.emit is not None and self.done:
-            self.emit(self.render_line())
+        if self.emit is not None:
+            clear = getattr(self.emit, "clear", None)
+            if clear is not None:
+                clear()
+            if self.done:
+                println = getattr(self.emit, "println", self.emit)
+                println(self.render_line())
         if _obs.active:
             self.publish(_obs.current())
         return self.summary()

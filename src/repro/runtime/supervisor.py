@@ -49,6 +49,7 @@ from multiprocessing.connection import wait as _conn_wait
 from typing import Callable
 
 from repro.errors import ReproError, SupervisorError
+from repro.obs import flight as _flight
 
 #: Shard failure kinds (the ``failures`` history entries).
 CRASH, TIMEOUT, ERROR = "crash", "timeout", "error"
@@ -128,6 +129,9 @@ class ShardOutcome:
     #: failure history: ``{"kind": crash|timeout|error, "error": str}``
     #: per failed attempt, oldest first.
     failures: list[dict] = field(default_factory=list)
+    #: path of the blackbox spool file the (first failing) worker left
+    #: behind; only populated for quarantined shards.
+    blackbox: str | None = None
 
     @property
     def failure_kinds(self) -> list[str]:
@@ -182,6 +186,9 @@ def chaos_hook(shard: int, attempt: int) -> None:
     if shard != target_i or attempt > last_i:
         return
     if kind == "crash":
+        # A crash is the one failure the deadline timer cannot cover:
+        # spill the flight ring before the process evaporates.
+        _flight.spool_spill(shard, "chaos-crash")
         os._exit(1)
     elif kind == "hang":
         time.sleep(600.0)
@@ -203,13 +210,20 @@ def _apply_memory_ceiling(mem_mib: int) -> None:
         pass
 
 
-def _worker_main(conn, fn, initializer, mem_mib) -> None:
+def _worker_main(conn, fn, initializer, mem_mib,
+                 shard_timeout=None) -> None:
     """One supervised worker: receive tasks, send results, never raise.
 
     SIGINT is ignored (the parent owns interrupt handling and kills
     workers explicitly).  A ``MemoryError`` is reported and then the
     worker exits -- its heap is untrustworthy near an ``RLIMIT_AS``
     ceiling, so the parent replaces it with a fresh process.
+
+    The parent enforces ``shard_timeout`` with SIGKILL, which a worker
+    can never catch -- so before each task the worker arms a SIGALRM
+    self-dump (:func:`repro.obs.flight.arm_deadline_dump`) that spills
+    its flight-recorder ring to the blackbox spool ahead of the
+    deadline; in-worker errors spill on the way out too.
     """
     try:
         signal.signal(signal.SIGINT, signal.SIG_IGN)
@@ -219,6 +233,9 @@ def _worker_main(conn, fn, initializer, mem_mib) -> None:
         _apply_memory_ceiling(mem_mib)
     if initializer is not None:
         initializer()
+    # The forked ring holds the *parent's* history (golden run, earlier
+    # commands); a worker's post-mortem should contain only its own work.
+    _flight.RECORDER.reset()
     while True:
         try:
             message = conn.recv()
@@ -228,16 +245,21 @@ def _worker_main(conn, fn, initializer, mem_mib) -> None:
             break
         shard, attempt, payload = message
         poisoned = False
+        disarm = _flight.arm_deadline_dump(shard, shard_timeout)
         try:
             result = fn(payload, attempt)
         except MemoryError:
             reply = (shard, ERROR, "MemoryError: worker memory ceiling "
                                    "exceeded")
             poisoned = True
+            _flight.spool_spill(shard, "worker-error")
         except BaseException as exc:  # report, never crash the loop
             reply = (shard, ERROR, f"{type(exc).__name__}: {exc}")
+            _flight.spool_spill(shard, "worker-error")
         else:
             reply = (shard, "ok", result)
+        finally:
+            disarm()
         try:
             conn.send(reply)
         except (BrokenPipeError, OSError):
@@ -295,7 +317,7 @@ class Supervisor:
         process = multiprocessing.Process(
             target=_worker_main,
             args=(child_conn, self.fn, self.initializer,
-                  self.config.worker_mem_mib),
+                  self.config.worker_mem_mib, self.config.shard_timeout),
             name=f"TangledWorker-{self._spawned}",
             daemon=True,
         )
@@ -328,6 +350,8 @@ class Supervisor:
             self._retire(worker, kill=True)
 
     def _emit(self, kind: str) -> None:
+        if _flight.RECORDER.enabled:
+            _flight.RECORDER.mark(f"supervisor.{kind}")
         if self.on_event is not None:
             self.on_event(kind)
 
@@ -351,6 +375,11 @@ class Supervisor:
         outcomes: dict[int, ShardOutcome] = {}
         if total == 0:
             return outcomes
+        if _flight.RECORDER.enabled:
+            _flight.RECORDER.mark(
+                "supervisor.start",
+                f"{total} shard(s), jobs={self.config.jobs}",
+            )
         attempts = {shard: 0 for shard in items}
         failures: dict[int, list[dict]] = {shard: [] for shard in items}
         queue: deque[int] = deque(sorted(items))
@@ -361,6 +390,13 @@ class Supervisor:
         spawn_cap = self.config.jobs + total * self.config.max_attempts + 8
 
         def settle(shard: int, outcome: ShardOutcome) -> None:
+            if outcome.ok:
+                # An earlier failing attempt (or a deadline dump that
+                # beat a just-in-time finish) may have spooled a
+                # blackbox; the shard recovered, so drop it.
+                _flight.spool_discard(shard)
+            else:
+                outcome.blackbox = _flight.spool_collect(shard)
             outcomes[shard] = outcome
             if on_result is not None:
                 on_result(outcome)
