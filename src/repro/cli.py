@@ -64,6 +64,7 @@ from __future__ import annotations
 
 import argparse
 import os
+import shutil
 import sys
 import time
 import uuid
@@ -323,24 +324,37 @@ def _stderr_line(line: str) -> None:
 class _StatusLine:
     """Throttled stderr progress sink for ``ProgressTracker``.
 
-    On a TTY the line rewrites in place (``\\r`` + pad-erase) so a long
-    fan-out shows one live gauge instead of scrolling hundreds of
-    lines; :meth:`clear` erases it and :meth:`println` prints durably
-    -- ``ProgressTracker.finish`` calls both so the final summaries
-    never interleave with a stale status line.  On a non-TTY (CI logs,
-    pipes) every call is a plain line and :meth:`clear` is a no-op.
+    On a TTY the line rewrites in place (``\\r`` + pad-erase, clamped
+    to the terminal width so a narrow window never wraps the rewrite
+    into a torn stack of lines) -- a long fan-out shows one live gauge
+    instead of scrolling hundreds of lines.  :meth:`clear` erases it
+    and :meth:`println` prints durably; ``ProgressTracker.finish``
+    calls both so the final summaries never interleave with a stale
+    status line.  On a non-TTY (CI logs, pipes) the throttled rewrite
+    is suppressed entirely -- repeating a growing gauge line would just
+    accumulate noise in the log -- while :meth:`println` still lands
+    the durable final line and :meth:`clear` is a no-op.
     """
 
-    def __init__(self, stream=None):
+    def __init__(self, stream=None, width: int | None = None):
         self.stream = stream if stream is not None else sys.stderr
         isatty = getattr(self.stream, "isatty", None)
         self.tty = bool(isatty()) if callable(isatty) else False
         self._width = 0
+        if width is not None:
+            self.columns = width
+        elif self.tty:
+            self.columns = shutil.get_terminal_size().columns
+        else:
+            self.columns = 0
 
     def __call__(self, line: str) -> None:
         if not self.tty:
-            print(line, file=self.stream)
             return
+        # Leave the last column free: writing into it makes most
+        # terminals wrap, which breaks the \r-rewrite invariant.
+        if self.columns > 1 and len(line) > self.columns - 1:
+            line = line[: self.columns - 1]
         pad = max(self._width - len(line), 0)
         self.stream.write("\r" + line + " " * pad)
         self.stream.flush()
@@ -636,7 +650,8 @@ def cmd_faults(args: argparse.Namespace) -> int:
             supervise, journal = _shard_setup(args, led)
             tracker = ProgressTracker(
                 total=args.runs, what="runs",
-                emit=_StatusLine() if args.jobs > 1 else None,
+                emit=_StatusLine() if args.jobs > 1 or args.batch > 1
+                else None,
             )
             status = 0
             try:
@@ -650,6 +665,7 @@ def cmd_faults(args: argparse.Namespace) -> int:
                     targets=tuple(args.targets.split(",")),
                     qat_backend=args.qat_backend,
                     jobs=args.jobs,
+                    batch=args.batch,
                     tracker=tracker,
                     supervise=supervise,
                     journal=journal,
@@ -1007,6 +1023,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="shard the runs across N supervised worker "
                         "processes (report stays byte-identical to "
                         "serial)")
+    p.add_argument("--batch", type=int, default=1, metavar="N",
+                   help="pack runs into N-lane batches on the NumPy-"
+                        "batched functional simulator (one process, "
+                        "vectorized across machines; report stays "
+                        "byte-identical to serial)")
     add_supervise_opts(p, "run")
     p.add_argument("--stats", action="store_true",
                    help="print a telemetry report (fault counters, traps, ...)")

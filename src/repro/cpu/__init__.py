@@ -15,6 +15,12 @@ sequence (multi-cycle design, then pipelined, then pipelined with Qat):
   branch flushes, and the two-word Qat fetch penalty the paper says
   generated "the most common student questions".
 
+A fourth, orthogonal strategy batches *machines* rather than refining
+timing: :class:`~repro.cpu.batch.BatchFunctionalSimulator` runs N
+functional machines in
+lockstep over NumPy arrays with divergence-grouped dispatch -- the
+engine behind ``tangled faults --batch N``.
+
 All three take a ``trap_policy`` (:class:`~repro.faults.TrapPolicy`)
 controlling whether architectural traps raise, halt, or vector to a
 handler; the trap model itself lives in :mod:`repro.faults` and is
@@ -23,6 +29,7 @@ re-exported here for convenience.  They also take a ``qat_backend``
 :mod:`repro.cpu.qat_backend`.
 """
 
+from repro.cpu.batch import BatchFunctionalSimulator, BatchMachines
 from repro.cpu.functional import FunctionalSimulator
 from repro.cpu.multicycle import CycleCosts, MultiCycleSimulator
 from repro.cpu.pipeline import PipelineConfig, PipelinedSimulator, PipelineStats
@@ -40,6 +47,8 @@ from repro.faults.traps import TrapAction, TrapCause, TrapPolicy, TrapRecord
 
 __all__ = [
     "BACKENDS",
+    "BatchFunctionalSimulator",
+    "BatchMachines",
     "CycleCosts",
     "DenseQatBackend",
     "FunctionalSimulator",

@@ -126,11 +126,17 @@ class PredecodeCache:
 
         An instruction is at most two words long, so only the entry at
         ``addr`` itself and a two-word entry starting at ``addr - 1``
-        can have consumed the written word.
+        can have consumed the written word.  A store at address 0 has no
+        predecessor: probing ``addr - 1`` must not wrap to the top of
+        memory (a two-word entry at ``_MEM_WORDS - 1`` cannot exist --
+        its second word would be off the end -- but the wrapped probe
+        used to evict whatever entry lived there).
         """
         entries = self.entries
         entries.pop(addr, None)
-        prev = (addr - 1) & 0xFFFF
+        if addr == 0:
+            return
+        prev = addr - 1
         before = entries.get(prev)
         if before is not None and before.words == 2:
             del entries[prev]

@@ -236,6 +236,86 @@ def _single_run(task: tuple, attempt: int = 0) -> tuple[int, dict, float, int, i
             worker_ident())
 
 
+def _batch_pending(pending: list, batch: int, image, settle) -> None:
+    """Execute pending campaign tasks in lane batches, in-process.
+
+    Each chunk of up to ``batch`` tasks becomes one
+    :class:`~repro.cpu.batch.BatchFunctionalSimulator`: every run is a
+    lane with its own per-run :class:`FaultPlan` (the same
+    ``seed * 1_000_003 + run`` derivation as the serial and ``--jobs``
+    paths), fault events are injected on the lane's array slices, and
+    classification -- parked-lane error text => ``detected``, trap
+    records => ``detected``, architectural result vs golden =>
+    ``masked``/``silent`` -- matches :func:`_single_run` field for
+    field, so the merged report is byte-identical to the serial
+    campaign.  Wall seconds are apportioned evenly across the chunk's
+    lanes for the progress heartbeats (never part of the report).
+    """
+    from repro.cpu.batch import BatchFunctionalSimulator
+    from repro.obs.progress import worker_ident
+
+    worker = worker_ident()
+    for chunk_start in range(0, len(pending), batch):
+        chunk = pending[chunk_start:chunk_start + batch]
+        (_, program, seed, sim, ways, faults_per_run, targets, qat_backend,
+         golden, golden_steps, mem_span, watchdog) = chunk[0]
+        if _flight.RECORDER.enabled:
+            _flight.RECORDER.mark(
+                "campaign.batch",
+                f"runs={chunk[0][0]}..{chunk[-1][0]} lanes={len(chunk)} "
+                f"sim={sim}",
+            )
+        _flight.WORKER_CONTEXT.clear()
+        _flight.WORKER_CONTEXT.update(
+            program=program, sim=sim, ways=ways, qat_backend=qat_backend,
+            run=chunk[0][0], batch=len(chunk),
+        )
+        plans = [
+            FaultPlan.from_seed(
+                seed * 1_000_003 + task[0],
+                faults_per_run,
+                max_step=golden_steps,
+                ways=ways,
+                targets=tuple(targets),
+                mem_span=mem_span,
+            )
+            for task in chunk
+        ]
+        subject = BatchFunctionalSimulator(len(chunk), ways=ways,
+                                           qat_backend=qat_backend)
+        subject.load(image)
+        t0 = time.perf_counter()
+        lane_steps = subject.run(
+            watchdog, plans=plans,
+            watchdog_detail=f"campaign watchdog: exceeded {watchdog} steps",
+        )
+        seconds = (time.perf_counter() - t0) / len(chunk)
+        machines = subject.machines
+        for lane, task in enumerate(chunk):
+            run = task[0]
+            result = RunResult(
+                run=run,
+                seed=seed * 1_000_003 + run,
+                outcome=MASKED,
+                events=[e.as_dict() for e in plans[lane].events],
+            )
+            steps = int(lane_steps[lane])
+            if machines.errors[lane] is not None:
+                result.outcome = DETECTED
+                result.error = machines.errors[lane]
+                # The serial run's exception path never assigns steps.
+                steps = 0
+            elif machines.traps[lane]:
+                result.outcome = DETECTED
+            elif (tuple(int(r) for r in machines.regs[lane]),
+                  tuple(machines.output[lane])) == golden:
+                result.outcome = MASKED
+            else:
+                result.outcome = SILENT
+            result.traps = [r.as_dict() for r in machines.traps[lane]]
+            settle(run, result.as_dict(), seconds, steps, 1, worker)
+
+
 class CampaignInterrupted(ReproError):
     """A fan-out campaign was interrupted (Ctrl-C) mid-flight.
 
@@ -314,6 +394,7 @@ def run_campaign(
     targets: tuple[str, ...] = ("gpr", "mem", "qreg"),
     qat_backend: str = "dense",
     jobs: int = 1,
+    batch: int = 1,
     tracker=None,
     supervise=None,
     journal=None,
@@ -350,11 +431,31 @@ def run_campaign(
     one heartbeat per completed run -- worker id, wall seconds, steps --
     as results arrive, off the report path: the report bytes are
     identical with or without it.
+
+    ``batch > 1`` is the third execution strategy: runs are packed into
+    lane batches on the NumPy-batched functional simulator
+    (:mod:`repro.cpu.batch`), one process, vectorized across machines.
+    Classification is per lane and the merged report is byte-identical
+    to the serial and ``--jobs`` paths.  Batch mode requires the
+    functional simulator (the timing models have no batched
+    counterpart) and is mutually exclusive with ``jobs > 1``.
     """
     if runs <= 0:
         raise ReproError(f"runs must be positive, got {runs}")
     if jobs <= 0:
         raise ReproError(f"jobs must be positive, got {jobs}")
+    if batch <= 0:
+        raise ReproError(f"batch must be positive, got {batch}")
+    if batch > 1 and sim != "functional":
+        raise ReproError(
+            f"batch campaigns need the functional simulator, got {sim!r} "
+            f"(the timing models have no batched counterpart)"
+        )
+    if batch > 1 and jobs > 1:
+        raise ReproError(
+            "batch and jobs are mutually exclusive fan-out strategies; "
+            "use --batch N or --jobs N, not both"
+        )
     from repro.obs.ledger import SHARD_DONE, SHARD_TOXIC
     from repro.pattern import reset_default_stores
 
@@ -434,6 +535,9 @@ def run_campaign(
             # whether or not anything failed -- a clean fan-out records
             # explicit zeros in the supervisor.* counter taxonomy.
             _obs.current().supervisor_run(supervisor.stats.as_dict())
+    elif pending and batch > 1:
+        _WORKER_IMAGES[program] = image
+        _batch_pending(pending, batch, image, _settle)
     elif pending:
         _WORKER_IMAGES[program] = image
         for task in pending:

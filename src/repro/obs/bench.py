@@ -111,6 +111,34 @@ def _fig10_instret(sim) -> int:
     return sim.machine.instret
 
 
+def _fig10_batch(lanes: int, qat_backend: str = "dense"):
+    """Timed region = one batched run of ``lanes`` fig10 machines.
+
+    The rate metric is aggregate machines x steps per second: the batch
+    simulator retires one instruction on every active lane per step, so
+    the summed per-lane ``instret`` is the work actually done."""
+    def run(program):
+        from repro.cpu.batch import BatchFunctionalSimulator
+
+        sim = BatchFunctionalSimulator(lanes, ways=8,
+                                       qat_backend=qat_backend)
+        sim.load(program)
+        sim.run(max_steps=100_000)
+        machines = sim.machines
+        if not bool(machines.halted.all()):
+            raise ReproError("batched fig10 left lanes running")
+        if not (bool((machines.regs[:, 0] == 5).all())
+                and bool((machines.regs[:, 1] == 3).all())):
+            raise ReproError("batched fig10 produced wrong factors")
+        return sim
+
+    return run
+
+
+def _batch_instret(sim) -> int:
+    return int(sim.machines.instret.sum())
+
+
 def _factor_n221():
     from repro.apps import factor_pairs
 
@@ -202,6 +230,18 @@ def default_specs(qat_backend: str = "dense") -> list[BenchSpec]:
                   "(steps/sec)",
                   capture=False, setup=_fig10_fast_setup,
                   rate_steps=_fig10_instret),
+        BenchSpec("fig10.batch64",
+                  _fig10_batch(64, qat_backend=qat_backend),
+                  "Figure 10 on 64 NumPy-batched machines "
+                  "(aggregate machines x steps /sec)",
+                  capture=False, setup=_fig10_fast_setup,
+                  rate_steps=_batch_instret),
+        BenchSpec("fig10.batch512",
+                  _fig10_batch(512, qat_backend=qat_backend),
+                  "Figure 10 on 512 NumPy-batched machines "
+                  "(aggregate machines x steps /sec)",
+                  capture=False, setup=_fig10_fast_setup,
+                  rate_steps=_batch_instret),
         BenchSpec("factor.n221", _factor_n221,
                   "word-level factoring of 221 (AoB kernel volume)"),
         BenchSpec("chunkstore.s12", _chunkstore_xor,

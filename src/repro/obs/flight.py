@@ -32,6 +32,14 @@ worker can never catch.  The supervisor collects the spool files of
 quarantined shards into the campaign report and the run ledger's
 ``artifacts`` column.
 
+Batched campaigns (``tangled faults --batch N``,
+:mod:`repro.cpu.batch`) run in a *downgraded* recording mode: campaign
+marks, fault notes, trap notes, and syscall notes still land in the
+ring, but the per-instruction retire stream is dropped -- recording one
+event per lane per step would serialize the vectorized dispatch.  A
+blackbox spilled from a batch campaign therefore carries breadcrumbs
+and trap context, not an instruction listing.
+
 Like :mod:`repro.obs.runtime`, this module imports nothing from the rest
 of ``repro`` at module level so every layer can record into it without
 import cycles.  ``TANGLED_FLIGHT=0`` disables recording process-wide;

@@ -147,6 +147,25 @@ def ledger_path(path: str | None = None) -> str:
     return os.path.expanduser(DEFAULT_PATH)
 
 
+class AmbiguousRunId(ReproError):
+    """A run-id prefix matches more than one recorded run.
+
+    Must surface to the user with the candidate ids (``candidates``,
+    capped at 5) -- silently picking one, or degrading to the generic
+    "matches nothing" message on the label-fallback path, resolves the
+    reference to the *wrong run*.  :meth:`Ledger.resolve` re-raises it
+    for exactly that reason, so ``tangled report --compare`` and
+    ``tangled blackbox`` list the candidates instead of guessing.
+    """
+
+    def __init__(self, ref: str, candidates: list[str]):
+        self.ref = ref
+        self.candidates = candidates
+        super().__init__(
+            f"run id {ref!r} is ambiguous ({', '.join(candidates)})"
+        )
+
+
 @dataclass
 class RunRecord:
     """One recorded invocation (or one bench entry of one invocation)."""
@@ -322,14 +341,22 @@ class Ledger:
         if not rows:
             raise ReproError(f"no recorded run with id {ref!r}")
         if len(rows) > 1:
-            ids = ", ".join(row["id"] for row in rows[:5])
-            raise ReproError(f"run id {ref!r} is ambiguous ({ids})")
+            raise AmbiguousRunId(ref, [row["id"] for row in rows[:5]])
         return _row_to_record(rows[0])
 
     def resolve(self, ref: str) -> RunRecord:
-        """``ref`` as a run id (prefix), else the latest run of that label."""
+        """``ref`` as a run id (prefix), else the latest run of that label.
+
+        An *ambiguous* id prefix is an error, not a fall-through: the
+        user named runs, so the label fallback (or the generic
+        "matches nothing" message) would silently answer a different
+        question.  :class:`AmbiguousRunId` carries the candidates for
+        the CLI to show.
+        """
         try:
             return self.get(ref)
+        except AmbiguousRunId:
+            raise
         except ReproError:
             runs = self.runs(label=ref, last=1)
             if runs:
@@ -579,9 +606,7 @@ def resolve_journal_run(ref: str, path: str | None = None) -> str:
     if ref in ids:
         return ref
     if len(ids) > 1:
-        raise ReproError(
-            f"run id {ref!r} is ambiguous ({', '.join(ids[:5])})"
-        )
+        raise AmbiguousRunId(ref, ids[:5])
     return ids[0]
 
 

@@ -204,3 +204,30 @@ class TestExitTaxonomy:
         assert main(["bench", "--resume", run_id]) == 1
         err = capsys.readouterr().err
         assert "journaled a 'faults' run" in err
+
+
+class TestAmbiguousRunRefs:
+    def _seed_two(self, tmp_path):
+        from repro.obs.ledger import open_ledger
+
+        path = str(tmp_path / "amb.db")
+        with open_ledger(path) as ledger:
+            for run_id, ts in (("abc111", 1.0), ("abd222", 2.0)):
+                ledger.record("run", "a", config={}, counters={},
+                              run_id=run_id, ts=ts)
+        return path
+
+    def test_report_compare_lists_candidates(self, tmp_path, capsys):
+        path = self._seed_two(tmp_path)
+        assert main(["report", "--compare", "ab", "abd222",
+                     "--ledger", path]) == 1
+        err = capsys.readouterr().err
+        assert "ambiguous" in err
+        assert "abc111" in err and "abd222" in err
+
+    def test_blackbox_lists_candidates(self, tmp_path, capsys):
+        path = self._seed_two(tmp_path)
+        assert main(["blackbox", "ab", "--ledger", path]) == 1
+        err = capsys.readouterr().err
+        assert "ambiguous" in err
+        assert "abc111" in err and "abd222" in err

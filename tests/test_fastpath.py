@@ -151,6 +151,60 @@ class TestPredecodeCache:
         sim.machine.write_mem(1, 0x1234)
         assert 0 not in cache.entries
 
+    def test_invalidate_at_address_zero_does_not_wrap(self):
+        # Regression: a store to address 0 used to probe word -1, which
+        # wrapped to the top of the 2^16-word space and evicted whatever
+        # entry happened to live at 0xFFFF.
+        words = assemble("and @2, @0, @1\nlex $rv, 0\nsys\n").words
+        sim = FunctionalSimulator(ways=6)
+        sim.load(list(words))
+        cache = fastpath.cache_for(sim.machine)
+        entry = cache.lookup(sim.machine.mem, 0)
+        assert entry.words == 2
+        # Plant a synthetic two-word entry at the very top.  One cannot
+        # arise naturally (it would be truncated), which is exactly why
+        # the wrapped probe went unnoticed.
+        cache.entries[0xFFFF] = entry
+        sim.machine.write_mem(0, 0x1234)
+        assert 0 not in cache.entries
+        assert 0xFFFF in cache.entries
+
+    def test_two_word_invalidation_at_top_edge(self):
+        # A two-word Qat instruction straddling 0xFFFE/0xFFFF: a store
+        # into its second (last-addressable) word must evict the prefix.
+        words = assemble("and @2, @0, @1\n").words
+        sim = FunctionalSimulator(ways=6)
+        sim.load([0])
+        sim.machine.write_mem(0xFFFE, words[0])
+        sim.machine.write_mem(0xFFFF, words[1])
+        cache = fastpath.cache_for(sim.machine)
+        entry = cache.lookup(sim.machine.mem, 0xFFFE)
+        assert entry.words == 2
+        sim.machine.write_mem(0xFFFF, 0x0001)
+        assert 0xFFFE not in cache.entries
+
+    def test_self_modifying_store_to_address_zero(self):
+        # Behavioral check for the same regression: rewriting word 0
+        # (already executed) must not disturb later execution.
+        src = """
+            lex $0, 0
+            lex $1, 0
+            store $0, $1
+            lex $3, 9
+            lex $rv, 0
+            sys
+        """
+        program = assemble(src)
+        results = []
+        for predecode in (True, False):
+            sim = FunctionalSimulator(ways=6)
+            sim.load(program)
+            sim.machine.predecode_enabled = predecode
+            sim.run(max_steps=100)
+            results.append(_snap(sim))
+        _assert_same_state(results[0], results[1])
+        assert results[0]["regs"][3] == 9
+
     @pytest.mark.parametrize("sim_cls", SIMS)
     def test_self_modifying_program(self, sim_cls):
         """A program that rewrites an upcoming instruction word.

@@ -517,15 +517,36 @@ class TestStatusLine:
         assert stream.writes[-1].endswith("\r")
         assert set(stream.writes[-1].strip("\r")) <= {" "}
 
-    def test_non_tty_prints_plain_lines(self):
+    def test_non_tty_suppresses_throttled_rewrites(self):
+        # Regression: the gauge used to repeat-print on pipes/CI logs,
+        # accumulating hundreds of near-identical lines.  Only println
+        # (the durable final summary) may reach a non-TTY stream.
         from repro.cli import _StatusLine
 
         stream = _FakeTty(tty=False)
         line = _StatusLine(stream)
         line("progress: 1/4")
+        line("progress: 2/4")
         line.clear()  # no-op
-        assert not any("\r" in w for w in stream.writes)
-        assert any("progress: 1/4" in w for w in stream.writes)
+        assert stream.writes == []
+        line.println("final: 4/4")
+        assert "".join(stream.writes) == "final: 4/4\n"
+
+    def test_tty_rewrite_clamped_to_terminal_width(self):
+        # Regression: a status line wider than the terminal wrapped,
+        # breaking the \r-rewrite into a torn stack of lines.
+        from repro.cli import _StatusLine
+
+        stream = _FakeTty()
+        line = _StatusLine(stream, width=20)
+        line("x" * 50)
+        # Clamped to width-1: the last column must stay free or most
+        # terminals wrap on the final cell.
+        assert stream.writes[0] == "\r" + "x" * 19
+        line("y" * 5)
+        # The shorter rewrite pads over the clamped width, not the
+        # original 50 columns.
+        assert stream.writes[1] == "\r" + "y" * 5 + " " * 14
 
     def test_tracker_finish_clears_before_final_summary(self):
         from repro.obs.progress import ProgressTracker

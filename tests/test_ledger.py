@@ -89,6 +89,30 @@ class TestLedgerCore:
             with pytest.raises(ReproError, match="no recorded run"):
                 ledger.get("zz")
 
+    def test_ambiguous_prefix_lists_candidates(self, tmp_path):
+        # Regression: the ambiguity error must carry the candidate ids
+        # so report --compare / blackbox can show them, and must name
+        # them in the message rather than leaving the user to guess.
+        with open_ledger(str(tmp_path / "l.db")) as ledger:
+            _seed(ledger, "a", {}, run_id="abc111", ts=1.0)
+            _seed(ledger, "a", {}, run_id="abd222", ts=2.0)
+            with pytest.raises(ledger_mod.AmbiguousRunId) as excinfo:
+                ledger.get("ab")
+            assert excinfo.value.candidates == ["abc111", "abd222"]
+            assert "abc111" in str(excinfo.value)
+            assert "abd222" in str(excinfo.value)
+
+    def test_resolve_ambiguous_prefix_does_not_fall_back_to_label(
+            self, tmp_path):
+        # Regression: resolve() used to swallow the ambiguity into the
+        # label fallback and report "matches no recorded run", silently
+        # hiding that the prefix matched several runs.
+        with open_ledger(str(tmp_path / "l.db")) as ledger:
+            _seed(ledger, "a", {}, run_id="abc111", ts=1.0)
+            _seed(ledger, "a", {}, run_id="abd222", ts=2.0)
+            with pytest.raises(ledger_mod.AmbiguousRunId, match="abd222"):
+                ledger.resolve("ab")
+
     def test_resolve_label_falls_back_to_latest(self, tmp_path):
         with open_ledger(str(tmp_path / "l.db")) as ledger:
             _seed(ledger, "fig10.re", {"n": 1}, ts=1.0)
@@ -430,8 +454,9 @@ class TestShardJournal:
         assert ledger_mod.resolve_journal_run("abc", path=path) == "abc123"
         assert ledger_mod.resolve_journal_run("abc123", path=path) == \
             "abc123"
-        with pytest.raises(ReproError, match="ambiguous"):
+        with pytest.raises(ledger_mod.AmbiguousRunId) as excinfo:
             ledger_mod.resolve_journal_run("ab", path=path)
+        assert sorted(excinfo.value.candidates) == ["abc123", "abd999"]
         with pytest.raises(ReproError, match="no journaled run"):
             ledger_mod.resolve_journal_run("zzz", path=path)
 
