@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Regenerate ``BENCH_warmcache.json``: persistent chunk cache payoff.
+
+Times two RE-substrate workloads three ways each:
+
+- ``nocache``: the feature off entirely (the pre-cache baseline);
+- ``cold``: ``--chunk-cache`` against a fresh empty cache -- the first
+  invocation, paying compute *plus* publication;
+- ``warm``: the identical rerun against the now-filled cache -- every
+  local gate miss served from the persistent memos.
+
+Workloads:
+
+- ``fig10_re``: repeated ``fig10`` runs on the RE Qat backend -- the
+  canonical "same command again" case;
+- ``campaign_re``: a repeated RE fault campaign (every run its own
+  simulator and fault plan), the fan-out shape the cache was built for.
+
+Each workload asserts its observable results byte-identical across all
+three passes before any number is written: the cache changes *when*
+chunk products are computed, never *what*.  ``hit_rates`` records the
+persistent gate-memo hit rate of the warm passes (hits over the local
+gate misses that consulted the cache); the acceptance bar is >= 0.5 on
+repeated ``fig10.re``.  ``speedups`` is warm vs cold -- rerunning a
+cached command vs its cache-filling first invocation; the ``nocache``
+column stays in the artifact so the bookkeeping overhead at this
+chunk width (sha-256 content addressing + sqlite lookups vs sub-KiB
+numpy gate ops) is never hidden.
+
+Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/bench_warmcache.py
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+import time
+
+from repro.apps import fig10_program, run_factor_program
+from repro.faults.campaign import render_report, run_campaign
+from repro.pattern import persist, reset_default_stores
+
+REPEATS = 20  # fig10 invocations per timed pass
+CAMPAIGN_REPEATS = 5
+CAMPAIGN = dict(program="fig10", runs=24, seed=7, qat_backend="re")
+
+
+def _fig10_once() -> int:
+    reset_default_stores()
+    sim, (r0, r1) = run_factor_program(
+        fig10_program(), ways=8, simulator="functional", qat_backend="re"
+    )
+    assert sorted((r0, r1)) == [3, 5]
+    return sim.machine.instret
+
+
+def _persist_rate() -> float:
+    counters = persist.counter_snapshot()
+    hits = counters.get("chunkstore.persist.hit", 0)
+    misses = counters.get("chunkstore.persist.miss", 0)
+    return hits / (hits + misses) if hits + misses else 0.0
+
+
+def _campaign_once() -> str:
+    return render_report(run_campaign(**CAMPAIGN))
+
+
+def _time_invocations(fn, paths) -> tuple[float, list]:
+    """Time ``len(paths)`` self-contained invocations of ``fn``.
+
+    Each repetition opens its cache, runs the workload, and flushes on
+    the way out -- exactly what one ``tangled ... --chunk-cache``
+    process pays.  ``paths`` picks the cache state per repetition:
+    ``None`` (feature off), a fresh path every time (every invocation
+    cold), or one shared pre-filled path (every invocation warm).
+    """
+    results = []
+    t0 = time.perf_counter()
+    for path in paths:
+        with persist.overridden(path):
+            results.append(fn())
+    return time.perf_counter() - t0, results
+
+
+def _entry(nocache_s: float, cold_s: float, warm_s: float, rate: float,
+           repeats: int) -> dict:
+    return {
+        "repeats": repeats,
+        "nocache_seconds": round(nocache_s, 4),
+        "cold_seconds": round(cold_s, 4),
+        "warm_seconds": round(warm_s, 4),
+        "warm_hit_rate": round(rate, 4),
+    }
+
+
+def main() -> None:
+    workdir = tempfile.mkdtemp(prefix="tangled-bench-warmcache-")
+    try:
+        # -- fig10_re -----------------------------------------------------
+        nocache_s, nocache_results = _time_invocations(
+            _fig10_once, [None] * REPEATS)
+        cold_s, cold_results = _time_invocations(
+            _fig10_once,
+            [f"{workdir}/fig10-cold{i}.db" for i in range(REPEATS)])
+        _time_invocations(_fig10_once, [f"{workdir}/fig10.db"])  # fill
+        persist.reset_counters()
+        warm_s, warm_results = _time_invocations(
+            _fig10_once, [f"{workdir}/fig10.db"] * REPEATS)
+        fig10_rate = _persist_rate()
+        assert nocache_results == cold_results == warm_results, \
+            "fig10 results diverged across cache states"
+        fig10 = _entry(nocache_s, cold_s, warm_s, fig10_rate, REPEATS)
+
+        # -- campaign_re --------------------------------------------------
+        camp_nocache_s, nocache_reports = _time_invocations(
+            _campaign_once, [None] * CAMPAIGN_REPEATS)
+        camp_cold_s, cold_reports = _time_invocations(
+            _campaign_once,
+            [f"{workdir}/camp-cold{i}.db" for i in range(CAMPAIGN_REPEATS)])
+        _time_invocations(_campaign_once, [f"{workdir}/campaign.db"])  # fill
+        persist.reset_counters()
+        camp_warm_s, warm_reports = _time_invocations(
+            _campaign_once, [f"{workdir}/campaign.db"] * CAMPAIGN_REPEATS)
+        campaign_rate = _persist_rate()
+        assert nocache_reports == cold_reports == warm_reports, \
+            "campaign reports diverged across cache states"
+        campaign = _entry(camp_nocache_s, camp_cold_s, camp_warm_s,
+                          campaign_rate, CAMPAIGN_REPEATS)
+    finally:
+        persist.reset()
+        reset_default_stores()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    assert fig10_rate >= 0.5, f"fig10.re warm hit rate {fig10_rate} < 0.5"
+    doc = {
+        "workloads": {
+            "fig10_re": fig10,
+            "campaign_re": {**campaign, "campaign": CAMPAIGN},
+        },
+        "hit_rates": {
+            "fig10_re": fig10["warm_hit_rate"],
+            "campaign_re": campaign["warm_hit_rate"],
+        },
+        "speedups": {
+            "fig10_re_warm_vs_cold": round(
+                fig10["cold_seconds"] / fig10["warm_seconds"], 2),
+            "campaign_re_warm_vs_cold": round(
+                campaign["cold_seconds"] / campaign["warm_seconds"], 2),
+        },
+    }
+    with open("BENCH_warmcache.json", "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(json.dumps({"hit_rates": doc["hit_rates"],
+                      "speedups": doc["speedups"]}, indent=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -11,6 +11,7 @@ pairs), not O(total bits).
 
 from __future__ import annotations
 
+import hashlib
 import zlib
 
 import numpy as np
@@ -35,7 +36,8 @@ class ChunkStore:
     constant registers ``@0`` = 0 and ``@1`` = 1).
     """
 
-    def __init__(self, chunk_ways: int, memo_limit: int = MEMO_LIMIT):
+    def __init__(self, chunk_ways: int, memo_limit: int = MEMO_LIMIT,
+                 cache=None):
         if chunk_ways < 0:
             raise EntanglementError(f"chunk_ways must be >= 0, got {chunk_ways}")
         if memo_limit <= 0:
@@ -43,20 +45,25 @@ class ChunkStore:
                 f"memo_limit must be positive, got {memo_limit}"
             )
         self.chunk_ways = chunk_ways
-        #: LRU bound on :attr:`_binop_cache` / :attr:`_not_cache` entries
+        #: LRU bound on every memo table (binop / not / measurement)
         self.memo_limit = memo_limit
         #: memo entries dropped to stay under :attr:`memo_limit`
         self.memo_evicted = 0
+        #: eviction breakdown per memo table
+        self.memo_evicted_by = {"binop": 0, "not": 0, "measure": 0}
         self.chunk_bits = 1 << chunk_ways
-        self._chunks: list[AoB] = []
-        self._ids: dict[AoB, int] = {}
-        # crc32 of each interned chunk's payload, checked by chunk_safe so
-        # a chunk corrupted after interning degrades instead of poisoning
-        # the symbolic layer.
-        self._crcs: list[int] = []
+        #: optional :class:`repro.pattern.persist.ChunkCache` the store
+        #: consults after a local memo miss and appends new gate results
+        #: to.  The cache changes *when* a chunk product is computed,
+        #: never *what*: a persistent hit interns the exact value a
+        #: local computation would have produced, at the same point in
+        #: the instruction stream, so symbol ids, gate hit/miss counts,
+        #: and results are byte-identical warm vs cold.
+        self.cache = cache
         self._binop_cache: dict[tuple[str, int, int], int] = {}
         self._not_cache: dict[int, int] = {}
-        # Per-symbol measurement summaries, memoized lazily.
+        # Per-symbol measurement summaries, memoized lazily (LRU-bounded
+        # under memo_limit like the gate tables).
         self._popcount: dict[int, int] = {}
         self._first_one: dict[int, int] = {}
         # Memo-table effectiveness (the RE compression win): always kept
@@ -65,8 +72,32 @@ class ChunkStore:
         self.gate_misses = 0
         #: Times chunk_safe had to degrade (bad symbol or digest mismatch).
         self.degraded = 0
+        # Persistent-cache effectiveness (zero and unused without a
+        # cache): hit = a gate product served from the shared cache,
+        # load = its payload actually read from disk (vs already interned
+        # here), store = a locally computed product appended.
+        self.persist_hits = 0
+        self.persist_misses = 0
+        self.persist_loads = 0
+        self.persist_stores = 0
+        self.persist_bytes = 0
+        self._reset_chunks()
         self.zero_id = self.intern(AoB.zeros(chunk_ways))
         self.one_id = self.intern(AoB.ones(chunk_ways))
+
+    def _reset_chunks(self) -> None:
+        self._chunks: list[AoB] = []
+        self._ids: dict[AoB, int] = {}
+        # crc32 of each interned chunk's payload, checked by chunk_safe so
+        # a chunk corrupted after interning degrades instead of poisoning
+        # the symbolic layer.
+        self._crcs: list[int] = []
+        # Content addresses, maintained only when a persistent cache is
+        # attached: sha256 digest per symbol plus the reverse index that
+        # lets a persistent memo hit resolve to an already-interned
+        # symbol without touching the disk payload.
+        self._digests: list[str] = []
+        self._by_digest: dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._chunks)
@@ -85,6 +116,10 @@ class ChunkStore:
             self._chunks.append(chunk)
             self._ids[chunk] = sym
             self._crcs.append(zlib.crc32(chunk.words.tobytes()))
+            if self.cache is not None:
+                digest = hashlib.sha256(chunk.words.tobytes()).hexdigest()
+                self._digests.append(digest)
+                self._by_digest.setdefault(digest, sym)
             if _obs.active:
                 _obs.current().metrics.gauge("chunkstore.symbols").set(
                     len(self._chunks)
@@ -140,6 +175,16 @@ class ChunkStore:
         self._ids = {}
         for i, chunk in enumerate(self._chunks):
             self._ids.setdefault(chunk, i)
+        if self.cache is not None:
+            # The symbol's content address changed with its bits; the
+            # mutated value is local truth only and is never written
+            # back to the shared cache.
+            self._digests[sym] = hashlib.sha256(
+                self._chunks[sym].words.tobytes()
+            ).hexdigest()
+            self._by_digest = {}
+            for i, digest in enumerate(self._digests):
+                self._by_digest.setdefault(digest, i)
 
     # -- checkpoint support ---------------------------------------------------
 
@@ -167,6 +212,13 @@ class ChunkStore:
         for i, chunk in enumerate(chunks):
             self._ids.setdefault(chunk, i)
         self._crcs = [zlib.crc32(c.words.tobytes()) for c in chunks]
+        self._digests = []
+        self._by_digest = {}
+        if self.cache is not None:
+            for i, chunk in enumerate(chunks):
+                digest = hashlib.sha256(chunk.words.tobytes()).hexdigest()
+                self._digests.append(digest)
+                self._by_digest.setdefault(digest, i)
         self._binop_cache.clear()
         self._not_cache.clear()
         self._popcount.clear()
@@ -190,6 +242,11 @@ class ChunkStore:
             self._count_gate(hit=True)
             return sym
         self._count_gate(hit=False)
+        if self.cache is not None:
+            sym = self._persist_lookup(op, a, b)
+            if sym is not None:
+                self._memo_insert(cache, key, sym, "binop")
+                return sym
         ca, cb = self._chunks[a], self._chunks[b]
         if op == "and":
             result = ca & cb
@@ -200,7 +257,9 @@ class ChunkStore:
         else:
             raise ValueError(f"unknown chunk binop {op!r}")
         sym = self.intern(result)
-        self._memo_insert(cache, key, sym)
+        self._memo_insert(cache, key, sym, "binop")
+        if self.cache is not None:
+            self._persist_record(op, a, b, sym)
         return sym
 
     def bnot(self, a: int) -> int:
@@ -212,18 +271,92 @@ class ChunkStore:
             self._count_gate(hit=True)
             return sym
         self._count_gate(hit=False)
+        if self.cache is not None:
+            sym = self._persist_lookup("not", a, None)
+            if sym is not None:
+                self._memo_insert(cache, a, sym, "not")
+                self._memo_insert(cache, sym, a, "not")  # involution
+                return sym
         sym = self.intern(~self._chunks[a])
-        self._memo_insert(cache, a, sym)
-        self._memo_insert(cache, sym, a)  # involution
+        self._memo_insert(cache, a, sym, "not")
+        self._memo_insert(cache, sym, a, "not")  # involution
+        if self.cache is not None:
+            self._persist_record("not", a, None, sym)
         return sym
 
-    def _memo_insert(self, cache: dict, key, value) -> None:
+    # -- persistent shared cache ----------------------------------------------
+
+    def _persist_lookup(self, op: str, a: int, b: int | None) -> int | None:
+        """Resolve ``op(a, b)`` from the shared cache, or None on miss.
+
+        Runs only after a local memo miss was already counted, so the
+        gate hit/miss counters -- and everything downstream of the
+        returned symbol -- are identical whether the product came from
+        the cache or a local recomputation.  A payload that fails its
+        integrity checks degrades through :meth:`_degrade` (the same
+        counter ``chunk_safe`` uses) and falls back to local compute.
+        """
+        da = self._digests[a]
+        db = self._digests[b] if b is not None else ""
+        result = self.cache.lookup_memo(op, da, db, self.chunk_ways)
+        if result is None:
+            self._count_persist("miss")
+            return None
+        sym = self._by_digest.get(result)
+        if sym is not None:
+            self._count_persist("hit")
+            return sym
+        words, status = self.cache.load_chunk(result, self.chunk_ways)
+        if words is None or len(words) != (
+                max(self.chunk_bits, 64) >> 6):
+            if status == "corrupt" or words is not None:
+                self._degrade(
+                    f"cached payload for {result[:12]} failed integrity"
+                )
+            self._count_persist("miss")
+            return None
+        self._count_persist("hit")
+        self._count_persist("load", nbytes=words.nbytes)
+        return self.intern(AoB(self.chunk_ways, words))
+
+    def _persist_record(self, op: str, a: int, b: int | None,
+                        sym: int) -> None:
+        """Append a locally computed gate product to the shared cache."""
+        chunk = self._chunks[sym]
+        self.cache.store_chunk(self._digests[sym], self.chunk_ways,
+                               chunk.words)
+        self.cache.store_memo(op, self._digests[a],
+                              self._digests[b] if b is not None else "",
+                              self.chunk_ways, self._digests[sym])
+        self._count_persist("store")
+
+    def _count_persist(self, kind: str, nbytes: int = 0) -> None:
+        from repro.pattern import persist
+
+        persist.note_counter(kind, nbytes)
+        if kind == "hit":
+            self.persist_hits += 1
+        elif kind == "miss":
+            self.persist_misses += 1
+        elif kind == "load":
+            self.persist_loads += 1
+            self.persist_bytes += nbytes
+        else:
+            self.persist_stores += 1
+        if _obs.active:
+            metrics = _obs.current().metrics
+            metrics.counter(f"chunkstore.persist.{kind}").inc()
+            if nbytes:
+                metrics.counter("chunkstore.persist.bytes").add(nbytes)
+
+    def _memo_insert(self, cache: dict, key, value, table: str) -> None:
         """Insert one memo entry, evicting the least recently used past
         :attr:`memo_limit` (dict order = recency: hits re-append)."""
         cache[key] = value
         if len(cache) > self.memo_limit:
             cache.pop(next(iter(cache)))
             self.memo_evicted += 1
+            self.memo_evicted_by[table] += 1
             if _obs.active:
                 _obs.current().metrics.counter("chunkstore.memo.evicted").inc()
 
@@ -247,28 +380,38 @@ class ChunkStore:
 
     def popcount(self, sym: int) -> int:
         """Number of 1 bits in symbol ``sym``."""
-        count = self._popcount.get(sym)
-        if count is None:
-            count = self.chunk_safe(sym).popcount()
-            self._popcount[sym] = count
+        count = self._popcount.pop(sym, None)
+        if count is not None:
+            self._popcount[sym] = count  # re-append: most recently used
+            return count
+        count = self.chunk_safe(sym).popcount()
+        self._memo_insert(self._popcount, sym, count, "measure")
         return count
 
     def first_one(self, sym: int) -> int:
         """Lowest channel holding a 1 within the chunk, or -1 if none."""
-        first = self._first_one.get(sym)
-        if first is None:
-            chunk = self.chunk_safe(sym)
-            if chunk.meas(0):
-                first = 0
-            else:
-                nxt = chunk.next(0)
-                first = nxt if nxt else -1
-            self._first_one[sym] = first
+        first = self._first_one.pop(sym, None)
+        if first is not None:
+            self._first_one[sym] = first  # re-append: most recently used
+            return first
+        chunk = self.chunk_safe(sym)
+        if chunk.meas(0):
+            first = 0
+        else:
+            nxt = chunk.next(0)
+            first = nxt if nxt else -1
+        self._memo_insert(self._first_one, sym, first, "measure")
         return first
 
-    def stats(self) -> dict[str, int]:
-        """Diagnostics: store size, cache hit surface, and memo hit rate."""
-        return {
+    def stats(self) -> dict:
+        """Diagnostics: store size, cache hit surface, and memo hit rate.
+
+        With a persistent cache attached, a nested ``cache`` section
+        reports the shared-cache surface (path, hit/miss/load/store
+        counts, and payload bytes read); without one the key is absent
+        so cold-run stats stay byte-identical to older builds.
+        """
+        out = {
             "symbols": len(self._chunks),
             "binop_cache": len(self._binop_cache),
             "not_cache": len(self._not_cache),
@@ -276,5 +419,18 @@ class ChunkStore:
             "gate_misses": self.gate_misses,
             "memo_limit": self.memo_limit,
             "memo_evicted": self.memo_evicted,
+            "memo_evicted_binop": self.memo_evicted_by["binop"],
+            "memo_evicted_not": self.memo_evicted_by["not"],
+            "memo_evicted_measure": self.memo_evicted_by["measure"],
             "degraded": self.degraded,
         }
+        if self.cache is not None:
+            out["cache"] = {
+                "path": self.cache.path,
+                "hit": self.persist_hits,
+                "miss": self.persist_misses,
+                "load": self.persist_loads,
+                "store": self.persist_stores,
+                "bytes": self.persist_bytes,
+            }
+        return out

@@ -1,0 +1,418 @@
+"""Persistent shared chunk cache: a warm RE substrate across processes.
+
+Every :class:`~repro.pattern.chunkstore.ChunkStore` dies with its
+process, so ``--jobs`` workers start cold, ``tangled bench`` rounds
+reset their stores by design, and repeated campaigns re-derive the same
+Hadamard chunks and gate products forever.  This module is the shared
+memory those stores can attach to: a content-addressed, on-disk cache
+holding
+
+- **chunk payloads** keyed by the SHA-256 digest of their dense words
+  (with a crc32 stored alongside for cheap integrity checks), and
+- **gate memos** ``(op, digest_a, digest_b) -> digest_result`` -- the
+  chunk-level gate algebra itself, which is a pure function of the
+  operand *values* and therefore safe to share across runs, rounds,
+  workers, seeds, and even unrelated workloads of the same chunk width.
+
+A store attached at construction consults the cache only after a local
+memo miss (the in-memory tables stay the fast path) and appends new
+results write-behind, so the cache changes *when* a chunk product is
+computed -- never *what*.  Concurrent writers are survivable via the
+same WAL + busy-timeout + retry-on-locked SQLite discipline as
+:mod:`repro.obs.ledger`; payload corruption is caught by crc32 (and the
+content digest itself) and degrades through the store's existing
+``chunk_safe``/``degraded`` path instead of poisoning the symbolic
+layer.
+
+Activation is process-wide: ``tangled ... --chunk-cache PATH`` or the
+``TANGLED_CHUNK_CACHE`` environment variable; :func:`attached_cache`
+hands the one shared :class:`ChunkCache` instance to every store
+constructed afterwards.  Forked workers (the ``--jobs`` pool) inherit
+the configuration but never the parent's connection: the cache is
+pid-guarded and lazily reopens (dropping inherited pending writes) on
+first use in the child.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import sqlite3
+import zlib
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.errors import ReproError
+# Reuse the ledger's hardened-open and retry-on-locked helpers so both
+# persistent databases share one concurrency discipline.
+from repro.obs.ledger import _connect, _locked_retry
+
+#: Environment variable activating the cache process-wide.
+ENV_VAR = "TANGLED_CHUNK_CACHE"
+
+#: Cache schema version (sqlite ``PRAGMA user_version``).
+SCHEMA_VERSION = 1
+
+#: Write-behind buffer size: pending chunk/memo appends are flushed to
+#: the database once this many accumulate (and at every explicit
+#: :func:`flush` point -- end of run, end of bench round, worker task
+#: boundary).
+FLUSH_THRESHOLD = 256
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS chunks (
+    digest     TEXT NOT NULL,
+    chunk_ways INTEGER NOT NULL,
+    crc        INTEGER NOT NULL,
+    payload    BLOB NOT NULL,
+    PRIMARY KEY (digest, chunk_ways)
+);
+CREATE TABLE IF NOT EXISTS memos (
+    op         TEXT NOT NULL,
+    a          TEXT NOT NULL,
+    b          TEXT NOT NULL,
+    chunk_ways INTEGER NOT NULL,
+    result     TEXT NOT NULL,
+    PRIMARY KEY (op, a, b, chunk_ways)
+);
+"""
+
+
+def chunk_digest(words) -> str:
+    """Content address of one chunk payload (SHA-256 of its words)."""
+    return hashlib.sha256(np.ascontiguousarray(words).tobytes()).hexdigest()
+
+
+class ChunkCache:
+    """One on-disk chunk/memo cache, shared by every attached store.
+
+    All methods are safe to call after a ``fork()``: the connection and
+    any pending write-behind entries belong to the process that created
+    them, so a child lazily reopens its own connection and starts with
+    empty pending buffers (the parent flushes its own).
+    """
+
+    def __init__(self, path: str, flush_threshold: int = FLUSH_THRESHOLD):
+        self.path = os.path.abspath(os.path.expanduser(path))
+        self.flush_threshold = flush_threshold
+        self._conn: sqlite3.Connection | None = None
+        self._pid: int | None = None
+        # digest -> (crc, payload bytes); write-behind, INSERT OR REPLACE
+        self._pending_chunks: dict[tuple[str, int], tuple[int, bytes]] = {}
+        # (op, a, b, chunk_ways) -> result digest; INSERT OR IGNORE
+        self._pending_memos: dict[tuple[str, str, str, int], str] = {}
+
+    # -- connection lifecycle -------------------------------------------------
+
+    def _connection(self) -> sqlite3.Connection:
+        pid = os.getpid()
+        if self._conn is None or self._pid != pid:
+            if self._conn is not None and self._pid != pid:
+                # Forked child: the socket-level sqlite handle belongs
+                # to the parent; abandon it (never close it from here)
+                # along with any inherited pending writes -- the parent
+                # flushes its own.
+                self._conn = None
+                self._pending_chunks.clear()
+                self._pending_memos.clear()
+            parent = os.path.dirname(self.path)
+            if parent:
+                os.makedirs(parent, exist_ok=True)
+            conn = _connect(self.path)
+            version = conn.execute("PRAGMA user_version").fetchone()[0]
+            if version == 0:
+                _locked_retry(lambda: self._init_schema(conn))
+            elif version != SCHEMA_VERSION:
+                conn.close()
+                raise ReproError(
+                    f"chunk cache {self.path!r} has schema version "
+                    f"{version}; this build supports {SCHEMA_VERSION}"
+                )
+            self._conn = conn
+            self._pid = pid
+        return self._conn
+
+    @staticmethod
+    def _init_schema(conn: sqlite3.Connection) -> None:
+        with conn:
+            conn.executescript(_SCHEMA)
+            conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+
+    def close(self) -> None:
+        """Flush pending writes and drop the connection."""
+        self.flush()
+        if self._conn is not None and self._pid == os.getpid():
+            self._conn.close()
+        self._conn = None
+        self._pid = None
+
+    # -- lookups --------------------------------------------------------------
+
+    def lookup_memo(self, op: str, a: str, b: str,
+                    chunk_ways: int) -> str | None:
+        """Digest of ``op(a, b)``'s result, or None if never recorded."""
+        key = (op, a, b, chunk_ways)
+        pending = self._pending_memos.get(key)
+        if pending is not None:
+            return pending
+        conn = self._connection()
+        row = _locked_retry(lambda: conn.execute(
+            "SELECT result FROM memos WHERE op = ? AND a = ? AND b = ? "
+            "AND chunk_ways = ?", key).fetchone())
+        return row["result"] if row is not None else None
+
+    def load_chunk(self, digest: str,
+                   chunk_ways: int) -> tuple[np.ndarray | None, str]:
+        """``(words, status)`` for a cached payload.
+
+        Status is ``"ok"`` (words verified against both the stored crc32
+        and the content digest), ``"missing"`` (never stored, or lost to
+        a partial write), or ``"corrupt"`` (stored bytes no longer match
+        their integrity checks -- the caller should degrade and
+        recompute, exactly as ``chunk_safe`` does for in-memory rot).
+        """
+        pending = self._pending_chunks.get((digest, chunk_ways))
+        if pending is not None:
+            crc, payload = pending
+        else:
+            conn = self._connection()
+            row = _locked_retry(lambda: conn.execute(
+                "SELECT crc, payload FROM chunks WHERE digest = ? "
+                "AND chunk_ways = ?", (digest, chunk_ways)).fetchone())
+            if row is None:
+                return None, "missing"
+            crc, payload = row["crc"], row["payload"]
+        if (zlib.crc32(payload) != crc
+                or hashlib.sha256(payload).hexdigest() != digest):
+            return None, "corrupt"
+        return np.frombuffer(payload, dtype=np.uint64).copy(), "ok"
+
+    def has_chunk(self, digest: str, chunk_ways: int) -> bool:
+        """True if a payload for ``digest`` is stored (or pending)."""
+        if (digest, chunk_ways) in self._pending_chunks:
+            return True
+        conn = self._connection()
+        row = _locked_retry(lambda: conn.execute(
+            "SELECT 1 FROM chunks WHERE digest = ? AND chunk_ways = ?",
+            (digest, chunk_ways)).fetchone())
+        return row is not None
+
+    # -- write-behind appends -------------------------------------------------
+
+    def store_chunk(self, digest: str, chunk_ways: int, words) -> None:
+        payload = np.ascontiguousarray(words).tobytes()
+        self._pending_chunks[(digest, chunk_ways)] = (
+            zlib.crc32(payload), payload,
+        )
+        self._maybe_flush()
+
+    def store_memo(self, op: str, a: str, b: str, chunk_ways: int,
+                   result: str) -> None:
+        self._pending_memos[(op, a, b, chunk_ways)] = result
+        self._maybe_flush()
+
+    def _maybe_flush(self) -> None:
+        if (len(self._pending_chunks) + len(self._pending_memos)
+                >= self.flush_threshold):
+            self.flush()
+
+    def flush(self) -> None:
+        """Commit every pending append in one transaction.
+
+        ``INSERT OR REPLACE`` for chunks (content-addressed, so a
+        replace can only heal a corrupted row) and ``INSERT OR IGNORE``
+        for memos (every writer derives the same mapping, first one
+        wins).  Best-effort concurrency: retried on lock contention.
+        """
+        if not self._pending_chunks and not self._pending_memos:
+            return
+        conn = self._connection()
+        chunk_rows = [
+            (digest, chunk_ways, crc, payload)
+            for (digest, chunk_ways), (crc, payload)
+            in self._pending_chunks.items()
+        ]
+        memo_rows = [
+            (op, a, b, chunk_ways, result)
+            for (op, a, b, chunk_ways), result
+            in self._pending_memos.items()
+        ]
+
+        def _commit() -> None:
+            with conn:
+                conn.executemany(
+                    "INSERT OR REPLACE INTO chunks "
+                    "(digest, chunk_ways, crc, payload) VALUES (?, ?, ?, ?)",
+                    chunk_rows,
+                )
+                conn.executemany(
+                    "INSERT OR IGNORE INTO memos "
+                    "(op, a, b, chunk_ways, result) VALUES (?, ?, ?, ?, ?)",
+                    memo_rows,
+                )
+
+        _locked_retry(_commit)
+        self._pending_chunks.clear()
+        self._pending_memos.clear()
+
+    # -- diagnostics ----------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Durable cache contents: row counts and file size."""
+        conn = self._connection()
+        chunks = _locked_retry(lambda: conn.execute(
+            "SELECT COUNT(*) FROM chunks").fetchone())[0]
+        memos = _locked_retry(lambda: conn.execute(
+            "SELECT COUNT(*) FROM memos").fetchone())[0]
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:
+            size = 0
+        return {
+            "path": self.path,
+            "chunks": int(chunks),
+            "memos": int(memos),
+            "file_bytes": int(size),
+            "pending": len(self._pending_chunks) + len(self._pending_memos),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Process-wide counters
+# ---------------------------------------------------------------------------
+
+#: Aggregate cache surface across every attached store in this process.
+#: Telemetry (when active) carries the same events as
+#: ``chunkstore.persist.*`` counters; this plain-dict mirror lets the
+#: CLI record cache effectiveness in the run ledger even on fast-path
+#: runs that never install telemetry.
+_counters = {"hit": 0, "miss": 0, "load": 0, "store": 0, "bytes": 0}
+
+
+def note_counter(kind: str, nbytes: int = 0) -> None:
+    """One cache event from an attached store (see ChunkStore)."""
+    _counters[kind] += 1
+    if nbytes:
+        _counters["bytes"] += nbytes
+
+
+def counter_snapshot() -> dict[str, int]:
+    """``chunkstore.persist.*``-keyed totals; empty when nothing fired."""
+    if not any(_counters.values()):
+        return {}
+    return {
+        f"chunkstore.persist.{kind}": value
+        for kind, value in sorted(_counters.items())
+    }
+
+
+def reset_counters() -> None:
+    """Zero the process-wide totals (one CLI command, one window)."""
+    for kind in _counters:
+        _counters[kind] = 0
+
+
+# ---------------------------------------------------------------------------
+# Process-wide activation
+# ---------------------------------------------------------------------------
+
+_UNSET = object()
+#: Explicit override set by :func:`configure`; ``_UNSET`` falls back to
+#: the environment variable.
+_override: object = _UNSET
+_cache: ChunkCache | None = None
+
+
+def configure(path: str | None) -> None:
+    """Activate (or with ``None`` deactivate) the cache process-wide.
+
+    Overrides :data:`ENV_VAR`.  Any previously attached cache is flushed
+    first; stores already constructed keep their attachment (a cache is
+    wired in at store construction only).
+    """
+    global _override, _cache
+    if _cache is not None:
+        _cache.flush()
+    _override = path
+    _cache = None
+
+
+def configured_path() -> str | None:
+    """The path the next :func:`attached_cache` call resolves, or None."""
+    if _override is not _UNSET:
+        return _override  # type: ignore[return-value]
+    return os.environ.get(ENV_VAR) or None
+
+
+def active() -> bool:
+    """True when a cache path is configured for this process."""
+    return configured_path() is not None
+
+
+def attached_cache() -> ChunkCache | None:
+    """The process-wide :class:`ChunkCache`, or None when unconfigured."""
+    global _cache
+    path = configured_path()
+    if path is None:
+        return None
+    resolved = os.path.abspath(os.path.expanduser(path))
+    if _cache is None or _cache.path != resolved:
+        if _cache is not None:
+            _cache.flush()
+        _cache = ChunkCache(path)
+    return _cache
+
+
+def flush() -> None:
+    """Flush the attached cache's write-behind buffers, if any."""
+    if _cache is not None:
+        _cache.flush()
+
+
+@contextmanager
+def overridden(path: str | None):
+    """Temporarily force the configured cache path (``None`` disables).
+
+    Restores the previous configuration -- including an already-attached
+    cache instance -- on exit; pending writes are flushed at both
+    boundaries.  ``tangled bench`` wraps each cold-by-design round in
+    ``overridden(None)`` so ambient activation can never skew round
+    counters, and the warm specs wrap their timed region in
+    ``overridden(tmp_cache)``.
+    """
+    global _override, _cache
+    previous_override, previous_cache = _override, _cache
+    flush()
+    _override, _cache = path, None
+    try:
+        yield
+    finally:
+        flush()
+        _override, _cache = previous_override, previous_cache
+
+
+def reset() -> None:
+    """Drop the attached instance and any explicit override.
+
+    Worker initializers call this after ``fork()`` so the child builds
+    its own connection from the inherited environment; tests call it to
+    restore pristine module state.  Pending parent-side writes are
+    intentionally *not* flushed from the child (they are the parent's).
+    """
+    global _override, _cache
+    _override = _UNSET
+    _cache = None
+
+
+def worker_reset() -> None:
+    """Post-fork reset that keeps an explicit :func:`configure` override.
+
+    The ``--jobs`` supervisor forks workers after the CLI resolved
+    ``--chunk-cache``; dropping only the cache *instance* (connection +
+    pending buffers) keeps the worker attached to the same path without
+    sharing the parent's sqlite handle.
+    """
+    global _cache
+    _cache = None
+    reset_counters()

@@ -31,10 +31,19 @@ _default_stores: dict[int, ChunkStore] = {}
 
 
 def default_store(chunk_ways: int = PAPER_CHUNK_WAYS) -> ChunkStore:
-    """Process-wide shared :class:`ChunkStore` for a given chunk width."""
+    """Process-wide shared :class:`ChunkStore` for a given chunk width.
+
+    When a persistent chunk cache is configured
+    (:mod:`repro.pattern.persist`: ``--chunk-cache`` /
+    ``TANGLED_CHUNK_CACHE``) a freshly created store attaches to it, so
+    gate products survive :func:`reset_default_stores` boundaries and
+    process exits.
+    """
     store = _default_stores.get(chunk_ways)
     if store is None:
-        store = ChunkStore(chunk_ways)
+        from repro.pattern import persist
+
+        store = ChunkStore(chunk_ways, cache=persist.attached_cache())
         _default_stores[chunk_ways] = store
     return store
 

@@ -1,0 +1,392 @@
+"""Persistent shared chunk cache tests (:mod:`repro.pattern.persist`).
+
+The cache changes *when* chunk products are computed, never *what*: the
+load-bearing assertions here are byte-identity of campaign reports warm
+vs cold across every fan-out strategy, and the corruption drills that
+prove a poisoned cache degrades through the store's existing
+``chunk_safe``/``degraded`` path instead of changing results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.errors import CheckpointError, ReproError
+from repro.faults.campaign import render_report, run_campaign
+from repro.faults.checkpoint import Checkpoint
+from repro.pattern import persist
+from repro.pattern.chunkstore import ChunkStore
+from repro.pattern.persist import ChunkCache, chunk_digest
+
+
+def _cache(tmp_path, **kw) -> ChunkCache:
+    return ChunkCache(str(tmp_path / "cache.db"), **kw)
+
+
+def _warm_store(cache, gates: int = 12) -> ChunkStore:
+    """Drive a store through a deterministic mix of gate products."""
+    from repro.aob import AoB
+
+    store = ChunkStore(8, cache=cache)
+    rng = np.random.default_rng(42)
+    syms = [
+        store.intern(AoB(8, rng.integers(0, 2**64, size=4, dtype=np.uint64)))
+        for _ in range(6)
+    ]
+    for i in range(gates):
+        a, b = syms[i % len(syms)], syms[(i * 5 + 1) % len(syms)]
+        store.binop("and", a, b)
+        store.binop("xor", a, b)
+        store.bnot(a)
+    return store
+
+
+class TestChunkCache:
+    def test_chunk_roundtrip_and_integrity(self, tmp_path):
+        cache = _cache(tmp_path)
+        words = np.array([1, 2, 3, 4], dtype=np.uint64)
+        digest = chunk_digest(words)
+        cache.store_chunk(digest, 8, words)
+        cache.flush()
+        loaded, status = cache.load_chunk(digest, 8)
+        assert status == "ok" and np.array_equal(loaded, words)
+        assert cache.has_chunk(digest, 8)
+        missing, status = cache.load_chunk("f" * 64, 8)
+        assert missing is None and status == "missing"
+
+    def test_corrupt_payload_detected(self, tmp_path):
+        cache = _cache(tmp_path)
+        words = np.arange(4, dtype=np.uint64)
+        digest = chunk_digest(words)
+        cache.store_chunk(digest, 8, words)
+        cache.flush()
+        bad = np.arange(4, 8, dtype=np.uint64).tobytes()
+        conn = sqlite3.connect(cache.path)
+        conn.execute("UPDATE chunks SET payload = ?", (bad,))
+        conn.commit()
+        conn.close()
+        loaded, status = cache.load_chunk(digest, 8)
+        assert loaded is None and status == "corrupt"
+        # crc intact but content wrong (second preimage drill): the
+        # digest check itself must catch it.
+        conn = sqlite3.connect(cache.path)
+        conn.execute("UPDATE chunks SET payload = ?, crc = ?",
+                     (bad, zlib.crc32(bad)))
+        conn.commit()
+        conn.close()
+        loaded, status = cache.load_chunk(digest, 8)
+        assert loaded is None and status == "corrupt"
+
+    def test_memo_roundtrip_first_writer_wins(self, tmp_path):
+        cache = _cache(tmp_path)
+        cache.store_memo("and", "a" * 64, "b" * 64, 8, "c" * 64)
+        cache.flush()
+        assert cache.lookup_memo("and", "a" * 64, "b" * 64, 8) == "c" * 64
+        assert cache.lookup_memo("and", "b" * 64, "a" * 64, 8) is None
+        # INSERT OR IGNORE: a second writer cannot flip the mapping.
+        cache.store_memo("and", "a" * 64, "b" * 64, 8, "d" * 64)
+        cache.flush()
+        assert cache.lookup_memo("and", "a" * 64, "b" * 64, 8) == "c" * 64
+
+    def test_pending_visible_before_flush(self, tmp_path):
+        cache = _cache(tmp_path, flush_threshold=10_000)
+        words = np.arange(4, dtype=np.uint64)
+        digest = chunk_digest(words)
+        cache.store_chunk(digest, 8, words)
+        cache.store_memo("xor", digest, digest, 8, digest)
+        assert cache.has_chunk(digest, 8)
+        assert cache.lookup_memo("xor", digest, digest, 8) == digest
+        loaded, status = cache.load_chunk(digest, 8)
+        assert status == "ok" and np.array_equal(loaded, words)
+
+    def test_flush_threshold_autoflushes(self, tmp_path):
+        cache = _cache(tmp_path, flush_threshold=4)
+        for i in range(5):
+            words = np.array([i], dtype=np.uint64) * np.ones(4, np.uint64)
+            cache.store_memo("and", f"{i:064x}", f"{i:064x}", 8,
+                             chunk_digest(words))
+        assert cache.stats()["pending"] < 5
+        assert cache.stats()["memos"] > 0
+
+    def test_schema_version_mismatch_rejected(self, tmp_path):
+        cache = _cache(tmp_path)
+        cache.flush()
+        conn = sqlite3.connect(cache.path)
+        conn.execute("PRAGMA user_version = 99")
+        conn.commit()
+        conn.close()
+        fresh = ChunkCache(cache.path)
+        with pytest.raises(ReproError, match="version"):
+            fresh.has_chunk("a" * 64, 8)
+
+    def test_stats_shape(self, tmp_path):
+        cache = _cache(tmp_path)
+        words = np.arange(4, dtype=np.uint64)
+        cache.store_chunk(chunk_digest(words), 8, words)
+        cache.flush()
+        stats = cache.stats()
+        assert stats["chunks"] == 1 and stats["memos"] == 0
+        assert stats["path"] == cache.path and stats["file_bytes"] > 0
+
+
+class TestModuleActivation:
+    def test_flag_beats_env_and_reset_restores(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(persist.ENV_VAR, str(tmp_path / "env.db"))
+        assert persist.configured_path() == str(tmp_path / "env.db")
+        persist.configure(str(tmp_path / "flag.db"))
+        assert persist.configured_path() == str(tmp_path / "flag.db")
+        persist.reset()
+        assert persist.configured_path() == str(tmp_path / "env.db")
+
+    def test_attached_cache_is_shared_and_optional(self, tmp_path):
+        assert persist.attached_cache() is None
+        persist.configure(str(tmp_path / "c.db"))
+        cache = persist.attached_cache()
+        assert cache is not None
+        assert persist.attached_cache() is cache
+        store = ChunkStore(8, cache=persist.attached_cache())
+        assert store.cache is cache
+
+    def test_overridden_restores_previous_state(self, tmp_path):
+        persist.configure(str(tmp_path / "outer.db"))
+        outer = persist.attached_cache()
+        with persist.overridden(None):
+            assert persist.attached_cache() is None
+        assert persist.attached_cache() is outer
+        with persist.overridden(str(tmp_path / "inner.db")):
+            assert persist.attached_cache().path.endswith("inner.db")
+        assert persist.attached_cache() is outer
+
+
+class TestStoreIntegration:
+    def test_cold_then_warm_same_state(self, tmp_path):
+        cache = _cache(tmp_path)
+        cold = _warm_store(cache)
+        cache.flush()
+        warm = _warm_store(ChunkCache(cache.path))
+        cold_stats, warm_stats = cold.stats(), warm.stats()
+        # Identical local surface: same symbols, same gate hit/miss mix.
+        for key in ("symbols", "gate_hits", "gate_misses",
+                    "binop_cache", "not_cache"):
+            assert cold_stats[key] == warm_stats[key], key
+        assert cold_stats["cache"]["store"] > 0
+        assert cold_stats["cache"]["hit"] == 0
+        assert warm_stats["cache"]["hit"] == cold_stats["cache"]["miss"]
+        assert warm_stats["cache"]["miss"] == 0
+        assert warm_stats["degraded"] == 0
+        # Identical chunk payloads symbol by symbol.
+        for sym in range(cold_stats["symbols"]):
+            assert np.array_equal(cold.chunk(sym).words, warm.chunk(sym).words)
+
+    def test_no_cache_stats_have_no_cache_key(self):
+        assert "cache" not in ChunkStore(8).stats()
+
+    def test_corrupt_cache_degrades_and_recomputes(self, tmp_path):
+        cache = _cache(tmp_path)
+        _warm_store(cache)
+        cache.flush()
+        conn = sqlite3.connect(cache.path)
+        conn.execute("UPDATE chunks SET payload = zeroblob(32)")
+        conn.commit()
+        conn.close()
+        cold = _warm_store(None)
+        warm = _warm_store(ChunkCache(cache.path))
+        stats = warm.stats()
+        assert stats["degraded"] > 0
+        assert stats["cache"]["hit"] == 0 and stats["cache"]["miss"] > 0
+        # Results still correct: every payload matches the cold store's.
+        for sym in range(cold.stats()["symbols"]):
+            assert np.array_equal(cold.chunk(sym).words, warm.chunk(sym).words)
+
+    def test_measure_memo_eviction_bounded(self):
+        from repro.aob import AoB
+
+        store = ChunkStore(8, memo_limit=4)
+        rng = np.random.default_rng(7)
+        syms = [
+            store.intern(AoB(8, rng.integers(0, 2**64, size=4, dtype=np.uint64)))
+            for _ in range(12)
+        ]
+        expected = {sym: store.chunk(sym).popcount() for sym in syms}
+        for sym in syms:  # first sweep fills and overflows the memo
+            store.popcount(sym)
+            store.first_one(sym)
+        assert len(store._popcount) <= 4
+        assert len(store._first_one) <= 4
+        assert store.memo_evicted_by["measure"] > 0
+        assert store.stats()["memo_evicted_measure"] == \
+            store.memo_evicted_by["measure"]
+        # Evicted entries recompute correctly.
+        assert all(store.popcount(sym) == expected[sym] for sym in syms)
+
+    def test_measure_memo_lru_keeps_hot_entries(self):
+        from repro.aob import AoB
+
+        store = ChunkStore(8, memo_limit=2)
+        syms = [
+            store.intern(AoB(8, np.full(4, i + 1, dtype=np.uint64)))
+            for i in range(3)
+        ]
+        store.popcount(syms[0])
+        store.popcount(syms[1])
+        store.popcount(syms[0])        # refresh: syms[1] is now LRU
+        store.popcount(syms[2])        # evicts syms[1], not syms[0]
+        assert syms[0] in store._popcount
+        assert syms[1] not in store._popcount
+
+
+class TestWarmVsColdCampaign:
+    KW = dict(program="fig10", runs=6, seed=7, qat_backend="re")
+
+    def test_byte_identical_serial_jobs_batch(self, tmp_path):
+        cold = render_report(run_campaign(**self.KW))
+        persist.configure(str(tmp_path / "cache.db"))
+        warm_cold_pass = render_report(run_campaign(**self.KW))  # fills cache
+        warm_serial = render_report(run_campaign(**self.KW))
+        warm_jobs = render_report(run_campaign(jobs=2, **self.KW))
+        warm_batch = render_report(run_campaign(batch=3, **self.KW))
+        assert cold.encode() == warm_cold_pass.encode()
+        assert cold.encode() == warm_serial.encode()
+        assert cold.encode() == warm_jobs.encode()
+        assert cold.encode() == warm_batch.encode()
+        assert persist.attached_cache().stats()["memos"] > 0
+
+    def test_warm_run_actually_hits(self, tmp_path):
+        persist.configure(str(tmp_path / "cache.db"))
+        run_campaign(**self.KW)
+        persist.reset_counters()
+        run_campaign(**self.KW)
+        counters = persist.counter_snapshot()
+        hits = counters.get("chunkstore.persist.hit", 0)
+        misses = counters.get("chunkstore.persist.miss", 0)
+        assert hits > 0 and hits / (hits + misses) >= 0.5
+
+
+class TestCheckpointDedup:
+    def _re_checkpoint(self):
+        from repro.apps import fig10_program, run_factor_program
+
+        sim, _ = run_factor_program(fig10_program(), ways=8,
+                                    simulator="functional", qat_backend="re")
+        return Checkpoint.take(sim.machine)
+
+    def test_refs_roundtrip_and_shrink(self, tmp_path):
+        persist.configure(str(tmp_path / "cache.db"))
+        cp = self._re_checkpoint()
+        first, second = str(tmp_path / "a.npz"), str(tmp_path / "b.npz")
+        cp.save(first)
+        cp.save(second)  # everything published by the first save: all refs
+        header = json.loads(bytes(np.load(second)["header"]).decode())
+        assert len(header["chunk_refs"]) == len(cp.store_chunks)
+        assert os.path.getsize(second) < os.path.getsize(first)
+        loaded = Checkpoint.load(second)
+        assert loaded.verify()
+        assert all(np.array_equal(a, b) for a, b in
+                   zip(loaded.store_chunks, cp.store_chunks))
+        # No duplicate payloads on disk: one row per distinct digest.
+        digests = [chunk_digest(c) for c in cp.store_chunks]
+        rows = sqlite3.connect(str(tmp_path / "cache.db")).execute(
+            "SELECT COUNT(*) FROM chunks").fetchone()[0]
+        assert rows == len(set(digests))
+
+    def test_restore_into_live_store_after_dedup(self, tmp_path):
+        persist.configure(str(tmp_path / "cache.db"))
+        cp = self._re_checkpoint()
+        path = str(tmp_path / "cp.npz")
+        cp.save(path)
+        cp.save(path)  # overwrite with the fully-ref'd form
+        from repro.apps import fig10_program, run_factor_program
+
+        sim, _ = run_factor_program(fig10_program(), ways=8,
+                                    simulator="functional", qat_backend="re")
+        loaded = Checkpoint.load(path)
+        loaded.restore(sim.machine)
+        assert sim.machine.instret == cp.instret
+        assert Checkpoint.take(sim.machine).digest == cp.digest
+
+    def test_missing_cache_refuses(self, tmp_path):
+        persist.configure(str(tmp_path / "cache.db"))
+        cp = self._re_checkpoint()
+        path = str(tmp_path / "cp.npz")
+        cp.save(path)
+        cp.save(path)
+        persist.reset()
+        with pytest.raises(CheckpointError, match="no persistent chunk cache"):
+            Checkpoint.load(path)
+
+    def test_corrupted_cache_entry_refuses(self, tmp_path):
+        persist.configure(str(tmp_path / "cache.db"))
+        cp = self._re_checkpoint()
+        path = str(tmp_path / "cp.npz")
+        cp.save(path)
+        cp.save(path)
+        persist.flush()
+        conn = sqlite3.connect(str(tmp_path / "cache.db"))
+        conn.execute("UPDATE chunks SET payload = zeroblob(32)")
+        conn.commit()
+        conn.close()
+        persist.reset()
+        persist.configure(str(tmp_path / "cache.db"))
+        with pytest.raises(CheckpointError, match="corrupt"):
+            Checkpoint.load(path)
+
+
+class TestCLI:
+    def test_fig10_warm_cold_byte_identical(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache.db")
+        argv = ["fig10", "--sim", "functional", "--qat-backend", "re",
+                "--chunk-cache", cache]
+        assert main(argv) == 0
+        cold_out = capsys.readouterr().out
+        assert main(argv) == 0
+        warm_out = capsys.readouterr().out
+        assert cold_out == warm_out
+        assert main(argv[:-2]) == 0  # no cache: still identical
+        assert capsys.readouterr().out == cold_out
+
+    def test_ledger_carries_cache_provenance(self, tmp_path):
+        cache = str(tmp_path / "cache.db")
+        argv = ["fig10", "--sim", "functional", "--qat-backend", "re",
+                "--chunk-cache", cache]
+        assert main(argv) == 0 and main(argv) == 0
+        rows = sqlite3.connect(os.environ["TANGLED_LEDGER"]).execute(
+            "SELECT config, counters FROM runs ORDER BY rowid").fetchall()
+        assert len(rows) == 2
+        for config, _ in rows:
+            assert json.loads(config)["chunk_cache"] == cache
+        cold, warm = (json.loads(counters) for _, counters in rows)
+        assert cold["chunkstore.persist.store"] > 0
+        assert warm["chunkstore.persist.hit"] > 0
+        assert warm.get("chunkstore.persist.miss", 0) == 0
+
+    def test_env_var_activates(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setenv(persist.ENV_VAR, str(tmp_path / "cache.db"))
+        argv = ["fig10", "--sim", "functional", "--qat-backend", "re"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert ChunkCache(str(tmp_path / "cache.db")).stats()["memos"] > 0
+
+    def test_stats_report_shows_persistent_line(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache.db")
+        argv = ["fig10", "--sim", "functional", "--qat-backend", "re",
+                "--chunk-cache", cache, "--stats"]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "persistent cache hits   : 100.00%" in out
+
+    def test_bench_list_includes_warm_specs(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig10.re_warm" in out
+        assert "fig10.re_ways24_warm" in out
